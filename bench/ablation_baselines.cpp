@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Baseline study: (1) how far LRU sits from optimal replacement on the
+ * suite (Cheetah, which the paper used, simulates both; OPT bounds how
+ * much any replacement-side cleverness could add to cache resizing);
+ * (2) how the Dhodapkar-Smith working-set-signature phase detector —
+ * the third interval technique in the paper's related work — fragments
+ * the same executions that locality phases describe exactly.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bbv/working_set.hpp"
+#include "bench/common.hpp"
+#include "cache/lru_cache.hpp"
+#include "cache/opt_sim.hpp"
+#include "core/analysis.hpp"
+#include "support/csv.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Baselines: LRU vs OPT replacement; working-set-signature "
+          "phases");
+
+    CsvWriter csv(outPath("ablation_baselines.csv"),
+                  {"benchmark", "lru32_missrate", "opt32_missrate",
+                   "lru256_missrate", "opt256_missrate",
+                   "ws_phases", "ws_transitions", "locality_phases"});
+
+    std::printf("%-10s %9s %9s %10s %10s %6s %7s %7s\n", "bench",
+                "LRU-32K", "OPT-32K", "LRU-256K", "OPT-256K", "WSsig",
+                "transit", "phases");
+    rule('-', 84);
+
+    for (const char *name : {"tomcatv", "compress", "mesh"}) {
+        auto w = workloads::create(name);
+        auto in = w->trainInput();
+
+        // Record the training access trace once (training runs are
+        // small enough to hold).
+        trace::AccessRecorder rec;
+        bbv::WorkingSetPhases ws(100000, 0.5, 512);
+        trace::FanoutSink fan;
+        fan.attach(&rec);
+        fan.attach(&ws);
+        w->run(in, fan);
+
+        auto lru_rate = [&](cache::CacheConfig cfg) {
+            cache::LruCache c(cfg);
+            for (trace::Addr a : rec.accesses())
+                c.access(a);
+            return c.missRate();
+        };
+        auto opt_rate = [&](cache::CacheConfig cfg) {
+            cache::OptSimulator sim(cfg);
+            for (trace::Addr a : rec.accesses())
+                sim.record(a);
+            sim.simulate();
+            return sim.missRate();
+        };
+
+        // 8-way at both sizes: a direct-mapped cache leaves OPT no
+        // choice, so associativity is held at 8 and capacity varies.
+        cache::CacheConfig small{64, 8, 64};   // 32KB 8-way
+        cache::CacheConfig large{512, 8, 64};  // 256KB 8-way
+        double l32 = lru_rate(small), o32 = opt_rate(small);
+        double l256 = lru_rate(large), o256 = opt_rate(large);
+
+        auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+        size_t phases = analysis.detection.selection.phases.size();
+
+        std::printf("%-10s %9.4f %9.4f %10.4f %10.4f %6zu %7llu "
+                    "%7zu\n",
+                    name, l32, o32, l256, o256, ws.phaseCount(),
+                    static_cast<unsigned long long>(ws.transitions()),
+                    phases);
+        csv.row({name, num(l32, 4), num(o32, 4), num(l256, 4),
+                 num(o256, 4), std::to_string(ws.phaseCount()),
+                 std::to_string(ws.transitions()),
+                 std::to_string(phases)});
+    }
+    rule('-', 84);
+    std::printf("\nExpected: OPT <= LRU at every size (the gap bounds "
+                "replacement-side headroom);\nworking-set signatures "
+                "find phase *changes* but cannot say when a phase\n"
+                "recurs with what length — the locality-phase markers "
+                "can.\n");
+    return 0;
+}

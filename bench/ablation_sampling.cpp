@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: sampling budget and distance-threshold fraction. The
+ * paper's feedback targets 15-30K samples; this driver sweeps the
+ * sample target and the working-set fraction that defines a
+ * "long-distance" reuse, and reports whether marker selection still
+ * lands on the same phases.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "phase/detector.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Ablation: sampling budget and threshold fraction");
+
+    CsvWriter csv(outPath("ablation_sampling.csv"),
+                  {"benchmark", "target_samples", "threshold_fraction",
+                   "data_samples", "access_samples", "boundaries",
+                   "marker_phases"});
+
+    auto run_one = [&](const char *name, uint64_t target,
+                       double fraction) {
+        auto w = workloads::create(name);
+        phase::DetectorConfig cfg;
+        cfg.filter.family = wavelet::Family::Haar;
+        cfg.sampler.targetSamples = target;
+        cfg.thresholdFraction = fraction;
+        phase::PhaseDetector det(cfg);
+        auto in = w->trainInput();
+        auto result = det.analyze(
+            [&](trace::TraceSink &s) { w->run(in, s); });
+        std::printf("  %8llu %9.2f %9llu %10llu %11zu %14zu\n",
+                    static_cast<unsigned long long>(target), fraction,
+                    static_cast<unsigned long long>(
+                        result.dataSamples),
+                    static_cast<unsigned long long>(
+                        result.accessSamples),
+                    result.boundaryTimes.size(),
+                    result.selection.phases.size());
+        csv.row({name, std::to_string(target), num(fraction, 2),
+                 std::to_string(result.dataSamples),
+                 std::to_string(result.accessSamples),
+                 std::to_string(result.boundaryTimes.size()),
+                 std::to_string(result.selection.phases.size())});
+    };
+
+    for (const char *name : {"tomcatv", "swim"}) {
+        std::printf("\n%s:\n", name);
+        std::printf("    target  fraction   datums    samples  "
+                    "boundaries  marker phases\n");
+        for (uint64_t target : {2000ULL, 10000ULL, 50000ULL})
+            run_one(name, target, 0.05);
+        for (double fraction : {0.02, 0.10, 0.20})
+            run_one(name, 20000, fraction);
+    }
+    std::printf("\nExpected: marker phases stay constant across the "
+                "sweep (the block-trace\nside is robust); boundary "
+                "counts grow with the sample budget.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension study: statistics-based prediction for programs with
+ * input-dependent phase lengths (the future work the paper sketches
+ * for Gcc and Vortex in Section 3.1.2). Exact-match prediction is
+ * compared with 10-90% quantile-band prediction on the unpredictable
+ * programs, with a consistent program as control.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+#include "core/runtime.hpp"
+#include "core/statistical.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Extension: exact vs statistical (quantile-band) phase "
+          "prediction");
+    row("Benchmark",
+        {"exactAcc%", "bandHit%", "bandCov%", "bandWidth"}, 10, 11);
+    rule();
+
+    CsvWriter csv(outPath("ablation_statistical.csv"),
+                  {"benchmark", "exact_accuracy", "band_hit_rate",
+                   "band_coverage", "band_relative_width"});
+
+    for (const char *name : {"gcc", "vortex", "moldyn", "compress"}) {
+        auto w = workloads::create(name);
+        auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+        auto ref = w->refInput();
+        auto replay = core::replayInstrumented(
+            analysis.detection.selection.table,
+            [&](trace::TraceSink &s) { w->run(ref, s); });
+
+        auto exact = core::evaluatePrediction(
+            replay, analysis.consistentPhases());
+        auto bands = core::evaluateStatisticalPrediction(replay);
+
+        row(name,
+            {pct(exact.relaxedAccuracy), pct(bands.hitRate),
+             pct(bands.coverage), num(bands.meanRelativeWidth, 3)},
+            10, 11);
+        csv.row({name, num(exact.relaxedAccuracy, 4),
+                 num(bands.hitRate, 4), num(bands.coverage, 4),
+                 num(bands.meanRelativeWidth, 4)});
+    }
+    rule();
+    std::printf("\nExpected: gcc/vortex exact accuracy ~0 but band hit "
+                "rate ~80%% (the band is\nwide — that is the honest "
+                "price); moldyn benefits similarly; compress is the\n"
+                "control where exact prediction already works and "
+                "bands are points.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Extension study: sub-phase detection (paper Section 2.3: "We can use
+ * a smaller threshold to find sub-phases after we find large phases").
+ * Re-runs marker selection with the region threshold divided by 8 and
+ * reports the sub-phases nested under each top-level phase.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "phase/detector.hpp"
+#include "support/csv.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Extension: sub-phase detection (threshold / 8)");
+
+    CsvWriter csv(outPath("ablation_subphase.csv"),
+                  {"benchmark", "coarse_phases", "fine_phases",
+                   "fine_with_parent"});
+
+    for (const char *name :
+         {"fft", "compress", "tomcatv", "moldyn"}) {
+        auto w = workloads::create(name);
+        auto in = w->trainInput();
+
+        trace::BlockRecorder blocks;
+        w->run(in, blocks);
+
+        phase::MarkerSelector selector{phase::MarkerConfig{}};
+        auto sub = selector.selectSubPhases(
+            blocks.events(), blocks.totalInstructions(),
+            /*detected=*/64, /*refinement=*/8.0);
+
+        size_t with_parent = 0;
+        for (uint32_t p : sub.parentOf)
+            with_parent += p != phase::SubPhaseSelection::noParent;
+
+        std::printf("\n%s: %zu coarse phases, %zu fine phases "
+                    "(%zu attributed to a parent)\n",
+                    name, sub.coarse.phases.size(),
+                    sub.fine.phases.size(), with_parent);
+        for (size_t f = 0; f < sub.fine.phases.size(); ++f) {
+            const auto &info = sub.fine.phases[f];
+            uint32_t parent = sub.parentOf[f];
+            std::printf("  fine phase %zu (block %u, %llu execs, "
+                        "~%.0fK inst) -> coarse %s\n",
+                        f, info.marker,
+                        static_cast<unsigned long long>(
+                            info.executions),
+                        info.meanInstructions / 1000.0,
+                        parent == phase::SubPhaseSelection::noParent
+                            ? "(none)"
+                            : std::to_string(parent).c_str());
+        }
+        csv.row({name, std::to_string(sub.coarse.phases.size()),
+                 std::to_string(sub.fine.phases.size()),
+                 std::to_string(with_parent)});
+    }
+    std::printf("\nExpected: fine level splits composite work (FFT "
+                "butterfly chunks, compress\nsetup) into sub-phases "
+                "properly nested under the coarse phases.\n");
+    return 0;
+}

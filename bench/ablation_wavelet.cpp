@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: wavelet family. The paper used Daubechies-6 and reports
+ * that other families produce similar results; this repository's
+ * training signals are ~30 points per datum (vs the paper's
+ * thousands), where filter support matters more. The driver runs the
+ * full detection pipeline under Haar, Daubechies-4, and Daubechies-6
+ * and compares what survives filtering and which markers come out.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "phase/detector.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Ablation: wavelet family in sub-trace filtering");
+
+    CsvWriter csv(outPath("ablation_wavelet.csv"),
+                  {"benchmark", "family", "kept_points", "boundaries",
+                   "marker_phases"});
+
+    const wavelet::Family families[] = {wavelet::Family::Haar,
+                                        wavelet::Family::Daubechies4,
+                                        wavelet::Family::Daubechies6};
+
+    for (const char *name : {"tomcatv", "compress", "moldyn"}) {
+        std::printf("\n%s:\n", name);
+        std::printf("  %-14s %10s %12s %14s\n", "family", "kept",
+                    "boundaries", "marker phases");
+        for (auto family : families) {
+            auto w = workloads::create(name);
+            phase::DetectorConfig cfg;
+            cfg.filter.family = family;
+            cfg.sampler.targetSamples = 20000;
+            phase::PhaseDetector det(cfg);
+            auto in = w->trainInput();
+            auto result = det.analyze([&](trace::TraceSink &s) {
+                w->run(in, s);
+            });
+            std::string fam = wavelet::FilterBank::name(family);
+            std::printf("  %-14s %10llu %12zu %14zu\n", fam.c_str(),
+                        static_cast<unsigned long long>(
+                            result.filterStats.accessesKept),
+                        result.boundaryTimes.size(),
+                        result.selection.phases.size());
+            csv.row({name, fam,
+                     std::to_string(result.filterStats.accessesKept),
+                     std::to_string(result.boundaryTimes.size()),
+                     std::to_string(result.selection.phases.size())});
+        }
+    }
+    std::printf("\nExpected: all families find the same markers; the "
+                "short-signal regime makes\nHaar keep the most "
+                "boundary indicators (the paper's signals were long "
+                "enough\nthat the choice did not matter).\n");
+    return 0;
+}

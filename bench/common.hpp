@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the experiment drivers: fixed-width table printing
+ * and CSV output under bench_out/.
+ */
+
+#ifndef LPP_BENCH_COMMON_HPP
+#define LPP_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/csv.hpp"
+
+namespace lppbench {
+
+/** Print a rule line. */
+inline void
+rule(char c = '-', int n = 76)
+{
+    for (int i = 0; i < n; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+/** Print a table title with rules. */
+inline void
+title(const std::string &text)
+{
+    rule('=');
+    std::printf("%s\n", text.c_str());
+    rule('=');
+}
+
+/** Percentage with two decimals. */
+inline std::string
+pct(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", fraction * 100.0);
+    return buf;
+}
+
+/** Fixed precision number. */
+inline std::string
+num(double v, int digits = 2)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+/** Scientific notation. */
+inline std::string
+sci(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+    return buf;
+}
+
+/** The benchmark output directory for CSV series. */
+inline std::string
+outPath(const std::string &file)
+{
+    return "bench_out/" + file;
+}
+
+/** Print one row with a fixed first column width. */
+inline void
+row(const std::string &name, const std::vector<std::string> &cells,
+    int name_width = 10, int cell_width = 12)
+{
+    std::printf("%-*s", name_width, name.c_str());
+    for (const auto &c : cells)
+        std::printf(" %*s", cell_width, c.c_str());
+    std::printf("\n");
+}
+
+} // namespace lppbench
+
+#endif // LPP_BENCH_COMMON_HPP

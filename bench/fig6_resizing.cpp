@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: average cache size under adaptive
+ * resizing (32KB..256KB, 512 sets x 64B lines x 1..8 ways) by the
+ * locality-phase method, fixed-interval methods of five lengths, and
+ * the BBV method, under a 0% and a 5% miss-increase bound.
+ *
+ * Scaling note: the paper's runs are 25-62G instructions with interval
+ * lengths 10K..100M accesses; these runs are ~1000x shorter, so the
+ * interval sweep is 10K..10M accesses. Interval and BBV methods get
+ * the paper's idealized treatment (perfect change detection, two-trial
+ * exploration); the phase method explores the first two executions of
+ * every (phase, interval) key — its numbers are achievable by the real
+ * mechanism.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bbv/clustering.hpp"
+#include "bbv/markov.hpp"
+#include "bench/common.hpp"
+#include "cache/resizing.hpp"
+#include "core/analysis.hpp"
+#include "core/evaluation.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+namespace {
+
+/** Merge every `k` consecutive units into one (exact for counts). */
+std::vector<cache::SegmentLocality>
+mergeUnits(const std::vector<cache::SegmentLocality> &units, size_t k)
+{
+    std::vector<cache::SegmentLocality> out;
+    for (size_t i = 0; i < units.size(); i += k) {
+        cache::SegmentLocality m;
+        for (size_t j = i; j < std::min(i + k, units.size()); ++j)
+            m.merge(units[j]);
+        out.push_back(m);
+    }
+    return out;
+}
+
+struct WorkloadData
+{
+    core::PhaseIntervalProfile phaseProf;
+    std::vector<cache::SegmentLocality> baseUnits; //!< 10K-access units
+    core::IntervalProfile bbvProf;                 //!< 100K + BBV
+    std::vector<uint32_t> bbvPredicted;
+};
+
+WorkloadData
+collect(const workloads::Workload &w)
+{
+    WorkloadData d;
+    auto analysis = core::PhaseAnalysis::analyzeWorkload(w);
+    auto ref = w.refInput();
+    auto runner = [&](trace::TraceSink &s) { w.run(ref, s); };
+
+    d.phaseProf = core::collectPhaseIntervals(
+        analysis.detection.selection.table, runner, 10000);
+    auto base = core::collectIntervals(runner, 10000, 1);
+    d.baseUnits = std::move(base.units);
+    d.bbvProf = core::collectIntervals(runner, 100000);
+
+    bbv::BbvClustering clustering(0.2);
+    auto clusters = clustering.assignAll(d.bbvProf.bbvs);
+    bbv::RleMarkovPredictor markov;
+    d.bbvPredicted = markov.predictSequence(clusters);
+    return d;
+}
+
+const size_t kIntervalMerges[] = {1, 10, 100, 400, 1000};
+
+void
+runBound(const std::vector<std::string> &names,
+         const std::vector<WorkloadData> &data, double bound,
+         CsvWriter &csv)
+{
+    std::printf("\nMiss-increase bound: %.0f%%  (normalized average "
+                "cache size, phase = 1.00)\n", bound * 100.0);
+    row("Benchmark",
+        {"Phase(KB)", "Phase", "I-10k", "I-100k", "I-1M", "I-4M",
+         "I-10M", "BBV", "Full"},
+        10, 9);
+    rule('-', 102);
+
+    std::vector<double> sums(8, 0.0);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &d = data[i];
+        auto phase = cache::resizePhase(d.phaseProf.units,
+                                        d.phaseProf.keys, bound);
+        std::vector<double> normalized;
+        normalized.push_back(1.0);
+
+        std::vector<std::string> cells = {num(phase.avgKB(), 1),
+                                          num(1.0, 2)};
+        for (size_t m = 0; m < 5; ++m) {
+            auto merged = mergeUnits(d.baseUnits, kIntervalMerges[m]);
+            auto r = cache::resizeInterval(merged, bound);
+            normalized.push_back(r.avgWays / phase.avgWays);
+            cells.push_back(num(r.avgWays / phase.avgWays, 2));
+        }
+        auto bbvr = cache::resizeBbv(d.bbvProf.units, d.bbvPredicted,
+                                     bound);
+        normalized.push_back(bbvr.avgWays / phase.avgWays);
+        cells.push_back(num(bbvr.avgWays / phase.avgWays, 2));
+        normalized.push_back(8.0 / phase.avgWays);
+        cells.push_back(num(8.0 / phase.avgWays, 2));
+
+        row(names[i], cells, 10, 9);
+        csv.row({names[i], num(bound, 2), num(phase.avgKB(), 2),
+                 num(normalized[1], 4), num(normalized[2], 4),
+                 num(normalized[3], 4), num(normalized[4], 4),
+                 num(normalized[5], 4), num(normalized[6], 4),
+                 num(normalized[7], 4)});
+        for (size_t k = 0; k < normalized.size(); ++k)
+            sums[k] += normalized[k];
+    }
+    rule('-', 102);
+    std::vector<std::string> avg_cells = {""};
+    for (size_t k = 0; k < 8; ++k)
+        avg_cells.push_back(
+            num(sums[k] / static_cast<double>(names.size()), 2));
+    row("Average", avg_cells, 10, 9);
+}
+
+} // namespace
+
+int
+main()
+{
+    title("Figure 6: adaptive cache resizing — phase vs interval vs "
+          "BBV methods");
+
+    auto names = workloads::predictableNames();
+    std::vector<WorkloadData> data;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        std::printf("collecting %s...\n", name.c_str());
+        data.push_back(collect(*w));
+    }
+
+    CsvWriter csv(outPath("fig6_resizing.csv"),
+                  {"benchmark", "bound", "phase_kb", "phase_norm",
+                   "i10k_norm", "i100k_norm", "i1m_norm", "i4m_norm",
+                   "i10m_norm", "bbv_norm", "full_norm"});
+
+    runBound(names, data, 0.0, csv);
+    runBound(names, data, 0.05, csv);
+
+    std::printf("\nPaper shape: the phase method shrinks the cache "
+                "most (values > 1 mean the\nother method needed a "
+                "larger cache); FFT is the adversarial case.\n");
+    std::printf("Series written to %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Microbenchmarks for the cache simulators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lru_cache.hpp"
+#include "cache/stack_sim.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+void
+BM_LruCacheRandom(benchmark::State &state)
+{
+    lpp::cache::LruCache cache(
+        lpp::cache::CacheConfig{512, static_cast<uint32_t>(
+                                         state.range(0)),
+                                64});
+    lpp::Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(rng.below(1 << 22)));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruCacheRandom)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_StackSimulatorRandom(benchmark::State &state)
+{
+    lpp::cache::StackSimulator sim;
+    lpp::Rng rng(6);
+    for (auto _ : state)
+        sim.onAccess(rng.below(1 << 22));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StackSimulatorRandom);
+
+void
+BM_StackSimulatorSweep(benchmark::State &state)
+{
+    lpp::cache::StackSimulator sim;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        sim.onAccess((i % (1 << 20)) * 8);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StackSimulatorSweep);
+
+} // namespace
+
+BENCHMARK_MAIN();

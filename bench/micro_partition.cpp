@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Microbenchmarks for optimal phase partitioning (the O(n^2) DP).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "phase/partition.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+std::vector<lpp::reuse::SamplePoint>
+clusteredTrace(size_t clusters, size_t per_cluster)
+{
+    std::vector<lpp::reuse::SamplePoint> pts;
+    uint64_t t = 0;
+    for (size_t c = 0; c < clusters; ++c) {
+        for (uint32_t i = 0; i < per_cluster; ++i) {
+            pts.push_back(lpp::reuse::SamplePoint{t, 1000, i});
+            t += 10;
+        }
+    }
+    return pts;
+}
+
+void
+BM_PartitionClustered(benchmark::State &state)
+{
+    auto pts =
+        clusteredTrace(static_cast<size_t>(state.range(0)), 20);
+    lpp::phase::OptimalPartitioner part;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(part.partition(pts));
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_PartitionClustered)->Arg(10)->Arg(50)->Arg(200);
+
+void
+BM_PartitionRandom(benchmark::State &state)
+{
+    lpp::Rng rng(13);
+    std::vector<lpp::reuse::SamplePoint> pts;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+        pts.push_back(lpp::reuse::SamplePoint{
+            static_cast<uint64_t>(i) * 10, 1000,
+            static_cast<uint32_t>(rng.below(64))});
+    }
+    lpp::phase::OptimalPartitioner part;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(part.partition(pts));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionRandom)->Arg(500)->Arg(2000);
+
+} // namespace
+
+BENCHMARK_MAIN();

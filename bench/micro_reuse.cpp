@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Microbenchmarks for the reuse-distance substrate: exact stack
+ * distance tracking and variable-distance sampling throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "reuse/sampler.hpp"
+#include "reuse/stack.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+void
+BM_ReuseStackRandom(benchmark::State &state)
+{
+    uint64_t working_set = static_cast<uint64_t>(state.range(0));
+    lpp::Rng rng(7);
+    lpp::reuse::ReuseStack stack;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stack.access(rng.below(working_set)));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReuseStackRandom)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_ReuseStackSweep(benchmark::State &state)
+{
+    uint64_t working_set = static_cast<uint64_t>(state.range(0));
+    lpp::reuse::ReuseStack stack;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stack.access(i));
+        if (++i == working_set)
+            i = 0;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReuseStackSweep)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_VariableDistanceSampler(benchmark::State &state)
+{
+    lpp::reuse::SamplerConfig cfg;
+    cfg.targetSamples = 20000;
+    lpp::reuse::VariableDistanceSampler sampler(cfg);
+    uint64_t i = 0;
+    uint64_t n = 1 << 16;
+    for (auto _ : state) {
+        sampler.onAccess((i % n) * 8);
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VariableDistanceSampler);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Microbenchmarks for Sequitur grammar compression.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "grammar/hierarchy.hpp"
+#include "grammar/sequitur.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+std::vector<uint32_t>
+periodic(size_t n, uint32_t period)
+{
+    std::vector<uint32_t> seq(n);
+    for (size_t i = 0; i < n; ++i)
+        seq[i] = static_cast<uint32_t>(i % period);
+    return seq;
+}
+
+std::vector<uint32_t>
+random_seq(size_t n, uint64_t alphabet)
+{
+    lpp::Rng rng(11);
+    std::vector<uint32_t> seq(n);
+    for (auto &s : seq)
+        s = static_cast<uint32_t>(rng.below(alphabet));
+    return seq;
+}
+
+void
+BM_SequiturPeriodic(benchmark::State &state)
+{
+    auto seq = periodic(static_cast<size_t>(state.range(0)), 5);
+    for (auto _ : state) {
+        lpp::grammar::Sequitur s;
+        s.append(seq);
+        benchmark::DoNotOptimize(s.ruleCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequiturPeriodic)->Arg(1000)->Arg(100000);
+
+void
+BM_SequiturRandom(benchmark::State &state)
+{
+    auto seq = random_seq(static_cast<size_t>(state.range(0)), 8);
+    for (auto _ : state) {
+        lpp::grammar::Sequitur s;
+        s.append(seq);
+        benchmark::DoNotOptimize(s.ruleCount());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SequiturRandom)->Arg(1000)->Arg(100000);
+
+void
+BM_HierarchyFromSequence(benchmark::State &state)
+{
+    auto seq = periodic(static_cast<size_t>(state.range(0)), 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lpp::grammar::PhaseHierarchy::fromSequence(seq));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HierarchyFromSequence)->Arg(1000)->Arg(20000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Microbenchmarks for the wavelet substrate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "support/random.hpp"
+#include "wavelet/dwt.hpp"
+#include "wavelet/filtering.hpp"
+
+namespace {
+
+std::vector<double>
+signal(size_t n)
+{
+    lpp::Rng rng(3);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.gaussian() * 100.0;
+    return x;
+}
+
+void
+BM_DecomposeD6(benchmark::State &state)
+{
+    auto x = signal(static_cast<size_t>(state.range(0)));
+    lpp::wavelet::Dwt dwt(lpp::wavelet::Family::Daubechies6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dwt.decompose(x, 4));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecomposeD6)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_StationaryDetailHaar(benchmark::State &state)
+{
+    auto x = signal(static_cast<size_t>(state.range(0)));
+    lpp::wavelet::Dwt dwt(lpp::wavelet::Family::Haar);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dwt.stationaryDetail(x));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StationaryDetailHaar)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_SubTraceFilter(benchmark::State &state)
+{
+    // Flat signal with one step: the common case per datum.
+    std::vector<double> x(static_cast<size_t>(state.range(0)), 1000.0);
+    for (size_t i = x.size() / 2; i < x.size(); ++i)
+        x[i] = 50000.0;
+    lpp::wavelet::SubTraceFilter filter;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(filter.filterSignal(x));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubTraceFilter)->Arg(32)->Arg(1024);
+
+} // namespace
+
+BENCHMARK_MAIN();

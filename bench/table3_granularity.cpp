@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Table 3: the number and size of leaf and composite
+ * phases in detection and prediction runs.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/evaluation.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Table 3: number and size of phases in detection and "
+          "prediction runs");
+    row("Benchmark",
+        {"d.leaves", "d.len(M)", "d.leaf(M)", "d.comp(M)", "p.leaves",
+         "p.len(M)", "p.leaf(M)", "p.comp(M)"},
+        10, 9);
+    rule('-', 92);
+
+    CsvWriter csv(outPath("table3.csv"),
+                  {"benchmark", "det_leaves", "det_length_m",
+                   "det_leaf_m", "det_composite_m", "pred_leaves",
+                   "pred_length_m", "pred_leaf_m", "pred_composite_m"});
+
+    core::GranularityRow dsum, psum;
+    int n = 0;
+    for (const auto &name : workloads::predictableNames()) {
+        auto w = workloads::create(name);
+        auto ev = core::evaluateWorkload(*w);
+        const auto &d = ev.detectionRow;
+        const auto &p = ev.predictionRow;
+        row(name,
+            {std::to_string(d.leafExecutions), num(d.execLengthM, 1),
+             num(d.avgLeafSizeM, 3), num(d.avgLargestCompositeM, 3),
+             std::to_string(p.leafExecutions), num(p.execLengthM, 1),
+             num(p.avgLeafSizeM, 3), num(p.avgLargestCompositeM, 3)},
+            10, 9);
+        csv.row({name, std::to_string(d.leafExecutions),
+                 num(d.execLengthM, 3), num(d.avgLeafSizeM, 4),
+                 num(d.avgLargestCompositeM, 4),
+                 std::to_string(p.leafExecutions), num(p.execLengthM, 3),
+                 num(p.avgLeafSizeM, 4), num(p.avgLargestCompositeM, 4)});
+
+        dsum.leafExecutions += d.leafExecutions;
+        dsum.execLengthM += d.execLengthM;
+        dsum.avgLeafSizeM += d.avgLeafSizeM;
+        dsum.avgLargestCompositeM += d.avgLargestCompositeM;
+        psum.leafExecutions += p.leafExecutions;
+        psum.execLengthM += p.execLengthM;
+        psum.avgLeafSizeM += p.avgLeafSizeM;
+        psum.avgLargestCompositeM += p.avgLargestCompositeM;
+        ++n;
+    }
+    rule('-', 92);
+    row("Average",
+        {std::to_string(dsum.leafExecutions / n),
+         num(dsum.execLengthM / n, 1), num(dsum.avgLeafSizeM / n, 3),
+         num(dsum.avgLargestCompositeM / n, 3),
+         std::to_string(psum.leafExecutions / n),
+         num(psum.execLengthM / n, 1), num(psum.avgLeafSizeM / n, 3),
+         num(psum.avgLargestCompositeM / n, 3)},
+        10, 9);
+
+    std::printf("\nPaper shape: prediction runs are several times "
+                "longer with more leaf executions\n(except Mesh, whose "
+                "two inputs have the same length); composite phases "
+                "are\nmultiples of the leaf size.\n");
+    std::printf("Series written to %s\n", csv.path().c_str());
+    return 0;
+}

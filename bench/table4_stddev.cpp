@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the standard deviation of the 8-point
+ * locality vector (miss rates for 32KB..256KB caches) across executions
+ * of the same locality phase, compared with BBV clustering and BBV
+ * RLE-Markov prediction over fixed intervals.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bbv/clustering.hpp"
+#include "bbv/markov.hpp"
+#include "bench/common.hpp"
+#include "core/evaluation.hpp"
+#include "support/csv.hpp"
+#include "support/stats.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+namespace {
+
+/**
+ * Size-weighted average locality stddev over groups of units. As for
+ * locality phases, the first member of each group (the one carrying
+ * cold-cache effects and the one a predictor would learn from) is
+ * excluded.
+ */
+double
+groupedStddev(const std::vector<cache::SegmentLocality> &units,
+              const std::vector<uint32_t> &group_of)
+{
+    std::map<uint32_t, VectorStats> groups;
+    std::map<uint32_t, bool> seen;
+    for (size_t i = 0; i < units.size(); ++i) {
+        if (!seen[group_of[i]]) {
+            seen[group_of[i]] = true;
+            continue;
+        }
+        auto it = groups.find(group_of[i]);
+        if (it == groups.end())
+            it = groups.emplace(group_of[i], VectorStats(cache::simWays))
+                     .first;
+        it->second.push(units[i].missRateVector());
+    }
+    double weighted = 0.0;
+    size_t total = 0;
+    for (const auto &kv : groups) {
+        weighted += kv.second.averageStddev() *
+                    static_cast<double>(kv.second.count());
+        total += kv.second.count();
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+} // namespace
+
+int
+main()
+{
+    title("Table 4: standard deviation of locality phases and BBV "
+          "phases");
+    row("Benchmark", {"LocalityPhase", "BBVcluster", "BBVMarkov"}, 10,
+        14);
+    rule();
+
+    CsvWriter csv(outPath("table4.csv"),
+                  {"benchmark", "locality_phase", "bbv_clustering",
+                   "bbv_markov_prediction"});
+
+    for (const auto &name : workloads::predictableNames()) {
+        auto w = workloads::create(name);
+        auto ev = core::evaluateWorkload(*w);
+
+        // BBV baseline over fixed intervals of the same prediction run
+        // (~50K accesses per interval, the scaled-down 10M-instruction
+        // window).
+        auto ref_in = w->refInput();
+        auto prof = core::collectIntervals(
+            [&](trace::TraceSink &s) { w->run(ref_in, s); }, 50000);
+
+        bbv::BbvClustering clustering(0.2);
+        auto clusters = clustering.assignAll(prof.bbvs);
+        double cluster_sd = groupedStddev(prof.units, clusters);
+
+        bbv::RleMarkovPredictor markov;
+        auto predicted = markov.predictSequence(clusters);
+        double markov_sd = groupedStddev(prof.units, predicted);
+
+        row(name,
+            {sci(ev.localityStddev), sci(cluster_sd), sci(markov_sd)},
+            10, 14);
+        csv.row({name, sci(ev.localityStddev), sci(cluster_sd),
+                 sci(markov_sd)});
+    }
+    rule();
+    std::printf("\nPaper shape: locality-phase std-dev is orders of "
+                "magnitude below both BBV\ncolumns; Markov prediction "
+                "is worse than clustering.\n");
+    std::printf("Series written to %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Table 5: execution-time effect of phase-based array
+ * regrouping (Impulse-style remapping at phase markers) versus the best
+ * whole-program layout, for Mesh and Swim. Like the paper, the cost of
+ * performing the remapping itself is excluded; times come from a simple
+ * miss-penalty model over the simulated cache.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+#include "remap/regroup.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Table 5: phase-based array regrouping (modelled seconds, "
+          "32KB 2-way L1)");
+    row("Benchmark",
+        {"Original", "Phase", "ph.speedup", "Global", "gl.speedup"},
+        10, 11);
+    rule();
+
+    CsvWriter csv(outPath("table5.csv"),
+                  {"benchmark", "original_s", "phase_s",
+                   "phase_speedup", "global_s", "global_speedup",
+                   "original_misses", "phase_misses", "global_misses"});
+
+    cache::CacheConfig l1{256, 2, 64}; // 32KB 2-way, 64B lines
+
+    for (const char *name : {"mesh", "swim"}) {
+        auto w = workloads::create(name);
+        auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+        auto ex = remap::runRemapExperiment(
+            *w, analysis.detection.selection.table, l1);
+
+        row(name,
+            {num(ex.originalTime, 3), num(ex.phaseTime, 3),
+             pct(ex.phaseSpeedup()) + "%", num(ex.globalTime, 3),
+             pct(ex.globalSpeedup()) + "%"},
+            10, 11);
+        csv.row({name, num(ex.originalTime, 4), num(ex.phaseTime, 4),
+                 num(ex.phaseSpeedup(), 4), num(ex.globalTime, 4),
+                 num(ex.globalSpeedup(), 4),
+                 std::to_string(ex.originalMisses),
+                 std::to_string(ex.phaseMisses),
+                 std::to_string(ex.globalMisses)});
+    }
+    rule();
+    std::printf("\nPaper shape: phase-based regrouping beats both the "
+                "original layout and the\nbest whole-program layout; "
+                "the Swim gain is large, the Mesh gain small.\n");
+    std::printf("Series written to %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Table 6: the overlap between automatically inserted
+ * phase markers and manually inserted ones, as recall and precision
+ * over marker times (two times match within 400 accesses).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/evaluation.hpp"
+#include "support/csv.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+int
+main()
+{
+    title("Table 6: overlap with manual phase markers");
+    row("Benchmark",
+        {"det.Recall", "det.Prec", "pred.Recall", "pred.Prec"}, 10, 12);
+    rule();
+
+    CsvWriter csv(outPath("table6.csv"),
+                  {"benchmark", "detection_recall",
+                   "detection_precision", "prediction_recall",
+                   "prediction_precision"});
+
+    double tr = 0, tp = 0, rr = 0, rp = 0;
+    int n = 0;
+    for (const auto &name : workloads::predictableNames()) {
+        auto w = workloads::create(name);
+        auto ev = core::evaluateWorkload(*w);
+        row(name,
+            {num(ev.trainOverlap.recall, 3),
+             num(ev.trainOverlap.precision, 3),
+             num(ev.refOverlap.recall, 3),
+             num(ev.refOverlap.precision, 3)},
+            10, 12);
+        csv.row({name, num(ev.trainOverlap.recall, 4),
+                 num(ev.trainOverlap.precision, 4),
+                 num(ev.refOverlap.recall, 4),
+                 num(ev.refOverlap.precision, 4)});
+        tr += ev.trainOverlap.recall;
+        tp += ev.trainOverlap.precision;
+        rr += ev.refOverlap.recall;
+        rp += ev.refOverlap.precision;
+        ++n;
+    }
+    rule();
+    row("Average",
+        {num(tr / n, 3), num(tp / n, 3), num(rr / n, 3),
+         num(rp / n, 3)},
+        10, 12);
+
+    std::printf("\nPaper shape: recall near 1.0 everywhere (automatic "
+                "markers catch the\nprogrammer's phases); precision "
+                "below 1.0 where the automatic analysis is\nfiner than "
+                "the manual one (MolDyn's per-group neighbor search, "
+                "Swim/Tomcatv\nsubsteps the programmer did not mark).\n");
+    std::printf("Series written to %s\n", csv.path().c_str());
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the whole locality-phase-prediction flow in ~60 lines.
+ *
+ *   1. off-line analysis of a training run (sampling -> wavelet
+ *      filtering -> optimal partitioning -> marker selection ->
+ *      Sequitur hierarchy);
+ *   2. instrument the program with the resulting marker table;
+ *   3. run a much larger input and predict each phase execution's
+ *      length and locality from its first occurrence.
+ *
+ * Build: cmake --build build --target quickstart
+ * Run:   build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/runtime.hpp"
+#include "workloads/registry.hpp"
+
+int
+main()
+{
+    using namespace lpp;
+
+    // 1. Off-line analysis of the training input.
+    auto program = workloads::create("tomcatv");
+    core::AnalysisResult analysis =
+        core::PhaseAnalysis::analyzeWorkload(*program);
+
+    std::printf("detected %zu leaf phases, markers at blocks:",
+                analysis.detection.selection.phases.size());
+    for (const auto &p : analysis.detection.selection.phases)
+        std::printf(" %u", p.marker);
+    std::printf("\nphase hierarchy: %s\n",
+                analysis.hierarchy.root()
+                    ? analysis.hierarchy.root()->toString().c_str()
+                    : "(none)");
+
+    // 2 + 3. Instrumented run of the reference input; the predictor
+    // learns each phase from its first execution.
+    auto ref = program->refInput();
+    core::Replay replay = core::replayInstrumented(
+        analysis.detection.selection.table,
+        [&](trace::TraceSink &sink) { program->run(ref, sink); });
+
+    auto metrics = core::evaluatePrediction(
+        replay, analysis.consistentPhases());
+
+    std::printf("\nreference run: %zu phase executions, %.1fM "
+                "instructions\n",
+                replay.executions.size(),
+                static_cast<double>(replay.totalInstructions) / 1e6);
+    std::printf("strict prediction : %.2f%% accuracy at %.2f%% "
+                "coverage\n",
+                metrics.strictAccuracy * 100.0,
+                metrics.strictCoverage * 100.0);
+    std::printf("relaxed prediction: %.2f%% accuracy at %.2f%% "
+                "coverage\n",
+                metrics.relaxedAccuracy * 100.0,
+                metrics.relaxedCoverage * 100.0);
+
+    // Show what the predictor knows the moment a marker fires.
+    const auto &first = replay.executions.front();
+    std::printf("\ne.g. when marker of phase %u fires, the program "
+                "will run %llu instructions\nat %.2f%% / %.2f%% miss "
+                "rate (32KB / 256KB) before the next marker.\n",
+                first.phase,
+                static_cast<unsigned long long>(first.instructions),
+                first.locality.missRate(1) * 100.0,
+                first.locality.missRate(8) * 100.0);
+    return 0;
+}

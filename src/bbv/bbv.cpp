@@ -1,0 +1,71 @@
+#include "bbv/bbv.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/random.hpp"
+
+namespace lpp::bbv {
+
+BbvCollector::BbvCollector(size_t dims, uint64_t seed_)
+    : dim(dims), seed(seed_)
+{
+    LPP_REQUIRE(dims > 0, "dims must be positive");
+}
+
+void
+BbvCollector::onBlock(trace::BlockId block, uint32_t instructions)
+{
+    counts[block] += instructions;
+    weight += instructions;
+}
+
+double
+BbvCollector::projection(trace::BlockId block, size_t d) const
+{
+    // One deterministic uniform [0,1) coefficient per (block, dim),
+    // derived from a SplitMix64 stream — a fixed random projection
+    // matrix generated on demand.
+    SplitMix64 sm(seed ^
+                  (static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL) ^
+                  (static_cast<uint64_t>(d) << 32));
+    return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+void
+BbvCollector::finalizeInterval()
+{
+    std::vector<double> v(dim, 0.0);
+    if (weight > 0) {
+        for (const auto &kv : counts) {
+            double share = static_cast<double>(kv.second) /
+                           static_cast<double>(weight);
+            for (size_t d = 0; d < dim; ++d)
+                v[d] += share * projection(kv.first, d);
+        }
+        // Normalize to unit L1 so interval length does not matter.
+        double sum = 0.0;
+        for (double x : v)
+            sum += x;
+        if (sum > 0.0) {
+            for (double &x : v)
+                x /= sum;
+        }
+    }
+    intervalVectors.push_back(std::move(v));
+    counts.clear();
+    weight = 0;
+}
+
+double
+manhattan(const std::vector<double> &a, const std::vector<double> &b)
+{
+    LPP_REQUIRE(a.size() == b.size(), "dimension mismatch: %zu vs %zu",
+                a.size(), b.size());
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        d += std::abs(a[i] - b[i]);
+    return d;
+}
+
+} // namespace lpp::bbv

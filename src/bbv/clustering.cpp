@@ -1,0 +1,52 @@
+#include "bbv/clustering.hpp"
+
+#include <limits>
+
+#include "bbv/bbv.hpp"
+#include "support/logging.hpp"
+
+namespace lpp::bbv {
+
+BbvClustering::BbvClustering(double threshold_) : threshold(threshold_)
+{
+    LPP_REQUIRE(threshold > 0.0, "threshold must be positive");
+}
+
+uint32_t
+BbvClustering::assign(const std::vector<double> &v)
+{
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_c = 0;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+        double d = manhattan(v, centroids[c]);
+        if (d < best) {
+            best = d;
+            best_c = c;
+        }
+    }
+
+    if (best <= threshold) {
+        // Update the running-mean centroid.
+        auto &cen = centroids[best_c];
+        double n = static_cast<double>(++members[best_c]);
+        for (size_t i = 0; i < cen.size(); ++i)
+            cen[i] += (v[i] - cen[i]) / n;
+        return static_cast<uint32_t>(best_c);
+    }
+
+    centroids.push_back(v);
+    members.push_back(1);
+    return static_cast<uint32_t>(centroids.size() - 1);
+}
+
+std::vector<uint32_t>
+BbvClustering::assignAll(const std::vector<std::vector<double>> &vectors)
+{
+    std::vector<uint32_t> ids;
+    ids.reserve(vectors.size());
+    for (const auto &v : vectors)
+        ids.push_back(assign(v));
+    return ids;
+}
+
+} // namespace lpp::bbv

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * On-line leader-follower clustering of BBVs (Sherwood et al.'s phase
+ * tracker): a vector joins the nearest existing cluster if its Manhattan
+ * distance to the centroid is under a threshold, otherwise it founds a
+ * new cluster. Centroids track the running mean of their members.
+ */
+
+#ifndef LPP_BBV_CLUSTERING_HPP
+#define LPP_BBV_CLUSTERING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lpp::bbv {
+
+/** On-line BBV clusterer. */
+class BbvClustering
+{
+  public:
+    /**
+     * @param threshold Manhattan-distance threshold for joining an
+     *        existing cluster (on unit-L1 vectors)
+     */
+    explicit BbvClustering(double threshold = 0.2);
+
+    /**
+     * Assign a vector to a cluster (possibly new).
+     * @return the cluster id
+     */
+    uint32_t assign(const std::vector<double> &v);
+
+    /** Assign a whole sequence; @return one cluster id per vector. */
+    std::vector<uint32_t>
+    assignAll(const std::vector<std::vector<double>> &vectors);
+
+    /** @return number of clusters formed so far. */
+    size_t clusterCount() const { return centroids.size(); }
+
+    /** @return members assigned to cluster `c`. */
+    uint64_t memberCount(uint32_t c) const { return members[c]; }
+
+    /** @return the current centroid of cluster `c`. */
+    const std::vector<double> &centroid(uint32_t c) const
+    {
+        return centroids[c];
+    }
+
+  private:
+    double threshold;
+    std::vector<std::vector<double>> centroids;
+    std::vector<uint64_t> members;
+};
+
+} // namespace lpp::bbv
+
+#endif // LPP_BBV_CLUSTERING_HPP

@@ -1,0 +1,67 @@
+#include "bbv/markov.hpp"
+
+#include "support/logging.hpp"
+
+namespace lpp::bbv {
+
+RleMarkovPredictor::RleMarkovPredictor(uint32_t max_run) : maxRun(max_run)
+{
+    LPP_REQUIRE(max_run >= 1, "max_run must be >= 1");
+}
+
+uint32_t
+RleMarkovPredictor::predict() const
+{
+    if (!primed)
+        return 0;
+    auto it = table.find(stateKey());
+    if (it != table.end())
+        return it->second;
+    return lastCluster; // last-value fallback
+}
+
+void
+RleMarkovPredictor::observe(uint32_t cluster)
+{
+    if (primed)
+        table[stateKey()] = cluster;
+
+    if (primed && cluster == lastCluster) {
+        if (runLength < maxRun)
+            ++runLength;
+    } else {
+        lastCluster = cluster;
+        runLength = 1;
+        primed = true;
+    }
+}
+
+std::vector<uint32_t>
+RleMarkovPredictor::predictSequence(const std::vector<uint32_t> &clusters)
+{
+    std::vector<uint32_t> out;
+    out.reserve(clusters.size());
+    for (uint32_t c : clusters) {
+        out.push_back(predict());
+        observe(c);
+    }
+    return out;
+}
+
+double
+RleMarkovPredictor::accuracy(const std::vector<uint32_t> &predicted,
+                             const std::vector<uint32_t> &actual)
+{
+    LPP_REQUIRE(predicted.size() == actual.size(),
+                "size mismatch: %zu vs %zu", predicted.size(),
+                actual.size());
+    if (predicted.empty())
+        return 0.0;
+    uint64_t hit = 0;
+    for (size_t i = 0; i < predicted.size(); ++i)
+        hit += predicted[i] == actual[i];
+    return static_cast<double>(hit) /
+           static_cast<double>(predicted.size());
+}
+
+} // namespace lpp::bbv

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Run-length-encoded Markov predictor (Sherwood et al.), the best BBV
+ * predictor in the paper's comparison. The predictor state is the pair
+ * (current cluster, current run length); the table remembers the cluster
+ * that followed that state last time, with last-value fallback.
+ */
+
+#ifndef LPP_BBV_MARKOV_HPP
+#define LPP_BBV_MARKOV_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lpp::bbv {
+
+/** RLE Markov predictor over cluster ids. */
+class RleMarkovPredictor
+{
+  public:
+    /** @param max_run run lengths are capped at this value. */
+    explicit RleMarkovPredictor(uint32_t max_run = 64);
+
+    /**
+     * Predict the cluster of the next interval given everything observed
+     * so far (last-value before any table hit).
+     */
+    uint32_t predict() const;
+
+    /** Observe the actual cluster of the next interval. */
+    void observe(uint32_t cluster);
+
+    /** Convenience: predictions for a whole sequence, one per element.
+     *  prediction[i] is made after observing elements [0, i). */
+    std::vector<uint32_t>
+    predictSequence(const std::vector<uint32_t> &clusters);
+
+    /** @return fraction of correct predictions over predictSequence. */
+    static double accuracy(const std::vector<uint32_t> &predicted,
+                           const std::vector<uint32_t> &actual);
+
+    /** @return table size (for inspection). */
+    size_t tableSize() const { return table.size(); }
+
+  private:
+    uint64_t
+    stateKey() const
+    {
+        return (static_cast<uint64_t>(lastCluster) << 32) | runLength;
+    }
+
+    uint32_t maxRun;
+    uint32_t lastCluster = 0;
+    uint32_t runLength = 0;
+    bool primed = false;
+    std::unordered_map<uint64_t, uint32_t> table;
+};
+
+} // namespace lpp::bbv
+
+#endif // LPP_BBV_MARKOV_HPP

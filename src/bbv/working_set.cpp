@@ -1,0 +1,116 @@
+#include "bbv/working_set.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+#include "support/random.hpp"
+
+namespace lpp::bbv {
+
+WorkingSetSignature::WorkingSetSignature(size_t bits) : width(bits)
+{
+    LPP_REQUIRE(bits >= 8 && bits % 64 == 0,
+                "signature bits must be a multiple of 64, got %zu",
+                bits);
+    words.assign(bits / 64, 0);
+}
+
+void
+WorkingSetSignature::add(uint64_t id)
+{
+    SplitMix64 sm(id * 0x9e3779b97f4a7c15ULL + 1);
+    uint64_t h = sm.next();
+    size_t bit = static_cast<size_t>(h % width);
+    words[bit / 64] |= 1ULL << (bit % 64);
+}
+
+double
+WorkingSetSignature::fillRatio() const
+{
+    uint64_t set = 0;
+    for (uint64_t w : words)
+        set += static_cast<uint64_t>(std::popcount(w));
+    return static_cast<double>(set) / static_cast<double>(width);
+}
+
+double
+WorkingSetSignature::distance(const WorkingSetSignature &other) const
+{
+    LPP_REQUIRE(width == other.width, "signature width mismatch");
+    uint64_t sym = 0, uni = 0;
+    for (size_t i = 0; i < words.size(); ++i) {
+        sym += static_cast<uint64_t>(
+            std::popcount(words[i] ^ other.words[i]));
+        uni += static_cast<uint64_t>(
+            std::popcount(words[i] | other.words[i]));
+    }
+    return uni == 0 ? 0.0
+                    : static_cast<double>(sym) /
+                          static_cast<double>(uni);
+}
+
+void
+WorkingSetSignature::clear()
+{
+    words.assign(words.size(), 0);
+}
+
+WorkingSetPhases::WorkingSetPhases(uint64_t interval_instructions,
+                                   double threshold_, size_t bits)
+    : intervalInstructions(interval_instructions),
+      threshold(threshold_), current(bits)
+{
+    LPP_REQUIRE(interval_instructions > 0, "empty interval");
+    LPP_REQUIRE(threshold > 0.0 && threshold <= 1.0,
+                "threshold must be in (0, 1], got %f", threshold_);
+}
+
+void
+WorkingSetPhases::onBlock(trace::BlockId block, uint32_t instructions)
+{
+    current.add(block);
+    instrInInterval += instructions;
+    if (instrInInterval >= intervalInstructions)
+        finalizeInterval();
+}
+
+void
+WorkingSetPhases::finalizeInterval()
+{
+    // Nearest-exemplar classification.
+    double best = 2.0;
+    size_t best_idx = 0;
+    for (size_t i = 0; i < signatures.size(); ++i) {
+        double d = current.distance(signatures[i]);
+        if (d < best) {
+            best = d;
+            best_idx = i;
+        }
+    }
+    if (best <= threshold) {
+        phases.push_back(static_cast<uint32_t>(best_idx));
+    } else {
+        signatures.push_back(current);
+        phases.push_back(static_cast<uint32_t>(signatures.size() - 1));
+    }
+    current.clear();
+    instrInInterval = 0;
+}
+
+void
+WorkingSetPhases::onEnd()
+{
+    if (instrInInterval > 0)
+        finalizeInterval();
+}
+
+uint64_t
+WorkingSetPhases::transitions() const
+{
+    uint64_t t = 0;
+    for (size_t i = 1; i < phases.size(); ++i)
+        t += phases[i] != phases[i - 1];
+    return t;
+}
+
+} // namespace lpp::bbv

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Working-set signatures (Dhodapkar & Smith) — the third interval-based
+ * phase-detection technique the paper's related work compares against
+ * (code working sets [9] in the paper's numbering).
+ *
+ * Each interval is summarized by a hashed bit vector of the code blocks
+ * it touched; the relative signature distance (symmetric difference
+ * over union) between consecutive intervals detects phase changes, and
+ * signatures double as phase identifiers by nearest-match lookup.
+ */
+
+#ifndef LPP_BBV_WORKING_SET_HPP
+#define LPP_BBV_WORKING_SET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::bbv {
+
+/** Hashed bit-vector signature of one interval's working set. */
+class WorkingSetSignature
+{
+  public:
+    /** @param bits signature width (Dhodapkar-Smith used 32-1024). */
+    explicit WorkingSetSignature(size_t bits = 256);
+
+    /** Add a code block (or data block) to the signature. */
+    void add(uint64_t id);
+
+    /** @return fraction of signature bits set. */
+    double fillRatio() const;
+
+    /**
+     * Relative signature distance: |A xor B| / |A or B| (0 identical,
+     * 1 disjoint; 0 when both empty).
+     */
+    double distance(const WorkingSetSignature &other) const;
+
+    /** Reset to empty. */
+    void clear();
+
+    /** @return signature width in bits. */
+    size_t bits() const { return width; }
+
+  private:
+    size_t width;
+    std::vector<uint64_t> words;
+};
+
+/**
+ * Interval driver: collects one signature per fixed instruction window
+ * and classifies intervals into working-set phases by nearest-signature
+ * match (new phase when the closest known signature is farther than the
+ * threshold) — Dhodapkar & Smith's detection scheme.
+ */
+class WorkingSetPhases : public trace::TraceSink
+{
+  public:
+    /**
+     * @param interval_instructions window length
+     * @param threshold relative distance above which a new phase starts
+     * @param bits signature width
+     */
+    explicit WorkingSetPhases(uint64_t interval_instructions = 100000,
+                              double threshold = 0.5,
+                              size_t bits = 256);
+
+    void onBlock(trace::BlockId block, uint32_t instructions) override;
+    void onEnd() override;
+
+    /** Force the current interval closed (for aligned comparisons). */
+    void finalizeInterval();
+
+    /** @return the phase id assigned to each interval. */
+    const std::vector<uint32_t> &intervalPhases() const
+    {
+        return phases;
+    }
+
+    /** @return number of distinct working-set phases found. */
+    size_t phaseCount() const { return signatures.size(); }
+
+    /** @return number of phase *changes* (consecutive differing ids). */
+    uint64_t transitions() const;
+
+  private:
+    uint64_t intervalInstructions;
+    double threshold;
+    WorkingSetSignature current;
+    uint64_t instrInInterval = 0;
+    std::vector<WorkingSetSignature> signatures; //!< phase exemplars
+    std::vector<uint32_t> phases;
+};
+
+} // namespace lpp::bbv
+
+#endif // LPP_BBV_WORKING_SET_HPP

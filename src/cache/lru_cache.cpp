@@ -1,0 +1,78 @@
+#include "cache/lru_cache.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace lpp::cache {
+
+LruCache::LruCache(CacheConfig cfg_) : cfg(cfg_)
+{
+    LPP_REQUIRE(cfg.sets > 0 && std::has_single_bit(cfg.sets),
+                "sets must be a power of two, got %u", cfg.sets);
+    LPP_REQUIRE(cfg.blockBytes > 0 && std::has_single_bit(cfg.blockBytes),
+                "blockBytes must be a power of two, got %u",
+                cfg.blockBytes);
+    LPP_REQUIRE(cfg.ways > 0, "ways must be positive");
+    tags.assign(static_cast<size_t>(cfg.sets) * cfg.ways, emptyTag);
+    setShift = static_cast<uint32_t>(std::countr_zero(cfg.blockBytes));
+    setMask = cfg.sets - 1;
+}
+
+bool
+LruCache::access(trace::Addr addr)
+{
+    ++accessCount;
+    uint64_t block = addr >> setShift;
+    size_t set = static_cast<size_t>(block & setMask);
+    uint64_t tag = block >> std::countr_zero(cfg.sets);
+
+    uint64_t *line = &tags[set * cfg.ways];
+    for (uint32_t i = 0; i < cfg.ways; ++i) {
+        if (line[i] == tag) {
+            // Move to MRU position.
+            for (uint32_t j = i; j > 0; --j)
+                line[j] = line[j - 1];
+            line[0] = tag;
+            return true;
+        }
+    }
+
+    // Miss: evict LRU, insert at MRU.
+    ++missCount;
+    for (uint32_t j = cfg.ways - 1; j > 0; --j)
+        line[j] = line[j - 1];
+    line[0] = tag;
+    return false;
+}
+
+void
+LruCache::onAccess(trace::Addr addr)
+{
+    access(addr);
+}
+
+double
+LruCache::missRate() const
+{
+    return accessCount == 0
+               ? 0.0
+               : static_cast<double>(missCount) /
+                     static_cast<double>(accessCount);
+}
+
+void
+LruCache::reset()
+{
+    tags.assign(tags.size(), emptyTag);
+    resetCounters();
+}
+
+void
+LruCache::resetCounters()
+{
+    accessCount = 0;
+    missCount = 0;
+}
+
+} // namespace lpp::cache

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative LRU cache simulator.
+ *
+ * The concrete single-configuration simulator, used for the Fig 4
+ * "measured" miss rates (32 KB 2-way) and anywhere one fixed cache is
+ * enough; the multi-configuration Mattson stack simulator lives in
+ * stack_sim.hpp.
+ */
+
+#ifndef LPP_CACHE_LRU_CACHE_HPP
+#define LPP_CACHE_LRU_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::cache {
+
+/** Geometry of a set-associative cache. */
+struct CacheConfig
+{
+    uint32_t sets = 512;       //!< number of sets (power of two)
+    uint32_t ways = 8;         //!< associativity
+    uint32_t blockBytes = 64;  //!< line size
+
+    /** @return total capacity in bytes. */
+    uint64_t
+    capacityBytes() const
+    {
+        return static_cast<uint64_t>(sets) * ways * blockBytes;
+    }
+
+    /** @return total capacity in KiB. */
+    double
+    capacityKB() const
+    {
+        return static_cast<double>(capacityBytes()) / 1024.0;
+    }
+};
+
+/** LRU set-associative cache fed by data-access events. */
+class LruCache : public trace::TraceSink
+{
+  public:
+    explicit LruCache(CacheConfig cfg = {});
+
+    void onAccess(trace::Addr addr) override;
+
+    /**
+     * Access the cache directly.
+     * @return true on hit
+     */
+    bool access(trace::Addr addr);
+
+    /** @return accesses so far. */
+    uint64_t accesses() const { return accessCount; }
+
+    /** @return misses so far. */
+    uint64_t misses() const { return missCount; }
+
+    /** @return hit count. */
+    uint64_t hits() const { return accessCount - missCount; }
+
+    /** @return miss ratio (0 when empty). */
+    double missRate() const;
+
+    /** @return the configuration. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** Invalidate all contents and reset counters. */
+    void reset();
+
+    /** Reset counters only (contents stay warm). */
+    void resetCounters();
+
+  private:
+    CacheConfig cfg;
+    // tags[set * ways + i]: most-recently-used first; emptyTag = invalid.
+    static constexpr uint64_t emptyTag = ~0ULL;
+    std::vector<uint64_t> tags;
+    uint64_t accessCount = 0;
+    uint64_t missCount = 0;
+    uint32_t setShift = 0;
+    uint64_t setMask = 0;
+};
+
+} // namespace lpp::cache
+
+#endif // LPP_CACHE_LRU_CACHE_HPP

@@ -1,0 +1,97 @@
+#include "cache/opt_sim.hpp"
+
+#include <bit>
+#include <limits>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace lpp::cache {
+
+OptSimulator::OptSimulator(CacheConfig cfg_) : cfg(cfg_)
+{
+    LPP_REQUIRE(cfg.sets > 0 && std::has_single_bit(cfg.sets),
+                "sets must be a power of two, got %u", cfg.sets);
+    LPP_REQUIRE(cfg.blockBytes > 0 && std::has_single_bit(cfg.blockBytes),
+                "blockBytes must be a power of two, got %u",
+                cfg.blockBytes);
+    LPP_REQUIRE(cfg.ways > 0, "ways must be positive");
+}
+
+void
+OptSimulator::record(trace::Addr addr)
+{
+    blocks.push_back(addr / cfg.blockBytes);
+}
+
+uint64_t
+OptSimulator::simulate() const
+{
+    constexpr uint64_t never = std::numeric_limits<uint64_t>::max();
+
+    // Pass 1 (backward): next-use index of every access.
+    std::vector<uint64_t> next_use(blocks.size());
+    std::unordered_map<uint64_t, uint64_t> last_seen;
+    for (size_t i = blocks.size(); i-- > 0;) {
+        auto it = last_seen.find(blocks[i]);
+        next_use[i] = it == last_seen.end() ? never : it->second;
+        last_seen[blocks[i]] = i;
+    }
+
+    // Pass 2 (forward): per set, evict the line used farthest in the
+    // future. Ways are small (<= 8 here), so linear scans suffice.
+    struct Line
+    {
+        uint64_t block = 0;
+        uint64_t nextUse = never;
+        bool valid = false;
+    };
+    uint64_t set_mask = cfg.sets - 1;
+    std::vector<Line> lines(static_cast<size_t>(cfg.sets) * cfg.ways);
+
+    uint64_t misses = 0;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        uint64_t block = blocks[i];
+        size_t set = static_cast<size_t>(block & set_mask);
+        Line *line = &lines[set * cfg.ways];
+
+        Line *hit = nullptr;
+        Line *victim = &line[0];
+        for (uint32_t w = 0; w < cfg.ways; ++w) {
+            if (line[w].valid && line[w].block == block) {
+                hit = &line[w];
+                break;
+            }
+            // Prefer invalid lines; otherwise farthest next use.
+            if (!line[w].valid) {
+                if (victim->valid)
+                    victim = &line[w];
+            } else if (victim->valid &&
+                       line[w].nextUse > victim->nextUse) {
+                victim = &line[w];
+            }
+        }
+
+        if (hit) {
+            hit->nextUse = next_use[i];
+        } else {
+            ++misses;
+            victim->valid = true;
+            victim->block = block;
+            victim->nextUse = next_use[i];
+        }
+    }
+    lastMisses = misses;
+    return misses;
+}
+
+uint64_t
+optMisses(const std::vector<trace::Addr> &trace, CacheConfig cfg)
+{
+    OptSimulator sim(cfg);
+    for (trace::Addr a : trace)
+        sim.record(a);
+    return sim.simulate();
+}
+
+} // namespace lpp::cache

@@ -1,0 +1,182 @@
+#include "cache/resizing.hpp"
+
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace lpp::cache {
+
+uint32_t
+bestWays(const SegmentLocality &unit, double bound)
+{
+    uint64_t full = unit.misses[simWays - 1];
+    double budget = static_cast<double>(full) * (1.0 + bound);
+    for (uint32_t w = 1; w <= simWays; ++w) {
+        if (static_cast<double>(unit.misses[w - 1]) <= budget)
+            return w;
+    }
+    return simWays;
+}
+
+double
+ResizingResult::missIncrease() const
+{
+    if (fullSizeMisses == 0)
+        return 0.0;
+    return (static_cast<double>(totalMisses) -
+            static_cast<double>(fullSizeMisses)) /
+           static_cast<double>(fullSizeMisses);
+}
+
+namespace {
+
+/** Shared accumulator: charge unit i at `ways`. */
+class Account
+{
+  public:
+    void
+    charge(const SegmentLocality &unit, uint32_t ways)
+    {
+        weightedWays += static_cast<double>(ways) *
+                        static_cast<double>(unit.accesses);
+        totalAccesses += unit.accesses;
+        result.totalMisses += unit.misses[ways - 1];
+        result.fullSizeMisses += unit.misses[simWays - 1];
+    }
+
+    ResizingResult
+    finish()
+    {
+        result.avgWays = totalAccesses == 0
+                             ? static_cast<double>(simWays)
+                             : weightedWays /
+                                   static_cast<double>(totalAccesses);
+        return result;
+    }
+
+    ResizingResult result;
+
+  private:
+    double weightedWays = 0.0;
+    uint64_t totalAccesses = 0;
+};
+
+} // namespace
+
+ResizingResult
+resizeOracle(const std::vector<SegmentLocality> &units, double bound)
+{
+    Account acc;
+    for (const auto &u : units)
+        acc.charge(u, bestWays(u, bound));
+    return acc.finish();
+}
+
+ResizingResult
+resizeInterval(const std::vector<SegmentLocality> &units, double bound)
+{
+    Account acc;
+    // Exploration state: 0 = stable, 1 = next unit at full size,
+    // 2 = next unit at half size (then adopt the following unit's best).
+    int exploring = 1; // the very first unit starts an exploration
+    uint32_t known = simWays;
+    uint32_t prev_best = simWays;
+
+    for (size_t i = 0; i < units.size(); ++i) {
+        uint32_t best = bestWays(units[i], bound);
+        uint32_t choice;
+        if (exploring == 1) {
+            choice = simWays;
+            exploring = 2;
+            ++acc.result.explorations;
+        } else if (exploring == 2) {
+            choice = simWays / 2;
+            exploring = 0;
+            known = best; // settle on the phase's best size
+            ++acc.result.explorations;
+        } else if (best != prev_best) {
+            // Perfect detection: a change is flagged the moment the best
+            // size differs; re-exploration starts immediately.
+            choice = simWays;
+            exploring = 2;
+            ++acc.result.explorations;
+        } else {
+            choice = known;
+        }
+        acc.charge(units[i], choice);
+        prev_best = best;
+    }
+    return acc.finish();
+}
+
+ResizingResult
+resizePhase(const std::vector<SegmentLocality> &units,
+            const std::vector<uint64_t> &keys, double bound)
+{
+    LPP_REQUIRE(units.size() == keys.size(),
+                "units/keys mismatch: %zu vs %zu", units.size(),
+                keys.size());
+    Account acc;
+    struct Learned
+    {
+        uint32_t occurrences = 0;
+        uint32_t ways = simWays;
+    };
+    std::unordered_map<uint64_t, Learned> table;
+
+    for (size_t i = 0; i < units.size(); ++i) {
+        Learned &l = table[keys[i]];
+        uint32_t choice;
+        if (l.occurrences == 0) {
+            choice = simWays;
+            l.ways = bestWays(units[i], bound);
+            ++acc.result.explorations;
+        } else if (l.occurrences == 1) {
+            choice = simWays / 2;
+            ++acc.result.explorations;
+        } else {
+            choice = l.ways;
+        }
+        ++l.occurrences;
+        acc.charge(units[i], choice);
+    }
+    return acc.finish();
+}
+
+ResizingResult
+resizeBbv(const std::vector<SegmentLocality> &units,
+          const std::vector<uint32_t> &clusters, double bound)
+{
+    LPP_REQUIRE(units.size() == clusters.size(),
+                "units/clusters mismatch: %zu vs %zu", units.size(),
+                clusters.size());
+    Account acc;
+    struct Learned
+    {
+        uint32_t occurrences = 0;
+        uint32_t ways = simWays;
+    };
+    std::unordered_map<uint32_t, Learned> table;
+
+    for (size_t i = 0; i < units.size(); ++i) {
+        Learned &l = table[clusters[i]];
+        uint32_t choice;
+        if (l.occurrences == 0) {
+            choice = simWays;
+            ++acc.result.explorations;
+        } else if (l.occurrences == 1) {
+            choice = simWays / 2;
+            ++acc.result.explorations;
+        } else {
+            choice = l.ways;
+        }
+        ++l.occurrences;
+        acc.charge(units[i], choice);
+        // "Current best": clusters do not guarantee identical locality,
+        // so the learned size tracks the most recent member.
+        l.ways = bestWays(units[i], bound);
+    }
+    return acc.finish();
+}
+
+} // namespace lpp::cache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Adaptive cache resizing policies (paper Section 3.2 / Fig 6).
+ *
+ * The cache can shrink from 8-way/256 KB to 1-way/32 KB in 32 KB steps.
+ * The goal is the smallest average cache size whose miss count stays
+ * within a bound of the full-size miss count. Three policies are
+ * modelled over a common unit sequence (each unit carries its own
+ * all-associativity miss counts from the stack simulator):
+ *
+ *  - interval: fixed-length units with the paper's idealized "perfect
+ *    phase-change detection" and a minimal two-trial exploration
+ *    (full size, then half size) after each detected change;
+ *  - phase: units keyed by (phase, intra-phase interval index); the
+ *    first two executions of a key explore, later executions reuse the
+ *    learned best size — the real (non-idealized) policy;
+ *  - BBV: units keyed by the cluster a BBV predictor assigns; the
+ *    current best size per cluster is reused, with the same two-trial
+ *    exploration when a cluster first appears.
+ */
+
+#ifndef LPP_CACHE_RESIZING_HPP
+#define LPP_CACHE_RESIZING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/stack_sim.hpp"
+
+namespace lpp::cache {
+
+/**
+ * @return the smallest associativity whose misses stay within
+ * (1 + bound) of the full-size misses for this unit.
+ */
+uint32_t bestWays(const SegmentLocality &unit, double bound);
+
+/** Outcome of running one resizing policy over a unit sequence. */
+struct ResizingResult
+{
+    double avgWays = 0.0;        //!< access-weighted average ways
+    uint64_t totalMisses = 0;    //!< misses incurred at chosen sizes
+    uint64_t fullSizeMisses = 0; //!< misses at the full 8-way cache
+    uint64_t explorations = 0;   //!< exploration trials charged
+
+    /** @return average cache size in KB (512 sets x 64 B per way). */
+    double avgKB() const { return avgWays * 32.0; }
+
+    /** @return avgWays normalized to the full size (1.0 = no shrink). */
+    double normalizedSize() const { return avgWays / 8.0; }
+
+    /** @return relative miss increase vs the full-size cache. */
+    double missIncrease() const;
+};
+
+/** Oracle lower bound: every unit runs at its own best size. */
+ResizingResult resizeOracle(const std::vector<SegmentLocality> &units,
+                            double bound);
+
+/**
+ * Fixed-interval policy with perfect change detection: a phase change is
+ * flagged whenever the next unit's best size differs from the current
+ * one; each change costs one full-size and one half-size trial unit.
+ */
+ResizingResult resizeInterval(const std::vector<SegmentLocality> &units,
+                              double bound);
+
+/**
+ * Phase policy: `keys[i]` identifies the recurring behaviour of unit i
+ * (phase id and intra-phase interval index). The first occurrence of a
+ * key runs at full size, the second at half, and later occurrences use
+ * the best size learned from the first.
+ */
+ResizingResult resizePhase(const std::vector<SegmentLocality> &units,
+                           const std::vector<uint64_t> &keys,
+                           double bound);
+
+/**
+ * BBV policy: `clusters[i]` is the BBV cluster the predictor assigns to
+ * unit i. Same exploration as the phase policy, but the learned best
+ * size of a cluster is updated continuously ("current best"), because
+ * BBV clusters do not guarantee identical locality.
+ */
+ResizingResult resizeBbv(const std::vector<SegmentLocality> &units,
+                         const std::vector<uint32_t> &clusters,
+                         double bound);
+
+} // namespace lpp::cache
+
+#endif // LPP_CACHE_RESIZING_HPP

@@ -1,0 +1,84 @@
+#include "cache/stack_sim.hpp"
+
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace lpp::cache {
+
+std::vector<double>
+SegmentLocality::missRateVector() const
+{
+    std::vector<double> v(simWays);
+    for (uint32_t w = 1; w <= simWays; ++w)
+        v[w - 1] = missRate(w);
+    return v;
+}
+
+void
+SegmentLocality::merge(const SegmentLocality &other)
+{
+    accesses += other.accesses;
+    for (uint32_t i = 0; i < simWays; ++i)
+        misses[i] += other.misses[i];
+}
+
+StackSimulator::StackSimulator(uint32_t sets_, uint32_t block_bytes)
+    : sets(sets_), blockBytes(block_bytes)
+{
+    LPP_REQUIRE(sets > 0 && std::has_single_bit(sets),
+                "sets must be a power of two, got %u", sets);
+    LPP_REQUIRE(std::has_single_bit(blockBytes),
+                "blockBytes must be a power of two, got %u", blockBytes);
+    setShift = static_cast<uint32_t>(std::countr_zero(blockBytes));
+    setMask = sets - 1;
+    setIndexBits = static_cast<uint32_t>(std::countr_zero(sets));
+    stacks.assign(static_cast<size_t>(sets) * simWays, ~0ULL);
+}
+
+void
+StackSimulator::onAccess(trace::Addr addr)
+{
+    uint64_t block = addr >> setShift;
+    size_t set = static_cast<size_t>(block & setMask);
+    uint64_t tag = block >> setIndexBits;
+
+    uint64_t *stack = &stacks[set * simWays];
+    uint32_t depth = simWays; // not found: miss at every associativity
+    for (uint32_t i = 0; i < simWays; ++i) {
+        if (stack[i] == tag) {
+            depth = i;
+            break;
+        }
+    }
+
+    // Stack inclusion: an access at depth d hits caches with ways > d
+    // and misses all ways <= d.
+    ++current.accesses;
+    for (uint32_t w = 0; w < depth && w < simWays; ++w)
+        ++current.misses[w];
+
+    // Move to MRU.
+    uint32_t move = depth == simWays ? simWays - 1 : depth;
+    for (uint32_t j = move; j > 0; --j)
+        stack[j] = stack[j - 1];
+    stack[0] = tag;
+}
+
+void
+StackSimulator::markSegment()
+{
+    running.merge(current);
+    segmentList.push_back(current);
+    current = SegmentLocality{};
+}
+
+SegmentLocality
+StackSimulator::total() const
+{
+    SegmentLocality t = running;
+    t.merge(current);
+    return t;
+}
+
+} // namespace lpp::cache

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Mattson stack simulation of all associativities at once.
+ *
+ * LRU satisfies the stack inclusion property per set: the content of an
+ * a-way set is a prefix of the content of an (a+1)-way set. Keeping one
+ * LRU stack of depth maxWays per set therefore yields, in a single pass,
+ * the miss count of every associativity 1..maxWays — the role Cheetah
+ * played in the paper (Sugumar & Abraham). With 512 sets and 64-byte
+ * blocks, ways 1..8 correspond to the paper's 32 KB..256 KB cache sweep.
+ */
+
+#ifndef LPP_CACHE_STACK_SIM_HPP
+#define LPP_CACHE_STACK_SIM_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::cache {
+
+/** Number of associativities (and cache sizes) simulated together. */
+constexpr uint32_t simWays = 8;
+
+/** Locality of one execution segment: misses for every associativity. */
+struct SegmentLocality
+{
+    uint64_t accesses = 0;              //!< accesses in the segment
+    std::array<uint64_t, simWays> misses{}; //!< misses at ways 1..8
+
+    /** @return miss rate at associativity `ways` (1-based). */
+    double
+    missRate(uint32_t ways) const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses[ways - 1]) /
+                         static_cast<double>(accesses);
+    }
+
+    /** @return the 8-point locality vector (miss rates, 32KB..256KB). */
+    std::vector<double> missRateVector() const;
+
+    /** Accumulate another segment. */
+    void merge(const SegmentLocality &other);
+};
+
+/**
+ * One-pass multi-associativity LRU simulator with segment support.
+ * markSegment() closes the running segment (cache state stays warm, as
+ * a real machine's cache would across a phase boundary).
+ */
+class StackSimulator : public trace::TraceSink
+{
+  public:
+    /**
+     * @param sets number of sets (power of two; 512 = paper geometry)
+     * @param block_bytes line size (64 = paper geometry)
+     */
+    explicit StackSimulator(uint32_t sets = 512,
+                            uint32_t block_bytes = 64);
+
+    void onAccess(trace::Addr addr) override;
+
+    /** Close the current segment and start the next. */
+    void markSegment();
+
+    void
+    onEnd() override
+    {
+        if (current.accesses > 0)
+            markSegment();
+    }
+
+    /** @return per-segment locality, in execution order. */
+    const std::vector<SegmentLocality> &segments() const
+    {
+        return segmentList;
+    }
+
+    /** @return whole-run locality (all segments + the open one). */
+    SegmentLocality total() const;
+
+    /** @return cache capacity in KiB at associativity `ways`. */
+    double
+    capacityKB(uint32_t ways) const
+    {
+        return static_cast<double>(sets) * blockBytes * ways / 1024.0;
+    }
+
+  private:
+    uint32_t sets;
+    uint32_t blockBytes;
+    uint32_t setShift;
+    uint64_t setMask;
+    uint32_t setIndexBits;
+    std::vector<uint64_t> stacks; //!< sets x simWays, MRU first
+
+    SegmentLocality current;
+    SegmentLocality running;
+    std::vector<SegmentLocality> segmentList;
+};
+
+} // namespace lpp::cache
+
+#endif // LPP_CACHE_STACK_SIM_HPP

@@ -1,0 +1,41 @@
+#include "core/analysis.hpp"
+
+namespace lpp::core {
+
+std::vector<bool>
+AnalysisResult::consistentPhases() const
+{
+    std::vector<bool> consistent(detection.selection.phases.size(),
+                                 false);
+    for (const auto &info : detection.selection.phases) {
+        consistent[info.id] = info.executions > 0 &&
+                              info.minInstructions ==
+                                  info.maxInstructions;
+    }
+    return consistent;
+}
+
+AnalysisResult
+PhaseAnalysis::analyze(const Runner &run, const AnalysisConfig &config)
+{
+    AnalysisResult result;
+    phase::PhaseDetector detector(config.detector);
+    result.detection = detector.analyze(run);
+    result.hierarchy = grammar::PhaseHierarchy::fromSequence(
+        result.detection.selection.sequence());
+    return result;
+}
+
+AnalysisResult
+PhaseAnalysis::analyzeWorkload(const workloads::Workload &workload,
+                               const AnalysisConfig &config)
+{
+    auto input = workload.trainInput();
+    return analyze(
+        [&workload, input](trace::TraceSink &sink) {
+            workload.run(input, sink);
+        },
+        config);
+}
+
+} // namespace lpp::core

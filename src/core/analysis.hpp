@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Off-line phase analysis — the library's primary entry point.
+ *
+ * Chains the paper's pipeline over a training run: variable-distance
+ * sampling, wavelet filtering, optimal phase partitioning, marker
+ * selection, and phase-hierarchy construction via Sequitur. The result
+ * carries everything needed to instrument and predict a production run:
+ * the marker table (which basic blocks announce which phase), per-phase
+ * training statistics with a consistency flag, and the hierarchy regex.
+ */
+
+#ifndef LPP_CORE_ANALYSIS_HPP
+#define LPP_CORE_ANALYSIS_HPP
+
+#include <functional>
+#include <vector>
+
+#include "grammar/hierarchy.hpp"
+#include "phase/detector.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::core {
+
+/** Configuration of the full off-line analysis. */
+struct AnalysisConfig
+{
+    phase::DetectorConfig detector;
+
+    AnalysisConfig()
+    {
+        // Defaults tuned for the synthetic suite's scale: training
+        // sub-traces are tens of accesses per datum (the paper's were
+        // thousands), so the narrow Haar filter localizes changes
+        // better than Daubechies-6 at this length.
+        detector.filter.family = wavelet::Family::Haar;
+        detector.sampler.targetSamples = 20000;
+        detector.marker.frequencySlack = 1.5;
+    }
+};
+
+/** Everything the off-line analysis learned. */
+struct AnalysisResult
+{
+    /** Detection pipeline output (markers, executions, boundaries). */
+    phase::DetectionResult detection;
+
+    /** Phase hierarchy of the training run's leaf sequence. */
+    grammar::PhaseHierarchy hierarchy;
+
+    /** @return per-phase training consistency (exact length repeats). */
+    std::vector<bool> consistentPhases() const;
+};
+
+/** Off-line analyzer. */
+class PhaseAnalysis
+{
+  public:
+    /** Streams one training execution into the sink; repeatable. */
+    using Runner = std::function<void(trace::TraceSink &)>;
+
+    /** Analyze an arbitrary program given as a runner callback. */
+    static AnalysisResult analyze(const Runner &run,
+                                  const AnalysisConfig &config = {});
+
+    /** Analyze a workload's training input. */
+    static AnalysisResult
+    analyzeWorkload(const workloads::Workload &workload,
+                    const AnalysisConfig &config = {});
+};
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_ANALYSIS_HPP

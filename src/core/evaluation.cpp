@@ -1,0 +1,286 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+#include "trace/recorder.hpp"
+
+namespace lpp::core {
+
+OverlapResult
+markerOverlap(const std::vector<uint64_t> &manual_times,
+              const std::vector<uint64_t> &auto_times,
+              uint64_t tolerance)
+{
+    auto matched = [tolerance](const std::vector<uint64_t> &sorted,
+                               uint64_t t) {
+        auto it = std::lower_bound(sorted.begin(), sorted.end(),
+                                   t >= tolerance ? t - tolerance : 0);
+        return it != sorted.end() && *it <= t + tolerance;
+    };
+
+    std::vector<uint64_t> manual_sorted = manual_times;
+    std::vector<uint64_t> auto_sorted = auto_times;
+    std::sort(manual_sorted.begin(), manual_sorted.end());
+    std::sort(auto_sorted.begin(), auto_sorted.end());
+
+    OverlapResult r;
+    if (!manual_sorted.empty()) {
+        uint64_t hit = 0;
+        for (uint64_t t : manual_sorted)
+            hit += matched(auto_sorted, t);
+        r.recall = static_cast<double>(hit) /
+                   static_cast<double>(manual_sorted.size());
+    }
+    if (!auto_sorted.empty()) {
+        uint64_t hit = 0;
+        for (uint64_t t : auto_sorted)
+            hit += matched(manual_sorted, t);
+        r.precision = static_cast<double>(hit) /
+                      static_cast<double>(auto_sorted.size());
+    }
+    return r;
+}
+
+InstrumentedRun
+runInstrumented(const trace::MarkerTable &table,
+                const std::function<void(trace::TraceSink &)> &runner)
+{
+    ExecutionCollector collector;
+    trace::ManualMarkerRecorder manual;
+    trace::FanoutSink fan;
+    fan.attach(&collector);
+    fan.attach(&manual);
+    trace::Instrumenter inst(table, fan);
+    runner(inst);
+
+    InstrumentedRun out;
+    out.replay = collector.replay();
+    out.manualTimes = manual.times();
+    return out;
+}
+
+GranularityRow
+granularity(const Replay &replay,
+            const grammar::PhaseHierarchy &hierarchy)
+{
+    GranularityRow row;
+    row.leafExecutions = replay.executions.size();
+    row.execLengthM =
+        static_cast<double>(replay.totalInstructions) / 1e6;
+    if (replay.executions.empty())
+        return row;
+
+    double leaf_sum = 0.0;
+    std::unordered_map<trace::PhaseId, RunningStats> per_phase;
+    for (const auto &e : replay.executions) {
+        leaf_sum += static_cast<double>(e.instructions);
+        per_phase[e.phase].push(static_cast<double>(e.instructions));
+    }
+    row.avgLeafSizeM =
+        leaf_sum / static_cast<double>(replay.executions.size()) / 1e6;
+
+    const grammar::CompositePhase *big = hierarchy.largestComposite();
+    if (big) {
+        // Composite size = sum of the mean length of each leaf phase in
+        // one iteration of the repeat body.
+        double size = 0.0;
+        for (uint32_t leaf : big->node->body()->expand()) {
+            auto it = per_phase.find(leaf);
+            if (it != per_phase.end())
+                size += it->second.mean();
+        }
+        row.avgLargestCompositeM = size / 1e6;
+    } else {
+        // No repetition: the whole run is the largest composite.
+        row.avgLargestCompositeM = row.execLengthM;
+    }
+    return row;
+}
+
+WorkloadEvaluation
+evaluateWorkload(const workloads::Workload &workload,
+                 const AnalysisConfig &config)
+{
+    WorkloadEvaluation ev;
+    ev.name = workload.name();
+    ev.analysis = PhaseAnalysis::analyzeWorkload(workload, config);
+
+    const trace::MarkerTable &table =
+        ev.analysis.detection.selection.table;
+    auto train_in = workload.trainInput();
+    auto ref_in = workload.refInput();
+
+    ev.train = runInstrumented(table, [&](trace::TraceSink &s) {
+        workload.run(train_in, s);
+    });
+    ev.ref = runInstrumented(table, [&](trace::TraceSink &s) {
+        workload.run(ref_in, s);
+    });
+
+    ev.metrics = evaluatePrediction(ev.ref.replay,
+                                    ev.analysis.consistentPhases());
+
+    auto train_hier = grammar::PhaseHierarchy::fromSequence(
+        ev.train.replay.sequence());
+    auto ref_hier = grammar::PhaseHierarchy::fromSequence(
+        ev.ref.replay.sequence());
+    ev.detectionRow = granularity(ev.train.replay, train_hier);
+    ev.predictionRow = granularity(ev.ref.replay, ref_hier);
+
+    ev.localityStddev = phaseLocalityStddev(ev.ref.replay);
+
+    auto auto_times = [](const Replay &r) {
+        std::vector<uint64_t> t;
+        t.reserve(r.executions.size());
+        for (const auto &e : r.executions)
+            t.push_back(e.startAccess);
+        return t;
+    };
+    ev.trainOverlap =
+        markerOverlap(ev.train.manualTimes, auto_times(ev.train.replay));
+    ev.refOverlap =
+        markerOverlap(ev.ref.manualTimes, auto_times(ev.ref.replay));
+    return ev;
+}
+
+namespace {
+
+/** Cuts fixed-size units, driving a stack simulator and a BBV. */
+class IntervalDriver : public trace::TraceSink
+{
+  public:
+    IntervalDriver(uint64_t unit_accesses, size_t bbv_dims)
+        : bbv(bbv_dims), unitAccesses(unit_accesses)
+    {
+        LPP_REQUIRE(unit_accesses > 0, "unit size must be positive");
+    }
+
+    void
+    onBlock(trace::BlockId block, uint32_t instructions) override
+    {
+        bbv.onBlock(block, instructions);
+    }
+
+    void
+    onAccess(trace::Addr addr) override
+    {
+        sim.onAccess(addr);
+        if (++inUnit >= unitAccesses) {
+            sim.markSegment();
+            bbv.finalizeInterval();
+            inUnit = 0;
+        }
+    }
+
+    void
+    onEnd() override
+    {
+        if (inUnit > 0) {
+            sim.markSegment();
+            bbv.finalizeInterval();
+        }
+    }
+
+    cache::StackSimulator sim;
+    bbv::BbvCollector bbv;
+
+  private:
+    uint64_t unitAccesses;
+    uint64_t inUnit = 0;
+};
+
+/** Units restarting at phase markers, keyed (phase, index). */
+class PhaseIntervalDriver : public trace::TraceSink
+{
+  public:
+    explicit PhaseIntervalDriver(uint64_t unit_accesses)
+        : unitAccesses(unit_accesses)
+    {
+        LPP_REQUIRE(unit_accesses > 0, "unit size must be positive");
+    }
+
+    void
+    onAccess(trace::Addr addr) override
+    {
+        sim.onAccess(addr);
+        if (++inUnit >= unitAccesses)
+            closeUnit();
+    }
+
+    void
+    onPhaseMarker(trace::PhaseId phase) override
+    {
+        if (inUnit > 0)
+            closeUnit();
+        currentPhase = phase;
+        unitIndex = 0;
+    }
+
+    void
+    onEnd() override
+    {
+        if (inUnit > 0)
+            closeUnit();
+    }
+
+    cache::StackSimulator sim;
+    std::vector<uint64_t> keys;
+
+  private:
+    void
+    closeUnit()
+    {
+        sim.markSegment();
+        keys.push_back((static_cast<uint64_t>(currentPhase) << 32) |
+                       unitIndex);
+        ++unitIndex;
+        inUnit = 0;
+    }
+
+    uint64_t unitAccesses;
+    uint64_t inUnit = 0;
+    trace::PhaseId currentPhase = 0xFFFFFFFFu;
+    uint64_t unitIndex = 0;
+};
+
+} // namespace
+
+IntervalProfile
+collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
+                 uint64_t unit_accesses, size_t bbv_dims)
+{
+    IntervalDriver driver(unit_accesses, bbv_dims);
+    runner(driver);
+    IntervalProfile out;
+    out.units = driver.sim.segments();
+    out.bbvs = driver.bbv.vectors();
+    // Block events after the last access can add a trailing BBV with no
+    // matching locality unit; align conservatively.
+    size_t n = std::min(out.units.size(), out.bbvs.size());
+    out.units.resize(n);
+    out.bbvs.resize(n);
+    return out;
+}
+
+PhaseIntervalProfile
+collectPhaseIntervals(
+    const trace::MarkerTable &table,
+    const std::function<void(trace::TraceSink &)> &runner,
+    uint64_t unit_accesses)
+{
+    PhaseIntervalDriver driver(unit_accesses);
+    trace::Instrumenter inst(table, driver);
+    runner(inst);
+    PhaseIntervalProfile out;
+    out.units = driver.sim.segments();
+    out.keys = driver.keys;
+    LPP_REQUIRE(out.units.size() == out.keys.size(),
+                "unit/key mismatch: %zu vs %zu", out.units.size(),
+                out.keys.size());
+    return out;
+}
+
+} // namespace lpp::core

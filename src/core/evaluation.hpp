@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Evaluation engine shared by the table/figure benches: per-workload
+ * analysis + prediction (Tables 2, 3, 4, 6) and interval profiling for
+ * the baselines (Table 4, Fig 6).
+ */
+
+#ifndef LPP_CORE_EVALUATION_HPP
+#define LPP_CORE_EVALUATION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbv/bbv.hpp"
+#include "cache/stack_sim.hpp"
+#include "core/analysis.hpp"
+#include "core/runtime.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::core {
+
+/** One side (detection or prediction) of a Table 3 row. */
+struct GranularityRow
+{
+    uint64_t leafExecutions = 0;   //!< leaf phase executions
+    double execLengthM = 0.0;      //!< run length, M instructions
+    double avgLeafSizeM = 0.0;     //!< avg leaf size, M instructions
+    double avgLargestCompositeM = 0.0; //!< largest composite phase size
+};
+
+/** Recall/precision of auto markers against manual markers (Table 6). */
+struct OverlapResult
+{
+    double recall = 0.0;
+    double precision = 0.0;
+};
+
+/** A replay together with the manual marker times of the same run. */
+struct InstrumentedRun
+{
+    Replay replay;
+    std::vector<uint64_t> manualTimes; //!< access clock
+};
+
+/** Full evaluation of one workload (everything except baselines). */
+struct WorkloadEvaluation
+{
+    std::string name;
+    AnalysisResult analysis;
+    InstrumentedRun train; //!< instrumented detection run
+    InstrumentedRun ref;   //!< instrumented prediction run
+    PredictionMetrics metrics;       //!< Table 2 row
+    GranularityRow detectionRow;     //!< Table 3, left half
+    GranularityRow predictionRow;    //!< Table 3, right half
+    double localityStddev = 0.0;     //!< Table 4, first column
+    OverlapResult trainOverlap;      //!< Table 6, detection
+    OverlapResult refOverlap;        //!< Table 6, prediction
+};
+
+/**
+ * Marker-time overlap with the paper's matching rule: two times are the
+ * same if they differ by at most `tolerance` accesses.
+ */
+OverlapResult markerOverlap(const std::vector<uint64_t> &manual_times,
+                            const std::vector<uint64_t> &auto_times,
+                            uint64_t tolerance = 400);
+
+/** Run `runner` under `table`, collecting replay + manual times. */
+InstrumentedRun
+runInstrumented(const trace::MarkerTable &table,
+                const std::function<void(trace::TraceSink &)> &runner);
+
+/** Table 3 row for a replay and the hierarchy of its sequence. */
+GranularityRow granularity(const Replay &replay,
+                           const grammar::PhaseHierarchy &hierarchy);
+
+/** The full per-workload evaluation pipeline. */
+WorkloadEvaluation
+evaluateWorkload(const workloads::Workload &workload,
+                 const AnalysisConfig &config = {});
+
+/** Aligned per-interval locality and BBV profile of one run. */
+struct IntervalProfile
+{
+    std::vector<cache::SegmentLocality> units;
+    std::vector<std::vector<double>> bbvs;
+};
+
+/**
+ * Cut a run into fixed `unit_accesses`-sized units, measuring each
+ * unit's all-associativity locality and BBV at the same boundaries.
+ */
+IntervalProfile
+collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
+                 uint64_t unit_accesses, size_t bbv_dims = 32);
+
+/** Per-unit locality plus (phase, intra-phase index) keys (Fig 6). */
+struct PhaseIntervalProfile
+{
+    std::vector<cache::SegmentLocality> units;
+    std::vector<uint64_t> keys; //!< (phase << 32) | interval index
+};
+
+/**
+ * Cut an instrumented run into `unit_accesses`-sized units that restart
+ * at every phase marker, keyed by (phase, index) — the paper's "phase
+ * intervals" for resizing inside long phases.
+ */
+PhaseIntervalProfile collectPhaseIntervals(
+    const trace::MarkerTable &table,
+    const std::function<void(trace::TraceSink &)> &runner,
+    uint64_t unit_accesses);
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_EVALUATION_HPP

@@ -1,0 +1,103 @@
+#include "core/persistence.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace lpp::core {
+
+namespace {
+constexpr const char *magic = "lpp-analysis";
+constexpr int version = 1;
+} // namespace
+
+bool
+saveAnalysis(const AnalysisResult &analysis, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open %s for writing", path.c_str());
+        return false;
+    }
+
+    out << magic << " " << version << "\n";
+
+    auto entries = analysis.detection.selection.table.entries();
+    out << "markers " << entries.size() << "\n";
+    for (const auto &e : entries)
+        out << e.first << " " << e.second << "\n";
+
+    const auto &phases = analysis.detection.selection.phases;
+    out << "phases " << phases.size() << "\n";
+    for (const auto &p : phases) {
+        out << p.id << " " << p.marker << " " << p.executions << " "
+            << p.minInstructions << " " << p.maxInstructions << " "
+            << p.markerQuality << "\n";
+    }
+
+    if (analysis.hierarchy.root())
+        out << "hierarchy " << analysis.hierarchy.root()->toString()
+            << "\n";
+    else
+        out << "hierarchy -\n";
+    return static_cast<bool>(out);
+}
+
+bool
+loadAnalysis(const std::string &path, PersistedAnalysis *out)
+{
+    LPP_REQUIRE(out != nullptr, "null output");
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    std::string word;
+    int ver = 0;
+    if (!(in >> word >> ver) || word != magic || ver != version)
+        return false;
+
+    size_t count = 0;
+    if (!(in >> word >> count) || word != "markers")
+        return false;
+    *out = PersistedAnalysis{};
+    for (size_t i = 0; i < count; ++i) {
+        trace::BlockId block;
+        trace::PhaseId phase;
+        if (!(in >> block >> phase))
+            return false;
+        out->table.set(block, phase);
+    }
+
+    if (!(in >> word >> count) || word != "phases")
+        return false;
+    out->phases.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+        phase::PhaseInfo p;
+        if (!(in >> p.id >> p.marker >> p.executions >>
+              p.minInstructions >> p.maxInstructions >>
+              p.markerQuality))
+            return false;
+        if (p.id >= count)
+            return false;
+        out->phases[p.id] = p;
+    }
+
+    if (!(in >> word) || word != "hierarchy")
+        return false;
+    std::string rest;
+    std::getline(in, rest);
+    // Trim the leading separator space.
+    if (!rest.empty() && rest.front() == ' ')
+        rest.erase(rest.begin());
+    if (rest == "-") {
+        out->hierarchy = nullptr;
+        return true;
+    }
+    out->hierarchy = grammar::Regex::parse(rest);
+    return out->hierarchy != nullptr;
+}
+
+} // namespace lpp::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Persistence of analysis results.
+ *
+ * The paper's deployment model is one-shot: analyze a training run
+ * off-line, rewrite the binary, ship it. The equivalent here is saving
+ * what the instrumented program needs at run time — the marker table,
+ * per-phase training statistics (with the consistency flag the strict
+ * predictor uses), and the phase-hierarchy regular expression — to a
+ * small text file, and loading it back in a later process.
+ */
+
+#ifndef LPP_CORE_PERSISTENCE_HPP
+#define LPP_CORE_PERSISTENCE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "grammar/regex.hpp"
+#include "phase/marker_selection.hpp"
+#include "trace/instrument.hpp"
+
+namespace lpp::core {
+
+/** The run-time-relevant subset of an AnalysisResult. */
+struct PersistedAnalysis
+{
+    trace::MarkerTable table;
+    std::vector<phase::PhaseInfo> phases;
+    grammar::RegexPtr hierarchy; //!< may be null (no repetition found)
+};
+
+/**
+ * Write the run-time subset of `analysis` to `path`.
+ * @return true on success
+ */
+bool saveAnalysis(const AnalysisResult &analysis,
+                  const std::string &path);
+
+/**
+ * Read an analysis saved by saveAnalysis().
+ * @return true on success (out is fully populated)
+ */
+bool loadAnalysis(const std::string &path, PersistedAnalysis *out);
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_PERSISTENCE_HPP

@@ -1,0 +1,176 @@
+#include "core/runtime.hpp"
+
+#include <unordered_map>
+
+#include "support/stats.hpp"
+
+namespace lpp::core {
+
+std::vector<trace::PhaseId>
+Replay::sequence() const
+{
+    std::vector<trace::PhaseId> seq;
+    seq.reserve(executions.size());
+    for (const auto &e : executions)
+        seq.push_back(e.phase);
+    return seq;
+}
+
+void
+ExecutionCollector::onBlock(trace::BlockId, uint32_t instructions)
+{
+    instrClock += instructions;
+}
+
+void
+ExecutionCollector::onAccess(trace::Addr addr)
+{
+    ++accessClock;
+    sim.onAccess(addr);
+}
+
+void
+ExecutionCollector::closeExecution(uint64_t end_instr,
+                                   uint64_t end_access)
+{
+    sim.markSegment();
+    ExecutionRecord rec;
+    rec.phase = currentPhase;
+    rec.startInstr = phaseStartInstr;
+    rec.startAccess = phaseStartAccess;
+    rec.instructions = end_instr - phaseStartInstr;
+    rec.accesses = end_access - phaseStartAccess;
+    rec.locality = sim.segments().back();
+    result.executions.push_back(rec);
+}
+
+void
+ExecutionCollector::onPhaseMarker(trace::PhaseId phase)
+{
+    if (inPhase) {
+        closeExecution(instrClock, accessClock);
+    } else {
+        result.prologueInstructions = instrClock;
+        sim.markSegment(); // discard prologue segment locality
+    }
+    inPhase = true;
+    currentPhase = phase;
+    phaseStartInstr = instrClock;
+    phaseStartAccess = accessClock;
+}
+
+void
+ExecutionCollector::onEnd()
+{
+    if (inPhase)
+        closeExecution(instrClock, accessClock);
+    inPhase = false;
+    result.totalInstructions = instrClock;
+    result.totalAccesses = accessClock;
+}
+
+Replay
+replayInstrumented(const trace::MarkerTable &table,
+                   const std::function<void(trace::TraceSink &)> &runner)
+{
+    ExecutionCollector collector;
+    trace::Instrumenter inst(table, collector);
+    runner(inst);
+    return collector.replay();
+}
+
+PredictionMetrics
+evaluatePrediction(const Replay &replay,
+                   const std::vector<bool> &training_consistent)
+{
+    PredictionMetrics m;
+    if (replay.totalInstructions == 0)
+        return m;
+
+    struct History
+    {
+        uint64_t lastLength = 0;
+        uint64_t count = 0;
+        bool stillExact = true; //!< all executions so far identical
+    };
+    std::unordered_map<trace::PhaseId, History> hist;
+
+    uint64_t strict_correct = 0, relaxed_correct = 0;
+    uint64_t strict_instr = 0, relaxed_instr = 0;
+
+    for (const auto &e : replay.executions) {
+        History &h = hist[e.phase];
+        bool train_ok = e.phase < training_consistent.size() &&
+                        training_consistent[e.phase];
+
+        if (h.count >= 1) {
+            // Relaxed: always predict from the previous execution.
+            ++m.relaxedPredictions;
+            relaxed_instr += e.instructions;
+            if (e.instructions == h.lastLength)
+                ++relaxed_correct;
+
+            // Strict: only while the profile and the run agree the
+            // phase repeats exactly.
+            if (train_ok && h.stillExact) {
+                ++m.strictPredictions;
+                strict_instr += e.instructions;
+                if (e.instructions == h.lastLength)
+                    ++strict_correct;
+            }
+        }
+
+        if (h.count >= 1 && e.instructions != h.lastLength)
+            h.stillExact = false;
+        h.lastLength = e.instructions;
+        ++h.count;
+    }
+
+    double total = static_cast<double>(replay.totalInstructions);
+    m.strictCoverage = static_cast<double>(strict_instr) / total;
+    m.relaxedCoverage = static_cast<double>(relaxed_instr) / total;
+    m.strictAccuracy =
+        m.strictPredictions == 0
+            ? 0.0
+            : static_cast<double>(strict_correct) /
+                  static_cast<double>(m.strictPredictions);
+    m.relaxedAccuracy =
+        m.relaxedPredictions == 0
+            ? 0.0
+            : static_cast<double>(relaxed_correct) /
+                  static_cast<double>(m.relaxedPredictions);
+    return m;
+}
+
+double
+phaseLocalityStddev(const Replay &replay)
+{
+    // The first execution of a phase is the one the predictor learns
+    // from (and the only one with cold-cache effects); the statistic
+    // describes how well the *predicted* executions repeat, so the
+    // first occurrence of each phase is excluded.
+    std::unordered_map<trace::PhaseId, VectorStats> stats;
+    std::unordered_map<trace::PhaseId, bool> seen;
+    for (const auto &e : replay.executions) {
+        if (!seen[e.phase]) {
+            seen[e.phase] = true;
+            continue;
+        }
+        auto it = stats.find(e.phase);
+        if (it == stats.end())
+            it = stats.emplace(e.phase, VectorStats(cache::simWays))
+                     .first;
+        it->second.push(e.locality.missRateVector());
+    }
+
+    double weighted = 0.0;
+    size_t total = 0;
+    for (const auto &kv : stats) {
+        weighted += kv.second.averageStddev() *
+                    static_cast<double>(kv.second.count());
+        total += kv.second.count();
+    }
+    return total == 0 ? 0.0 : weighted / static_cast<double>(total);
+}
+
+} // namespace lpp::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Run-time phase prediction over an instrumented execution.
+ *
+ * When the instrumented program runs, every marker firing announces a
+ * leaf phase. The predictor uses the first execution(s) of each phase
+ * to predict all its later executions (paper Section 1): the length in
+ * instructions is announced the moment the marker fires, and the
+ * locality (miss rate at every cache size) comes along with it.
+ *
+ * Two prediction disciplines mirror Table 2:
+ *  - strict: a phase is predicted only while its behaviour has repeated
+ *    exactly — it must be flagged consistent by the training profile
+ *    and must keep repeating exactly at run time; a correct prediction
+ *    matches the instruction count exactly;
+ *  - relaxed: every phase is predicted from its previous execution
+ *    (last value); correctness is still exact-match, so programs whose
+ *    phases drift (MolDyn) lose accuracy instead of coverage.
+ */
+
+#ifndef LPP_CORE_RUNTIME_HPP
+#define LPP_CORE_RUNTIME_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/stack_sim.hpp"
+#include "trace/instrument.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::core {
+
+/** One phase execution observed in an instrumented run. */
+struct ExecutionRecord
+{
+    trace::PhaseId phase = 0;
+    uint64_t startInstr = 0;   //!< instruction clock at the marker
+    uint64_t startAccess = 0;  //!< access clock at the marker
+    uint64_t instructions = 0; //!< length in instructions
+    uint64_t accesses = 0;     //!< length in accesses
+    cache::SegmentLocality locality; //!< misses at every cache size
+};
+
+/** Result of replaying an instrumented execution. */
+struct Replay
+{
+    std::vector<ExecutionRecord> executions;
+    uint64_t totalInstructions = 0;
+    uint64_t totalAccesses = 0;
+    uint64_t prologueInstructions = 0; //!< before the first marker
+
+    /** @return the leaf-phase sequence of the run. */
+    std::vector<trace::PhaseId> sequence() const;
+};
+
+/**
+ * Sink that observes an instrumented execution and cuts it into phase
+ * executions with per-execution locality (stack-simulated).
+ */
+class ExecutionCollector : public trace::TraceSink
+{
+  public:
+    ExecutionCollector() = default;
+
+    void onBlock(trace::BlockId block, uint32_t instructions) override;
+    void onAccess(trace::Addr addr) override;
+    void onPhaseMarker(trace::PhaseId phase) override;
+    void onEnd() override;
+
+    /** @return the replay (valid after onEnd). */
+    const Replay &replay() const { return result; }
+
+  private:
+    void closeExecution(uint64_t end_instr, uint64_t end_access);
+
+    Replay result;
+    cache::StackSimulator sim;
+    uint64_t instrClock = 0;
+    uint64_t accessClock = 0;
+    bool inPhase = false;
+    trace::PhaseId currentPhase = 0;
+    uint64_t phaseStartInstr = 0;
+    uint64_t phaseStartAccess = 0;
+};
+
+/** Replay an instrumented run of `runner` under `table`. */
+Replay replayInstrumented(
+    const trace::MarkerTable &table,
+    const std::function<void(trace::TraceSink &)> &runner);
+
+/** Table 2 metrics of one prediction run. */
+struct PredictionMetrics
+{
+    double strictAccuracy = 0.0;  //!< exact-length fraction, strict
+    double strictCoverage = 0.0;  //!< predicted instr share, strict
+    double relaxedAccuracy = 0.0; //!< exact-length fraction, relaxed
+    double relaxedCoverage = 0.0; //!< predicted instr share, relaxed
+    uint64_t strictPredictions = 0;
+    uint64_t relaxedPredictions = 0;
+};
+
+/**
+ * Evaluate prediction over a replay.
+ * @param replay the instrumented run
+ * @param training_consistent per-phase consistency flags from training
+ *        (phases beyond the vector are treated as inconsistent)
+ */
+PredictionMetrics
+evaluatePrediction(const Replay &replay,
+                   const std::vector<bool> &training_consistent);
+
+/**
+ * Size-weighted average standard deviation of the 8-point locality
+ * vector across executions of the same phase (Table 4, first column).
+ */
+double phaseLocalityStddev(const Replay &replay);
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_RUNTIME_HPP

@@ -1,0 +1,168 @@
+#include "grammar/automaton.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hpp"
+
+namespace lpp::grammar {
+
+int
+PhaseAutomaton::newState()
+{
+    symEdges.emplace_back();
+    epsEdges.emplace_back();
+    return static_cast<int>(epsEdges.size() - 1);
+}
+
+void
+PhaseAutomaton::build(const RegexPtr &node, int in, int out)
+{
+    switch (node->kind()) {
+      case Regex::Kind::Symbol:
+        symEdges[in].push_back(SymEdge{node->symbolId(), out});
+        break;
+      case Regex::Kind::Concat: {
+        int cur = in;
+        const auto &parts = node->parts();
+        for (size_t i = 0; i < parts.size(); ++i) {
+            int next = (i + 1 == parts.size()) ? out : newState();
+            build(parts[i], cur, next);
+            cur = next;
+        }
+        break;
+      }
+      case Regex::Kind::Repeat: {
+        // Loop with at least one iteration; the training count is
+        // advisory, so the exit is available after every iteration.
+        int head = newState();
+        int tail = newState();
+        epsEdges[in].push_back(head);
+        build(node->body(), head, tail);
+        epsEdges[tail].push_back(head); // loop again
+        epsEdges[tail].push_back(out);  // or leave
+        break;
+      }
+    }
+}
+
+PhaseAutomaton::PhaseAutomaton(const RegexPtr &root)
+{
+    startState = newState();
+    acceptState = newState();
+    if (root)
+        build(root, startState, acceptState);
+    current.assign(epsEdges.size(), 0);
+    current[static_cast<size_t>(startState)] = 1;
+    closure(current);
+}
+
+void
+PhaseAutomaton::closure(std::vector<char> &states) const
+{
+    std::vector<int> work;
+    for (size_t s = 0; s < states.size(); ++s) {
+        if (states[s])
+            work.push_back(static_cast<int>(s));
+    }
+    while (!work.empty()) {
+        int s = work.back();
+        work.pop_back();
+        for (int t : epsEdges[static_cast<size_t>(s)]) {
+            if (!states[static_cast<size_t>(t)]) {
+                states[static_cast<size_t>(t)] = 1;
+                work.push_back(t);
+            }
+        }
+    }
+}
+
+void
+PhaseAutomaton::restart(std::vector<char> &states) const
+{
+    std::fill(states.begin(), states.end(), 0);
+    states[static_cast<size_t>(startState)] = 1;
+    closure(states);
+}
+
+bool
+PhaseAutomaton::feed(uint32_t leaf)
+{
+    ++feeds;
+    std::vector<char> next(epsEdges.size(), 0);
+    bool any = false;
+    for (size_t s = 0; s < current.size(); ++s) {
+        if (!current[s])
+            continue;
+        for (const auto &e : symEdges[s]) {
+            if (e.sym == leaf) {
+                next[static_cast<size_t>(e.to)] = 1;
+                any = true;
+            }
+        }
+    }
+
+    if (any) {
+        closure(next);
+        current = std::move(next);
+        lostFlag = false;
+        return true;
+    }
+
+    // Resynchronize: restart from the beginning and take the symbol if
+    // possible; otherwise remain at the start position.
+    ++resyncs;
+    lostFlag = true;
+    restart(current);
+    std::vector<char> retry(epsEdges.size(), 0);
+    bool matched = false;
+    for (size_t s = 0; s < current.size(); ++s) {
+        if (!current[s])
+            continue;
+        for (const auto &e : symEdges[s]) {
+            if (e.sym == leaf) {
+                retry[static_cast<size_t>(e.to)] = 1;
+                matched = true;
+            }
+        }
+    }
+    if (matched) {
+        closure(retry);
+        current = std::move(retry);
+    }
+    return false;
+}
+
+std::vector<uint32_t>
+PhaseAutomaton::possibleNext() const
+{
+    std::set<uint32_t> next;
+    for (size_t s = 0; s < current.size(); ++s) {
+        if (!current[s])
+            continue;
+        for (const auto &e : symEdges[s])
+            next.insert(e.sym);
+    }
+    return {next.begin(), next.end()};
+}
+
+bool
+PhaseAutomaton::deterministicNext(uint32_t *next) const
+{
+    auto options = possibleNext();
+    if (options.size() == 1) {
+        if (next)
+            *next = options.front();
+        return true;
+    }
+    return false;
+}
+
+void
+PhaseAutomaton::reset()
+{
+    restart(current);
+    lostFlag = false;
+}
+
+} // namespace lpp::grammar

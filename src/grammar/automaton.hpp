@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Finite-automaton phase predictor over the hierarchy regex.
+ *
+ * The paper inserts a run-time predictor that recognizes the current
+ * position inside the phase hierarchy with a finite automaton. Here the
+ * regex is compiled into an epsilon-NFA whose Repeat nodes become loops
+ * (training repeat counts are advisory: a longer input simply loops more
+ * often), and the predictor runs an on-line subset simulation. After
+ * each observed leaf phase it can report the set of possible next
+ * phases; when exactly one is possible, the upcoming phase — and with
+ * the learned per-phase behaviour, its length and locality — is known
+ * the moment the current marker fires.
+ */
+
+#ifndef LPP_GRAMMAR_AUTOMATON_HPP
+#define LPP_GRAMMAR_AUTOMATON_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "grammar/regex.hpp"
+
+namespace lpp::grammar {
+
+/** On-line recognizer/predictor for a phase hierarchy. */
+class PhaseAutomaton
+{
+  public:
+    /** Compile the hierarchy regex (null root accepts nothing). */
+    explicit PhaseAutomaton(const RegexPtr &root);
+
+    /**
+     * Consume one observed leaf phase.
+     * @return true if the phase was among the expected next phases;
+     *         false if the automaton had to resynchronize
+     */
+    bool feed(uint32_t leaf);
+
+    /** @return the set of leaf phases that may come next (sorted). */
+    std::vector<uint32_t> possibleNext() const;
+
+    /**
+     * @return true and set *next when exactly one leaf phase can follow
+     * the current position.
+     */
+    bool deterministicNext(uint32_t *next) const;
+
+    /** @return whether the last feed() failed to match. */
+    bool lost() const { return lostFlag; }
+
+    /** @return how many feeds required resynchronization. */
+    uint64_t resyncCount() const { return resyncs; }
+
+    /** @return total feeds processed. */
+    uint64_t feedCount() const { return feeds; }
+
+    /** Return to the initial position. */
+    void reset();
+
+    /** @return number of NFA states (for tests/inspection). */
+    size_t stateCount() const { return epsEdges.size(); }
+
+  private:
+    struct SymEdge
+    {
+        uint32_t sym;
+        int to;
+    };
+
+    int newState();
+    /** Build NFA fragment for `node` between states `in` and `out`. */
+    void build(const RegexPtr &node, int in, int out);
+    void closure(std::vector<char> &states) const;
+    void restart(std::vector<char> &states) const;
+
+    std::vector<std::vector<SymEdge>> symEdges;
+    std::vector<std::vector<int>> epsEdges;
+    int startState = -1;
+    int acceptState = -1;
+
+    std::vector<char> current;
+    bool lostFlag = false;
+    uint64_t resyncs = 0;
+    uint64_t feeds = 0;
+};
+
+} // namespace lpp::grammar
+
+#endif // LPP_GRAMMAR_AUTOMATON_HPP

@@ -1,0 +1,88 @@
+#include "grammar/grammar.hpp"
+
+#include "support/logging.hpp"
+
+namespace lpp::grammar {
+
+namespace {
+
+void
+expandInto(const Grammar &g, size_t rule, std::vector<uint32_t> &out,
+           size_t depth)
+{
+    LPP_REQUIRE(depth < 10000, "grammar recursion too deep (cycle?)");
+    for (Grammar::Sym s : g.rules[rule]) {
+        if (Grammar::isRule(s))
+            expandInto(g, Grammar::ruleIndex(s), out, depth + 1);
+        else
+            out.push_back(static_cast<uint32_t>(s));
+    }
+}
+
+} // namespace
+
+std::vector<uint32_t>
+Grammar::expand(size_t rule) const
+{
+    std::vector<uint32_t> out;
+    if (rule < rules.size())
+        expandInto(*this, rule, out, 0);
+    return out;
+}
+
+size_t
+Grammar::totalSymbols() const
+{
+    size_t n = 0;
+    for (const auto &r : rules)
+        n += r.size();
+    return n;
+}
+
+uint64_t
+Grammar::expandedLength(size_t rule) const
+{
+    // Memoized bottom-up would be faster, but grammars here are small;
+    // a simple memo vector suffices.
+    std::vector<int64_t> memo(rules.size(), -1);
+    struct Calc
+    {
+        const Grammar &g;
+        std::vector<int64_t> &memo;
+
+        uint64_t
+        len(size_t r)
+        {
+            if (memo[r] >= 0)
+                return static_cast<uint64_t>(memo[r]);
+            memo[r] = 0; // break accidental cycles
+            uint64_t total = 0;
+            for (Sym s : g.rules[r])
+                total += isRule(s) ? len(ruleIndex(s)) : 1;
+            memo[r] = static_cast<int64_t>(total);
+            return total;
+        }
+    } calc{*this, memo};
+    if (rule >= rules.size())
+        return 0;
+    return calc.len(rule);
+}
+
+std::string
+Grammar::toString() const
+{
+    std::string out;
+    for (size_t r = 0; r < rules.size(); ++r) {
+        out += "R" + std::to_string(r) + " ->";
+        for (Sym s : rules[r]) {
+            if (isRule(s))
+                out += " R" + std::to_string(ruleIndex(s));
+            else
+                out += " " + std::to_string(s);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace lpp::grammar

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain context-free-grammar representation produced by Sequitur.
+ */
+
+#ifndef LPP_GRAMMAR_GRAMMAR_HPP
+#define LPP_GRAMMAR_GRAMMAR_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lpp::grammar {
+
+/**
+ * A straight-line context-free grammar: every non-terminal has exactly
+ * one rule and rule 0 derives the whole input. Symbols are encoded as
+ * int64: values >= 0 are terminals, values < 0 reference rule
+ * ruleIndex(sym).
+ */
+struct Grammar
+{
+    /** Encoded symbol: terminal (>= 0) or rule reference (< 0). */
+    using Sym = int64_t;
+
+    /** @return whether a symbol references a rule. */
+    static bool isRule(Sym s) { return s < 0; }
+
+    /** @return the rule index a non-terminal references. */
+    static size_t ruleIndex(Sym s) { return static_cast<size_t>(-1 - s); }
+
+    /** @return the encoded non-terminal for a rule index. */
+    static Sym
+    ruleSym(size_t index)
+    {
+        return -1 - static_cast<Sym>(index);
+    }
+
+    /** Right-hand sides; rules[0] is the start rule. */
+    std::vector<std::vector<Sym>> rules;
+
+    /** @return the fully expanded terminal string of rule `rule`. */
+    std::vector<uint32_t> expand(size_t rule = 0) const;
+
+    /** @return total symbols across all right-hand sides. */
+    size_t totalSymbols() const;
+
+    /** @return expanded length of rule `rule` without materializing. */
+    uint64_t expandedLength(size_t rule = 0) const;
+
+    /** @return a debug rendering, one rule per line. */
+    std::string toString() const;
+};
+
+} // namespace lpp::grammar
+
+#endif // LPP_GRAMMAR_GRAMMAR_HPP

@@ -1,0 +1,93 @@
+#include "grammar/hierarchy.hpp"
+
+#include <functional>
+
+#include "support/logging.hpp"
+
+namespace lpp::grammar {
+
+RegexPtr
+PhaseHierarchy::regexFromGrammar(const Grammar &g)
+{
+    if (g.rules.empty() || g.rules[0].empty())
+        return nullptr;
+
+    // Memoized post-order conversion: each rule is converted once.
+    std::vector<RegexPtr> memo(g.rules.size());
+    std::function<RegexPtr(size_t)> convert = [&](size_t rule) {
+        if (memo[rule])
+            return memo[rule];
+        std::vector<RegexPtr> parts;
+        parts.reserve(g.rules[rule].size());
+        for (Grammar::Sym s : g.rules[rule]) {
+            if (Grammar::isRule(s))
+                parts.push_back(convert(Grammar::ruleIndex(s)));
+            else
+                parts.push_back(
+                    Regex::symbol(static_cast<uint32_t>(s)));
+        }
+        memo[rule] = Regex::concat(std::move(parts));
+        return memo[rule];
+    };
+    return convert(0);
+}
+
+namespace {
+
+void
+collectComposites(const RegexPtr &node, size_t depth,
+                  std::vector<CompositePhase> &out)
+{
+    if (!node)
+        return;
+    switch (node->kind()) {
+      case Regex::Kind::Symbol:
+        break;
+      case Regex::Kind::Repeat: {
+        CompositePhase c;
+        c.node = node;
+        c.iterations = node->count();
+        c.leavesPerIteration = node->body()->expandedLength();
+        c.depth = depth;
+        out.push_back(c);
+        collectComposites(node->body(), depth + 1, out);
+        break;
+      }
+      case Regex::Kind::Concat:
+        for (const auto &p : node->parts())
+            collectComposites(p, depth, out);
+        break;
+    }
+}
+
+} // namespace
+
+PhaseHierarchy
+PhaseHierarchy::fromSequence(const std::vector<uint32_t> &leaf_sequence)
+{
+    PhaseHierarchy h;
+    h.leaves = leaf_sequence.size();
+    if (leaf_sequence.empty())
+        return h;
+
+    Sequitur seq;
+    seq.append(leaf_sequence);
+    h.compressed = seq.extract();
+    h.rootNode = regexFromGrammar(h.compressed);
+    collectComposites(h.rootNode, 0, h.compositeList);
+    return h;
+}
+
+const CompositePhase *
+PhaseHierarchy::largestComposite() const
+{
+    const CompositePhase *best = nullptr;
+    for (const auto &c : compositeList) {
+        uint64_t size = c.leavesPerIteration;
+        if (!best || size > best->leavesPerIteration)
+            best = &c;
+    }
+    return best;
+}
+
+} // namespace lpp::grammar

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Phase hierarchy construction (paper Section 2.4).
+ *
+ * The leaf-phase sequence of the training run is compressed with
+ * Sequitur; the resulting grammar is converted, rule by rule with
+ * memoization, into a regular expression whose Repeat nodes are the
+ * composite phases. The conversion merges adjacent equivalent
+ * subexpressions (the paper cites the Hopcroft-Ullman equivalence test;
+ * our regexes are concrete so structural equality is exact equivalence).
+ */
+
+#ifndef LPP_GRAMMAR_HIERARCHY_HPP
+#define LPP_GRAMMAR_HIERARCHY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "grammar/grammar.hpp"
+#include "grammar/regex.hpp"
+#include "grammar/sequitur.hpp"
+
+namespace lpp::grammar {
+
+/** One composite phase (a Repeat node in the hierarchy). */
+struct CompositePhase
+{
+    RegexPtr node;            //!< the Repeat node
+    uint64_t iterations = 0;  //!< times the body repeated in training
+    uint64_t leavesPerIteration = 0; //!< leaf executions per iteration
+    size_t depth = 0;         //!< nesting depth (0 = outermost)
+};
+
+/**
+ * The phase hierarchy of one training run: the Sequitur grammar, the
+ * extracted regular expression, and the composite phases.
+ */
+class PhaseHierarchy
+{
+  public:
+    /** Build the hierarchy from a leaf-phase sequence. */
+    static PhaseHierarchy fromSequence(
+        const std::vector<uint32_t> &leaf_sequence);
+
+    /** Convert an existing grammar into a regular expression. */
+    static RegexPtr regexFromGrammar(const Grammar &g);
+
+    /** @return the hierarchy root (null for an empty sequence). */
+    const RegexPtr &root() const { return rootNode; }
+
+    /** @return the underlying Sequitur grammar. */
+    const Grammar &grammar() const { return compressed; }
+
+    /** @return every composite phase, outermost first. */
+    const std::vector<CompositePhase> &composites() const
+    {
+        return compositeList;
+    }
+
+    /**
+     * @return the composite phase with the most leaf executions per
+     * iteration, or nullptr if the run never repeats.
+     */
+    const CompositePhase *largestComposite() const;
+
+    /** @return number of leaf executions in the training sequence. */
+    uint64_t leafCount() const { return leaves; }
+
+  private:
+    RegexPtr rootNode;
+    Grammar compressed;
+    std::vector<CompositePhase> compositeList;
+    uint64_t leaves = 0;
+};
+
+} // namespace lpp::grammar
+
+#endif // LPP_GRAMMAR_HIERARCHY_HPP

@@ -1,0 +1,248 @@
+#include "grammar/sequitur.hpp"
+
+#include "support/logging.hpp"
+
+namespace lpp::grammar {
+
+Sequitur::Sequitur()
+{
+    // Rule slot 0 is the start rule.
+    uint32_t start = newRule();
+    LPP_REQUIRE(start == 0, "start rule must be slot 0, got %u", start);
+}
+
+Sequitur::SymIdx
+Sequitur::allocNode()
+{
+    if (!freeNodes.empty()) {
+        SymIdx s = freeNodes.back();
+        freeNodes.pop_back();
+        pool[s] = Node{};
+        return s;
+    }
+    pool.push_back(Node{});
+    return static_cast<SymIdx>(pool.size() - 1);
+}
+
+void
+Sequitur::freeNode(SymIdx s)
+{
+    freeNodes.push_back(s);
+}
+
+Sequitur::SymIdx
+Sequitur::newSymbol(uint32_t value)
+{
+    SymIdx s = allocNode();
+    pool[s].value = value;
+    if (isRuleValue(value))
+        ++rules[ruleOf(value)].refCount;
+    return s;
+}
+
+uint32_t
+Sequitur::newRule()
+{
+    uint32_t r;
+    if (!freeRules.empty()) {
+        r = freeRules.back();
+        freeRules.pop_back();
+    } else {
+        rules.push_back(Rule{});
+        r = static_cast<uint32_t>(rules.size() - 1);
+    }
+    SymIdx g = allocNode();
+    pool[g].guard = true;
+    pool[g].rule = r;
+    pool[g].prev = g;
+    pool[g].next = g;
+    rules[r] = Rule{g, 0, true};
+    ++liveRules;
+    return r;
+}
+
+void
+Sequitur::destroyRule(uint32_t r)
+{
+    freeNode(rules[r].guard);
+    rules[r].live = false;
+    rules[r].guard = nil;
+    freeRules.push_back(r);
+    --liveRules;
+}
+
+void
+Sequitur::removeDigram(SymIdx s)
+{
+    SymIdx n = pool[s].next;
+    if (isGuard(s) || n == nil || isGuard(n))
+        return;
+    auto it = digrams.find(key(pool[s].value, pool[n].value));
+    if (it != digrams.end() && it->second == s)
+        digrams.erase(it);
+}
+
+void
+Sequitur::join(SymIdx left, SymIdx right)
+{
+    if (pool[left].next != nil)
+        removeDigram(left);
+    pool[left].next = right;
+    pool[right].prev = left;
+}
+
+void
+Sequitur::insertAfter(SymIdx at, SymIdx sym)
+{
+    join(sym, pool[at].next);
+    join(at, sym);
+}
+
+void
+Sequitur::destroySymbol(SymIdx s)
+{
+    // Unlink, clean both adjacent digrams, release any rule reference.
+    join(pool[s].prev, pool[s].next);
+    removeDigram(s); // digram (s, old next) — pool[s].next is unchanged
+    if (isRuleValue(pool[s].value))
+        --rules[ruleOf(pool[s].value)].refCount;
+    freeNode(s);
+}
+
+bool
+Sequitur::check(SymIdx s)
+{
+    SymIdx n = pool[s].next;
+    if (isGuard(s) || isGuard(n))
+        return false;
+
+    uint64_t k = key(pool[s].value, pool[n].value);
+    auto it = digrams.find(k);
+    if (it == digrams.end()) {
+        digrams.emplace(k, s);
+        return false;
+    }
+    SymIdx m = it->second;
+    if (m == s)
+        return false;
+    // Overlapping occurrences (e.g. "aaa") share a node: do nothing.
+    if (pool[m].next == s || pool[s].next == m)
+        return true;
+    match(s, m);
+    return true;
+}
+
+void
+Sequitur::match(SymIdx s, SymIdx m)
+{
+    uint32_t r;
+    SymIdx m_next = pool[m].next;
+    if (isGuard(pool[m].prev) && isGuard(pool[m_next].next)) {
+        // The matched digram is exactly an existing rule's body.
+        r = pool[pool[m].prev].rule;
+        substitute(s, r);
+    } else {
+        // Create a new rule from the digram and substitute both
+        // occurrences.
+        r = newRule();
+        insertAfter(last(r), newSymbol(pool[m].value));
+        insertAfter(last(r), newSymbol(pool[m_next].value));
+        substitute(m, r);
+        substitute(s, r);
+        digrams[key(pool[first(r)].value,
+                    pool[pool[first(r)].next].value)] = first(r);
+    }
+
+    // Rule utility: if the rule's first symbol references a rule that is
+    // now used only once, inline it.
+    SymIdx f = first(r);
+    if (isRuleValue(pool[f].value) &&
+        rules[ruleOf(pool[f].value)].refCount == 1) {
+        expand(f);
+    }
+}
+
+void
+Sequitur::substitute(SymIdx s, uint32_t r)
+{
+    SymIdx q = pool[s].prev;
+    destroySymbol(pool[q].next); // s
+    destroySymbol(pool[q].next); // old s.next
+    insertAfter(q, newSymbol(ruleFlag | r));
+    if (!check(q))
+        check(pool[q].next);
+}
+
+void
+Sequitur::expand(SymIdx s)
+{
+    uint32_t r = ruleOf(pool[s].value);
+    SymIdx left = pool[s].prev;
+    SymIdx right = pool[s].next;
+    SymIdx f = first(r);
+    SymIdx l = last(r);
+
+    removeDigram(s); // (s, right)
+    join(left, right); // also removes (left, s)
+    freeNode(s); // rule reference is consumed by the inlining
+    destroyRule(r);
+
+    join(left, f);
+    join(l, right);
+    if (!isGuard(l) && !isGuard(right))
+        digrams[key(pool[l].value, pool[right].value)] = l;
+}
+
+void
+Sequitur::append(uint32_t terminal)
+{
+    LPP_REQUIRE((terminal & ruleFlag) == 0, "terminal %u too large",
+                terminal);
+    SymIdx sym = newSymbol(terminal);
+    insertAfter(last(0), sym);
+    if (!isGuard(pool[sym].prev))
+        check(pool[sym].prev);
+    ++appended;
+}
+
+void
+Sequitur::append(const std::vector<uint32_t> &terminals)
+{
+    for (uint32_t t : terminals)
+        append(t);
+}
+
+Grammar
+Sequitur::extract() const
+{
+    Grammar g;
+    // Dense-renumber live rules, start rule first.
+    std::vector<int64_t> dense(rules.size(), -1);
+    std::vector<uint32_t> order;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+        if (rules[r].live) {
+            dense[r] = static_cast<int64_t>(order.size());
+            order.push_back(r);
+        }
+    }
+    g.rules.resize(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        uint32_t r = order[i];
+        for (SymIdx s = pool[rules[r].guard].next; !pool[s].guard;
+             s = pool[s].next) {
+            uint32_t v = pool[s].value;
+            if (isRuleValue(v)) {
+                int64_t d = dense[ruleOf(v)];
+                LPP_REQUIRE(d >= 0, "dangling rule reference %u",
+                            ruleOf(v));
+                g.rules[i].push_back(Grammar::ruleSym(
+                    static_cast<size_t>(d)));
+            } else {
+                g.rules[i].push_back(static_cast<Grammar::Sym>(v));
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace lpp::grammar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SEQUITUR grammar compression (Nevill-Manning & Witten, 1997).
+ *
+ * Builds a context-free grammar from a symbol stream on-line in linear
+ * time and space by maintaining two invariants: digram uniqueness (no
+ * pair of adjacent symbols appears twice) and rule utility (every rule is
+ * referenced at least twice). The paper uses it to compress the leaf
+ * phase sequence of a training run; repeated sub-sequences become rules,
+ * which the hierarchy step then turns into composite phases.
+ */
+
+#ifndef LPP_GRAMMAR_SEQUITUR_HPP
+#define LPP_GRAMMAR_SEQUITUR_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grammar/grammar.hpp"
+
+namespace lpp::grammar {
+
+/**
+ * On-line Sequitur compressor. Feed terminals with append(); extract()
+ * snapshots the current grammar. Terminals must be < 2^31.
+ */
+class Sequitur
+{
+  public:
+    Sequitur();
+
+    /** Append one terminal to the input string. */
+    void append(uint32_t terminal);
+
+    /** Append a whole sequence. */
+    void append(const std::vector<uint32_t> &terminals);
+
+    /** @return a plain-grammar snapshot (rule 0 = start). */
+    Grammar extract() const;
+
+    /** @return the number of live rules (including the start rule). */
+    size_t ruleCount() const { return liveRules; }
+
+    /** @return terminals appended so far. */
+    uint64_t inputLength() const { return appended; }
+
+  private:
+    using SymIdx = uint32_t;
+    static constexpr SymIdx nil = 0xFFFFFFFFu;
+    static constexpr uint32_t ruleFlag = 0x80000000u;
+
+    struct Node
+    {
+        SymIdx prev = nil;
+        SymIdx next = nil;
+        uint32_t value = 0; //!< terminal, or ruleFlag | rule slot
+        bool guard = false;
+        uint32_t rule = 0;  //!< for guards: owning rule slot
+    };
+
+    struct Rule
+    {
+        SymIdx guard = nil;
+        uint32_t refCount = 0;
+        bool live = false;
+    };
+
+    static bool isRuleValue(uint32_t v) { return (v & ruleFlag) != 0; }
+    static uint32_t ruleOf(uint32_t v) { return v & ~ruleFlag; }
+
+    static uint64_t
+    key(uint32_t a, uint32_t b)
+    {
+        return (static_cast<uint64_t>(a) << 32) | b;
+    }
+
+    SymIdx allocNode();
+    void freeNode(SymIdx s);
+    SymIdx newSymbol(uint32_t value);
+    uint32_t newRule();
+    void destroyRule(uint32_t r);
+
+    bool isGuard(SymIdx s) const { return pool[s].guard; }
+    SymIdx first(uint32_t r) const { return pool[rules[r].guard].next; }
+    SymIdx last(uint32_t r) const { return pool[rules[r].guard].prev; }
+
+    void removeDigram(SymIdx s);
+    void join(SymIdx left, SymIdx right);
+    void insertAfter(SymIdx at, SymIdx sym);
+    void destroySymbol(SymIdx s);
+    bool check(SymIdx s);
+    void match(SymIdx s, SymIdx m);
+    void substitute(SymIdx s, uint32_t r);
+    void expand(SymIdx s);
+
+    std::vector<Node> pool;
+    std::vector<SymIdx> freeNodes;
+    std::vector<Rule> rules;
+    std::vector<uint32_t> freeRules;
+    std::unordered_map<uint64_t, SymIdx> digrams;
+    size_t liveRules = 0;
+    uint64_t appended = 0;
+};
+
+} // namespace lpp::grammar
+
+#endif // LPP_GRAMMAR_SEQUITUR_HPP

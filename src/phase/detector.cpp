@@ -1,0 +1,104 @@
+#include "phase/detector.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/logging.hpp"
+#include "trace/recorder.hpp"
+
+namespace lpp::phase {
+
+namespace {
+
+/** Counts accesses and distinct elements in one precount pass. */
+class PrecountSink : public trace::TraceSink
+{
+  public:
+    void
+    onAccess(trace::Addr addr) override
+    {
+        ++accesses;
+        elements.insert(trace::toElement(addr));
+    }
+
+    uint64_t accesses = 0;
+    std::unordered_set<uint64_t> elements;
+};
+
+} // namespace
+
+PhaseDetector::PhaseDetector(DetectorConfig cfg_) : cfg(cfg_)
+{
+}
+
+DetectionResult
+PhaseDetector::analyze(const Runner &run) const
+{
+    DetectionResult result;
+
+    // Step 0: learn the trace length (and working-set size, for the
+    // automatic thresholds) so sampling feedback can project its final
+    // sample count.
+    reuse::SamplerConfig scfg = cfg.sampler;
+    if (cfg.precountAccesses && scfg.expectedAccesses == 0) {
+        PrecountSink pre;
+        run(pre);
+        scfg.expectedAccesses = pre.accesses;
+        if (cfg.autoThresholds && !pre.elements.empty()) {
+            auto threshold = std::max<uint64_t>(
+                16, static_cast<uint64_t>(
+                        cfg.thresholdFraction *
+                        static_cast<double>(pre.elements.size())));
+            scfg.initialQualification = threshold;
+            scfg.initialTemporal = threshold;
+            // Pin feedback: count control may only use the spatial
+            // threshold; the distance thresholds define what a
+            // cross-phase reuse is and must not drift.
+            scfg.floorQualification = threshold;
+            scfg.floorTemporal = threshold;
+            scfg.ceilQualification = threshold;
+            scfg.ceilTemporal = threshold;
+        }
+    }
+
+    // Step 1: variable-distance sampling + block trace, in one pass.
+    reuse::VariableDistanceSampler sampler(scfg);
+    trace::BlockRecorder blocks;
+    trace::FanoutSink fan;
+    fan.attach(&sampler);
+    fan.attach(&blocks);
+    run(fan);
+
+    result.dataSamples = sampler.samples().size();
+    result.accessSamples = sampler.sampleCount();
+    result.samplerAdjustments = sampler.adjustments();
+    result.trainAccesses = blocks.totalAccesses();
+    result.trainInstructions = blocks.totalInstructions();
+
+    // Step 2: wavelet filtering of each datum's sub-trace.
+    wavelet::SubTraceFilter filter(cfg.filter);
+    auto filtered = filter.apply(sampler.samples(), &result.filterStats);
+
+    // Step 3: optimal phase partitioning of the filtered trace.
+    OptimalPartitioner partitioner(cfg.partition);
+    result.partitionResult = partitioner.partition(filtered);
+    for (size_t b : result.partitionResult.boundaries)
+        result.boundaryTimes.push_back(filtered[b].time);
+
+    inform("detector: %zu data samples, %llu access samples, "
+           "%zu filtered points, %zu boundaries",
+           static_cast<size_t>(result.dataSamples),
+           static_cast<unsigned long long>(result.accessSamples),
+           filtered.size(), result.boundaryTimes.size());
+
+    // Step 4: marker selection against the block trace, driven by the
+    // detected phase-execution count.
+    MarkerSelector selector(cfg.marker);
+    result.selection =
+        selector.select(blocks.events(), blocks.totalInstructions(),
+                        result.partitionResult.phaseCount());
+
+    return result;
+}
+
+} // namespace lpp::phase

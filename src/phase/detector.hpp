@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Off-line phase detection driver: variable-distance sampling, wavelet
+ * filtering, optimal phase partitioning, and marker selection chained
+ * over a training execution (paper Sections 2.2-2.3).
+ */
+
+#ifndef LPP_PHASE_DETECTOR_HPP
+#define LPP_PHASE_DETECTOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "phase/marker_selection.hpp"
+#include "phase/partition.hpp"
+#include "reuse/sampler.hpp"
+#include "trace/sink.hpp"
+#include "wavelet/filtering.hpp"
+
+namespace lpp::phase {
+
+/** Configuration of the whole detection pipeline. */
+struct DetectorConfig
+{
+    reuse::SamplerConfig sampler;   //!< variable-distance sampling
+    wavelet::FilterConfig filter;   //!< per-datum wavelet filtering
+    PartitionConfig partition;      //!< optimal phase partitioning
+    MarkerConfig marker;            //!< marker selection
+
+    /**
+     * Run the program once up front to learn the trace length, giving
+     * the sampler's feedback an accurate projection target. Cheap for
+     * simulated workloads; a real deployment would pass an estimate in
+     * sampler.expectedAccesses instead.
+     */
+    bool precountAccesses = true;
+
+    /**
+     * Derive the qualification/temporal thresholds from the training
+     * run's working set: threshold = thresholdFraction * distinct
+     * elements. A reuse longer than a tenth of the working set is a
+     * cross-phase reuse for every program in the suite, while
+     * within-phase reuses stay below it; the derived value also floors
+     * and ceils feedback so count control cannot push the thresholds
+     * into either regime. Requires precountAccesses.
+     */
+    bool autoThresholds = true;
+
+    /** Fraction of the distinct-element count used as threshold. */
+    double thresholdFraction = 0.05;
+};
+
+/** Everything the off-line analysis learned from the training run. */
+struct DetectionResult
+{
+    /** Marker table, per-phase info, and training executions. */
+    MarkerSelection selection;
+
+    /** Phase boundaries (access clock) from the locality analysis. */
+    std::vector<uint64_t> boundaryTimes;
+
+    /** The raw optimal partition (indices refer to the merged trace). */
+    Partition partitionResult;
+
+    /** Wavelet filtering statistics. */
+    wavelet::FilterStats filterStats;
+
+    uint64_t dataSamples = 0;       //!< data elements sampled
+    uint64_t accessSamples = 0;     //!< access samples collected
+    uint32_t samplerAdjustments = 0; //!< feedback threshold changes
+    uint64_t trainAccesses = 0;     //!< training run length (accesses)
+    uint64_t trainInstructions = 0; //!< training run length (instrs)
+};
+
+/**
+ * Drives the three off-line steps over a training execution provided as
+ * a runner callback (the callback streams one full execution into the
+ * sink it is given; it must be repeatable).
+ */
+class PhaseDetector
+{
+  public:
+    /** Streams one complete training execution into the given sink. */
+    using Runner = std::function<void(trace::TraceSink &)>;
+
+    explicit PhaseDetector(DetectorConfig cfg = {});
+
+    /** Run the full detection pipeline. */
+    DetectionResult analyze(const Runner &run) const;
+
+    /** @return the configuration in use. */
+    const DetectorConfig &config() const { return cfg; }
+
+  private:
+    DetectorConfig cfg;
+};
+
+} // namespace lpp::phase
+
+#endif // LPP_PHASE_DETECTOR_HPP

@@ -1,0 +1,263 @@
+#include "phase/marker_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "support/logging.hpp"
+
+namespace lpp::phase {
+
+std::vector<trace::PhaseId>
+MarkerSelection::sequence() const
+{
+    std::vector<trace::PhaseId> seq;
+    seq.reserve(executions.size());
+    for (const auto &e : executions)
+        seq.push_back(e.phase);
+    return seq;
+}
+
+MarkerSelection
+intersectSelections(const std::vector<MarkerSelection> &selections)
+{
+    MarkerSelection out;
+    if (selections.empty())
+        return out;
+
+    // Keep first-run phases whose marker every other run also chose.
+    trace::PhaseId next_id = 0;
+    for (const auto &info : selections.front().phases) {
+        bool everywhere = true;
+        for (size_t r = 1; r < selections.size() && everywhere; ++r)
+            everywhere = selections[r].table.find(info.marker) !=
+                         nullptr;
+        if (!everywhere)
+            continue;
+        PhaseInfo renumbered = info;
+        renumbered.id = next_id;
+        out.phases.push_back(renumbered);
+        out.table.set(info.marker, next_id);
+        ++next_id;
+    }
+    out.detectedExecutions = selections.front().detectedExecutions;
+    out.candidateBlocks = out.table.size();
+    return out;
+}
+
+MarkerSelector::MarkerSelector(MarkerConfig cfg_) : cfg(cfg_)
+{
+    LPP_REQUIRE(cfg.frequencySlack > 0.0, "slack must be positive");
+}
+
+MarkerSelection
+MarkerSelector::select(const std::vector<trace::BlockEvent> &events,
+                       uint64_t total_instructions,
+                       uint64_t detected_executions) const
+{
+    MarkerSelection out;
+    out.detectedExecutions = detected_executions;
+    if (events.empty())
+        return out;
+
+    // 1. Frequency filter: a block can mark a phase only if it executes
+    //    no more often than phases do.
+    std::unordered_map<trace::BlockId, uint64_t> freq;
+    for (const auto &e : events)
+        ++freq[e.block];
+
+    // Primary rule (the paper's): a block can appear at most as often
+    // as phases execute. Locality detection can undercount phases on
+    // short training runs, so the cap is floored by a bound that is
+    // sound regardless: no phase of >= minPhaseInstructions can execute
+    // more than total/minPhaseInstructions times, hence no marker block
+    // may either. Both bounds sit far below body-block frequencies.
+    uint64_t cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::llround(
+               static_cast<double>(std::max<uint64_t>(
+                   detected_executions, 1)) *
+               cfg.frequencySlack)));
+    if (cfg.minPhaseInstructions > 0) {
+        cap = std::max(cap,
+                       total_instructions / cfg.minPhaseInstructions);
+    }
+
+    std::unordered_map<trace::BlockId, bool> candidate;
+    for (const auto &kv : freq) {
+        if (kv.second <= cap) {
+            candidate[kv.first] = true;
+            ++out.candidateBlocks;
+        }
+    }
+    if (candidate.empty())
+        return out;
+
+    // 2. Blank regions between candidate events; the candidate block
+    //    executing immediately before a long region marks that phase.
+    struct Cand
+    {
+        trace::BlockId block;
+        uint64_t instrStart;
+        uint64_t instrEnd;
+    };
+    std::vector<Cand> cands;
+    for (const auto &e : events) {
+        if (candidate.count(e.block)) {
+            cands.push_back(Cand{e.block, e.instrTime,
+                                 e.instrTime + e.instructions});
+        }
+    }
+
+    std::unordered_map<trace::BlockId, uint64_t> regionCount;
+    for (size_t k = 0; k < cands.size(); ++k) {
+        uint64_t region_end = (k + 1 < cands.size())
+                                  ? cands[k + 1].instrStart
+                                  : total_instructions;
+        uint64_t gap = region_end > cands[k].instrEnd
+                           ? region_end - cands[k].instrEnd
+                           : 0;
+        if (gap >= cfg.minPhaseInstructions) {
+            ++out.regions;
+            ++regionCount[cands[k].block];
+        }
+    }
+    if (regionCount.empty())
+        return out;
+
+    // 3. Assign dense phase ids in first-occurrence order and build the
+    //    marker table.
+    std::unordered_map<trace::BlockId, trace::PhaseId> phaseOf;
+    for (const auto &c : cands) {
+        if (regionCount.count(c.block) && !phaseOf.count(c.block)) {
+            auto id = static_cast<trace::PhaseId>(phaseOf.size());
+            phaseOf[c.block] = id;
+            out.table.set(c.block, id);
+        }
+    }
+
+    // 4. Reconstruct exactly what the instrumented run will observe:
+    //    every execution of a marker block fires; executions span
+    //    consecutive firings.
+    struct Firing
+    {
+        trace::PhaseId phase;
+        uint64_t instr;
+        uint64_t access;
+    };
+    std::vector<Firing> firings;
+    std::unordered_map<trace::BlockId, uint64_t> fireCount;
+    for (const auto &e : events) {
+        auto it = phaseOf.find(e.block);
+        if (it != phaseOf.end()) {
+            firings.push_back(Firing{it->second, e.instrTime,
+                                     e.accessTime});
+            ++fireCount[e.block];
+        }
+    }
+
+    uint64_t total_accesses = events.back().accessTime;
+    for (size_t k = 0; k < firings.size(); ++k) {
+        PhaseExecution pe;
+        pe.phase = firings[k].phase;
+        pe.startInstr = firings[k].instr;
+        pe.startAccess = firings[k].access;
+        pe.endInstr = (k + 1 < firings.size()) ? firings[k + 1].instr
+                                               : total_instructions;
+        pe.endAccess = (k + 1 < firings.size()) ? firings[k + 1].access
+                                                : total_accesses;
+        out.executions.push_back(pe);
+    }
+
+    // 5. Per-phase summary.
+    out.phases.resize(phaseOf.size());
+    for (const auto &kv : phaseOf) {
+        PhaseInfo &info = out.phases[kv.second];
+        info.id = kv.second;
+        info.marker = kv.first;
+        uint64_t fires = fireCount[kv.first];
+        info.markerQuality =
+            fires == 0 ? 0.0
+                       : static_cast<double>(regionCount[kv.first]) /
+                             static_cast<double>(fires);
+    }
+    for (const auto &pe : out.executions) {
+        PhaseInfo &info = out.phases[pe.phase];
+        uint64_t len = pe.endInstr - pe.startInstr;
+        if (info.executions == 0) {
+            info.minInstructions = len;
+            info.maxInstructions = len;
+        } else {
+            info.minInstructions = std::min(info.minInstructions, len);
+            info.maxInstructions = std::max(info.maxInstructions, len);
+        }
+        info.meanInstructions += static_cast<double>(len);
+        ++info.executions;
+    }
+    for (auto &info : out.phases) {
+        if (info.executions > 0)
+            info.meanInstructions /= static_cast<double>(info.executions);
+    }
+
+    return out;
+}
+
+
+SubPhaseSelection
+MarkerSelector::selectSubPhases(
+    const std::vector<trace::BlockEvent> &events,
+    uint64_t total_instructions, uint64_t detected_executions,
+    double refinement) const
+{
+    LPP_REQUIRE(refinement > 1.0, "refinement must exceed 1, got %f",
+                refinement);
+    SubPhaseSelection out;
+    out.coarse = select(events, total_instructions,
+                        detected_executions);
+
+    MarkerConfig fine_cfg = cfg;
+    fine_cfg.minPhaseInstructions = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(cfg.minPhaseInstructions) /
+               refinement));
+    MarkerSelector fine_selector(fine_cfg);
+    out.fine = fine_selector.select(events, total_instructions,
+                                    detected_executions);
+
+    // Attribute each fine phase to the coarse phase whose executions
+    // enclose the majority of its executions. Coarse executions are in
+    // start order, so a binary search locates the enclosing one.
+    std::vector<uint64_t> coarse_starts;
+    coarse_starts.reserve(out.coarse.executions.size());
+    for (const auto &e : out.coarse.executions)
+        coarse_starts.push_back(e.startInstr);
+
+    out.parentOf.assign(out.fine.phases.size(),
+                        SubPhaseSelection::noParent);
+    std::vector<std::unordered_map<uint32_t, uint32_t>> votes(
+        out.fine.phases.size());
+    for (const auto &fe : out.fine.executions) {
+        auto it = std::upper_bound(coarse_starts.begin(),
+                                   coarse_starts.end(), fe.startInstr);
+        if (it == coarse_starts.begin())
+            continue; // before the first coarse marker
+        size_t idx =
+            static_cast<size_t>(it - coarse_starts.begin()) - 1;
+        const PhaseExecution &ce = out.coarse.executions[idx];
+        if (fe.startInstr < ce.endInstr)
+            ++votes[fe.phase][ce.phase];
+    }
+    for (size_t f = 0; f < votes.size(); ++f) {
+        uint32_t best = SubPhaseSelection::noParent;
+        uint32_t best_votes = 0;
+        for (const auto &kv : votes[f]) {
+            if (kv.second > best_votes) {
+                best = kv.first;
+                best_votes = kv.second;
+            }
+        }
+        out.parentOf[f] = best;
+    }
+    return out;
+}
+
+} // namespace lpp::phase

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Phase marker selection (paper Section 2.3).
+ *
+ * Locality analysis yields the number of phase executions but only fuzzy
+ * transition times (the wavelet loses exact positions and transitions may
+ * be gradual). Marker selection therefore works from frequency instead of
+ * time: a block can mark a phase only if it executes no more often than
+ * phases do. Filtering the basic-block trace down to such infrequent
+ * blocks leaves long "blank regions" of removed blocks — each sufficiently
+ * long region is one phase execution, and the candidate block executing
+ * immediately before a region marks that phase's beginning. Two regions
+ * belong to the same phase when they follow the same code block.
+ */
+
+#ifndef LPP_PHASE_MARKER_SELECTION_HPP
+#define LPP_PHASE_MARKER_SELECTION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/instrument.hpp"
+#include "trace/recorder.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::phase {
+
+/** Tuning for MarkerSelector. */
+struct MarkerConfig
+{
+    /**
+     * Minimum instructions in a blank region for it to count as a phase
+     * execution. The paper uses 10K instructions against training runs
+     * of >= 3.5M accesses (~0.3% of the execution).
+     */
+    uint64_t minPhaseInstructions = 10000;
+
+    /**
+     * Slack multiplier on the frequency cap: blocks executing at most
+     * slack * (detected phase executions) times remain candidates.
+     * 1.0 reproduces the paper's rule exactly; a little slack tolerates
+     * noise in the detected count.
+     */
+    double frequencySlack = 1.0;
+};
+
+/** One selected leaf phase. */
+struct PhaseInfo
+{
+    trace::PhaseId id = 0;      //!< dense phase identifier
+    trace::BlockId marker = 0;  //!< block whose execution starts the phase
+    uint64_t executions = 0;    //!< executions observed in training
+    uint64_t minInstructions = 0; //!< shortest observed execution
+    uint64_t maxInstructions = 0; //!< longest observed execution
+    double meanInstructions = 0.0; //!< mean execution length
+
+    /**
+     * Fraction of the marker block's executions that actually started an
+     * observed phase execution (1.0 = the marker is exact).
+     */
+    double markerQuality = 1.0;
+};
+
+/** One phase execution recovered from the training block trace. */
+struct PhaseExecution
+{
+    trace::PhaseId phase = 0;
+    uint64_t startInstr = 0;  //!< instruction clock at the marker firing
+    uint64_t endInstr = 0;    //!< instruction clock at the next boundary
+    uint64_t startAccess = 0; //!< access clock at the marker firing
+    uint64_t endAccess = 0;   //!< access clock at the next boundary
+};
+
+/** Full result of marker selection on a training run. */
+struct MarkerSelection
+{
+    trace::MarkerTable table;          //!< blocks to instrument
+    std::vector<PhaseInfo> phases;     //!< per-phase summary
+    std::vector<PhaseExecution> executions; //!< training executions
+    uint64_t detectedExecutions = 0;   //!< phase executions from locality
+    uint64_t candidateBlocks = 0;      //!< blocks passing the freq filter
+    uint64_t regions = 0;              //!< blank regions found
+
+    /** @return phase ids of the training execution, in order. */
+    std::vector<trace::PhaseId> sequence() const;
+};
+
+/**
+ * Two-level (sub-phase) selection result. The paper notes that after
+ * finding large phases "we can use a smaller threshold to find
+ * sub-phases"; here the block trace is re-filtered with the region
+ * threshold divided by a refinement factor, and every fine phase is
+ * attributed to the coarse phase whose executions enclose it.
+ */
+struct SubPhaseSelection
+{
+    /** Fine phases with no enclosing coarse execution (prologue). */
+    static constexpr uint32_t noParent = 0xFFFFFFFFu;
+
+    MarkerSelection coarse; //!< top-level phases
+    MarkerSelection fine;   //!< sub-phase-level phases
+
+    /** parentOf[fine phase id] = enclosing coarse phase id. */
+    std::vector<uint32_t> parentOf;
+};
+
+/**
+ * Correlate marker selection across several training runs (an
+ * improvement the paper mentions): a block survives only if every run
+ * selected it, which discards markers that owed their region to one
+ * input's control flow. Phase ids are renumbered in the first
+ * selection's order; execution lists are not carried over (re-derive
+ * them by replaying a run under the returned table).
+ */
+MarkerSelection
+intersectSelections(const std::vector<MarkerSelection> &selections);
+
+/**
+ * Selects marker blocks from a training block trace given the phase
+ * execution count detected by locality analysis.
+ */
+class MarkerSelector
+{
+  public:
+    explicit MarkerSelector(MarkerConfig cfg = {});
+
+    /**
+     * Run marker selection.
+     * @param events training basic-block trace
+     * @param total_instructions instruction count of the training run
+     * @param detected_executions number of phase executions found by
+     *        optimal phase partitioning (boundaries + 1)
+     */
+    MarkerSelection select(const std::vector<trace::BlockEvent> &events,
+                           uint64_t total_instructions,
+                           uint64_t detected_executions) const;
+
+    /**
+     * Hierarchical selection: top-level phases with this selector's
+     * threshold, sub-phases with the threshold divided by `refinement`.
+     */
+    SubPhaseSelection
+    selectSubPhases(const std::vector<trace::BlockEvent> &events,
+                    uint64_t total_instructions,
+                    uint64_t detected_executions,
+                    double refinement = 8.0) const;
+
+    /** @return the configuration in use. */
+    const MarkerConfig &config() const { return cfg; }
+
+  private:
+    MarkerConfig cfg;
+};
+
+} // namespace lpp::phase
+
+#endif // LPP_PHASE_MARKER_SELECTION_HPP

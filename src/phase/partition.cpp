@@ -1,0 +1,119 @@
+#include "phase/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hpp"
+
+namespace lpp::phase {
+
+OptimalPartitioner::OptimalPartitioner(PartitionConfig cfg_) : cfg(cfg_)
+{
+    LPP_REQUIRE(cfg.maxNodes >= 2, "maxNodes too small: %zu",
+                cfg.maxNodes);
+}
+
+Partition
+OptimalPartitioner::solve(const std::vector<uint32_t> &ids) const
+{
+    const size_t n = ids.size();
+    Partition result;
+    result.nodes = n;
+    if (n == 0)
+        return result;
+
+    double alpha = std::max(0.0, cfg.alpha);
+
+    // dp[j] for j in [0, n]: minimal path weight from the source to node
+    // j (j < n) or to the sink (j == n). parent[j] records the previous
+    // path node (n+1 marks the source).
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dp(n + 1, inf);
+    std::vector<size_t> parent(n + 1, n + 1);
+
+    uint32_t max_id = *std::max_element(ids.begin(), ids.end());
+    std::vector<uint32_t> count(max_id + 1, 0);
+    std::vector<uint32_t> stamp(max_id + 1, 0);
+    uint32_t epoch = 0;
+
+    // Relax edges out of `a` (node index, or `source` = n+1) by growing
+    // the open interval (a, b) one element at a time; r accumulates
+    // datum recurrences inside the interval.
+    auto relax_from = [&](size_t a, double base) {
+        ++epoch;
+        double r = 0.0;
+        size_t first_b = (a == n + 1) ? 0 : a + 1;
+        for (size_t b = first_b; b <= n; ++b) {
+            if (b > first_b) {
+                // Element at position b-1 joins the interval.
+                uint32_t id = ids[b - 1];
+                if (stamp[id] != epoch) {
+                    stamp[id] = epoch;
+                    count[id] = 1;
+                } else {
+                    ++count[id];
+                    r += 1.0;
+                }
+            }
+            double w = base + alpha * r + 1.0;
+            if (w < dp[b]) {
+                dp[b] = w;
+                parent[b] = a;
+            }
+        }
+    };
+
+    relax_from(n + 1, 0.0);
+    for (size_t a = 0; a < n; ++a) {
+        if (dp[a] < inf)
+            relax_from(a, dp[a]);
+    }
+
+    result.cost = dp[n];
+
+    // Walk parents back from the sink; interior nodes are boundaries.
+    size_t cur = n;
+    while (parent[cur] != n + 1) {
+        cur = parent[cur];
+        result.boundaries.push_back(cur);
+    }
+    std::reverse(result.boundaries.begin(), result.boundaries.end());
+    return result;
+}
+
+Partition
+OptimalPartitioner::partition(
+    const std::vector<reuse::SamplePoint> &filtered) const
+{
+    if (filtered.empty())
+        return Partition{};
+
+    // Subsample long traces so the O(n^2) DP stays tractable.
+    size_t stride = (filtered.size() + cfg.maxNodes - 1) / cfg.maxNodes;
+    std::vector<uint32_t> ids;
+    std::vector<size_t> origin;
+    ids.reserve(filtered.size() / stride + 1);
+    for (size_t i = 0; i < filtered.size(); i += stride) {
+        ids.push_back(filtered[i].datum);
+        origin.push_back(i);
+    }
+
+    Partition p = solve(ids);
+    for (auto &b : p.boundaries)
+        b = origin[b];
+    return p;
+}
+
+std::vector<uint64_t>
+OptimalPartitioner::boundaryTimes(
+    const std::vector<reuse::SamplePoint> &filtered) const
+{
+    Partition p = partition(filtered);
+    std::vector<uint64_t> times;
+    times.reserve(p.boundaries.size());
+    for (size_t b : p.boundaries)
+        times.push_back(filtered[b].time);
+    return times;
+}
+
+} // namespace lpp::phase

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Optimal phase partitioning (paper Section 2.2.3).
+ *
+ * After wavelet filtering, the surviving accesses cluster at phase
+ * boundaries: within a phase each data sample should appear at most once
+ * (reuses of the same sample signal a phase change), and a good phase
+ * gathers accesses to as many distinct samples as possible. The filtered
+ * trace is modelled as a DAG — every access is a node, every forward pair
+ * an edge of weight alpha * r + 1, where r counts datum recurrences
+ * strictly between the two accesses. A path from source to sink is a
+ * partition; the shortest path is the optimal one. alpha trades off
+ * too-large phases (reuses included, first term) against too-many phases
+ * (one per edge, second term).
+ */
+
+#ifndef LPP_PHASE_PARTITION_HPP
+#define LPP_PHASE_PARTITION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "reuse/sampler.hpp"
+
+namespace lpp::phase {
+
+/** Tuning for OptimalPartitioner. */
+struct PartitionConfig
+{
+    /**
+     * Reuse penalty weight in [0, 1]. 1 forbids reuses inside a phase;
+     * 0 merges everything into one phase. The paper found partitions
+     * stable for 0.2..0.8 and used 0.5.
+     */
+    double alpha = 0.5;
+
+    /**
+     * Largest node count solved exactly (the DP is O(n^2)). Longer
+     * filtered traces are uniformly subsampled to this size first.
+     */
+    size_t maxNodes = 6000;
+};
+
+/** Result of partitioning a filtered trace. */
+struct Partition
+{
+    /**
+     * Indices into the filtered trace whose accesses start a new phase,
+     * ascending. k boundaries split the execution into k+1 phases.
+     */
+    std::vector<size_t> boundaries;
+
+    /** Total path weight of the optimal partition. */
+    double cost = 0.0;
+
+    /** Nodes actually solved (after any subsampling). */
+    size_t nodes = 0;
+
+    /** @return the number of phases (boundaries + 1). */
+    size_t phaseCount() const { return boundaries.size() + 1; }
+};
+
+/**
+ * Exact shortest-path phase partitioner over the filtered-trace DAG.
+ */
+class OptimalPartitioner
+{
+  public:
+    explicit OptimalPartitioner(PartitionConfig cfg = {});
+
+    /**
+     * Partition a filtered trace (time-ordered sample points).
+     * @return boundary indices into `filtered`
+     */
+    Partition partition(
+        const std::vector<reuse::SamplePoint> &filtered) const;
+
+    /**
+     * Convenience: logical times (access clock) of the boundaries of a
+     * partition of `filtered`.
+     */
+    std::vector<uint64_t>
+    boundaryTimes(const std::vector<reuse::SamplePoint> &filtered) const;
+
+    /** @return the configuration in use. */
+    const PartitionConfig &config() const { return cfg; }
+
+  private:
+    Partition solve(const std::vector<uint32_t> &ids) const;
+
+    PartitionConfig cfg;
+};
+
+} // namespace lpp::phase
+
+#endif // LPP_PHASE_PARTITION_HPP

@@ -1,0 +1,136 @@
+#include "remap/affinity.hpp"
+
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace lpp::remap {
+
+AffinityAnalyzer::AffinityAnalyzer(
+    std::vector<workloads::ArrayInfo> arrays_, AffinityConfig cfg_)
+    : arrays(std::move(arrays_)), cfg(cfg_), k(arrays.size()),
+      ring(cfg_.window, -1)
+{
+    LPP_REQUIRE(k > 0, "no arrays to analyze");
+    LPP_REQUIRE(k <= 64, "co-access mask supports at most 64 arrays");
+    global.count.assign(k, 0);
+    global.coCount.assign(k * k, 0);
+}
+
+int32_t
+AffinityAnalyzer::arrayOf(trace::Addr addr) const
+{
+    for (size_t i = 0; i < arrays.size(); ++i) {
+        if (arrays[i].contains(addr))
+            return static_cast<int32_t>(i);
+    }
+    return -1;
+}
+
+void
+AffinityAnalyzer::record(Stats &stats, uint32_t array)
+{
+    if (stats.count.empty()) {
+        stats.count.assign(k, 0);
+        stats.coCount.assign(k * k, 0);
+    }
+    ++stats.count[array];
+    // Count each partner array at most once per window position scan.
+    uint64_t seen_mask = 0;
+    for (int32_t b : ring) {
+        if (b < 0 || static_cast<uint32_t>(b) == array)
+            continue;
+        uint64_t bit = 1ULL << b;
+        if (seen_mask & bit)
+            continue;
+        seen_mask |= bit;
+        ++stats.coCount[array * k + static_cast<size_t>(b)];
+    }
+}
+
+void
+AffinityAnalyzer::onAccess(trace::Addr addr)
+{
+    int32_t a = arrayOf(addr);
+    if (a < 0)
+        return;
+    record(perPhase[current], static_cast<uint32_t>(a));
+    record(global, static_cast<uint32_t>(a));
+    ring[ringPos] = a;
+    ringPos = (ringPos + 1) % ring.size();
+}
+
+void
+AffinityAnalyzer::onPhaseMarker(trace::PhaseId phase)
+{
+    current = phase;
+}
+
+AffinityGroups
+AffinityAnalyzer::groupsFrom(const Stats &stats) const
+{
+    AffinityGroups groups;
+    if (stats.count.empty())
+        return groups;
+
+    // Union-find over affine pairs.
+    std::vector<uint32_t> parent(k);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (uint32_t a = 0; a < k; ++a) {
+        for (uint32_t b = a + 1; b < k; ++b) {
+            if (stats.count[a] < cfg.minAccesses ||
+                stats.count[b] < cfg.minAccesses)
+                continue;
+            double ab = static_cast<double>(stats.coCount[a * k + b]) /
+                        static_cast<double>(stats.count[a]);
+            double ba = static_cast<double>(stats.coCount[b * k + a]) /
+                        static_cast<double>(stats.count[b]);
+            if (ab >= cfg.threshold && ba >= cfg.threshold)
+                parent[find(a)] = find(b);
+        }
+    }
+
+    std::vector<std::vector<uint32_t>> buckets(k);
+    for (uint32_t a = 0; a < k; ++a)
+        buckets[find(a)].push_back(a);
+    for (auto &bucket : buckets) {
+        if (bucket.size() >= 2)
+            groups.push_back(std::move(bucket));
+    }
+    return groups;
+}
+
+AffinityGroups
+AffinityAnalyzer::groupsForPhase(trace::PhaseId phase) const
+{
+    auto it = perPhase.find(phase);
+    return it == perPhase.end() ? AffinityGroups{}
+                                : groupsFrom(it->second);
+}
+
+AffinityGroups
+AffinityAnalyzer::globalGroups() const
+{
+    return groupsFrom(global);
+}
+
+std::vector<trace::PhaseId>
+AffinityAnalyzer::phasesSeen() const
+{
+    std::vector<trace::PhaseId> out;
+    for (const auto &kv : perPhase) {
+        if (kv.first != 0xFFFFFFFFu)
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+} // namespace lpp::remap

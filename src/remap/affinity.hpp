@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reference-affinity analysis of arrays, per phase and whole-program
+ * (Zhong et al., the paper's Section 3.3 substrate).
+ *
+ * Two arrays are affine when accesses to one are regularly accompanied
+ * by accesses to the other within a short window — then interleaving
+ * them puts co-accessed elements into the same cache block. The paper's
+ * point is that affinity differs per phase: Swim's third substep groups
+ * {u, uold, unew} while the first groups {u, v, p}, so one static
+ * layout cannot serve both.
+ */
+
+#ifndef LPP_REMAP_AFFINITY_HPP
+#define LPP_REMAP_AFFINITY_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+#include "workloads/address_space.hpp"
+
+namespace lpp::remap {
+
+/** A partition of array indices into affinity groups (size >= 2). */
+using AffinityGroups = std::vector<std::vector<uint32_t>>;
+
+/** Tuning for AffinityAnalyzer. */
+struct AffinityConfig
+{
+    /** Co-access window, in accesses. */
+    uint32_t window = 16;
+
+    /**
+     * Fraction of an array's accesses that must see the partner in
+     * window for the pair to be affine.
+     */
+    double threshold = 0.5;
+
+    /** Arrays with fewer accesses in a phase are ignored there. */
+    uint64_t minAccesses = 512;
+};
+
+/**
+ * Streams an instrumented (or plain) execution and accumulates per-phase
+ * and whole-program co-access statistics between arrays. Accesses before
+ * the first marker count toward phase id 0xFFFFFFFF and the global
+ * statistics.
+ */
+class AffinityAnalyzer : public trace::TraceSink
+{
+  public:
+    AffinityAnalyzer(std::vector<workloads::ArrayInfo> arrays,
+                     AffinityConfig cfg = {});
+
+    void onAccess(trace::Addr addr) override;
+    void onPhaseMarker(trace::PhaseId phase) override;
+
+    /** @return affinity groups for one phase. */
+    AffinityGroups groupsForPhase(trace::PhaseId phase) const;
+
+    /** @return whole-program affinity groups. */
+    AffinityGroups globalGroups() const;
+
+    /** @return the phases observed. */
+    std::vector<trace::PhaseId> phasesSeen() const;
+
+  private:
+    struct Stats
+    {
+        std::vector<uint64_t> count;   //!< per-array access counts
+        std::vector<uint64_t> coCount; //!< K x K co-access counts
+    };
+
+    int32_t arrayOf(trace::Addr addr) const;
+    void record(Stats &stats, uint32_t array);
+    AffinityGroups groupsFrom(const Stats &stats) const;
+
+    std::vector<workloads::ArrayInfo> arrays;
+    AffinityConfig cfg;
+    size_t k;
+
+    std::map<trace::PhaseId, Stats> perPhase;
+    Stats global;
+    trace::PhaseId current = 0xFFFFFFFFu;
+
+    // Ring buffer of the last `window` array ids.
+    std::vector<int32_t> ring;
+    size_t ringPos = 0;
+};
+
+} // namespace lpp::remap
+
+#endif // LPP_REMAP_AFFINITY_HPP

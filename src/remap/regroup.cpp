@@ -1,0 +1,151 @@
+#include "remap/regroup.hpp"
+
+#include "support/logging.hpp"
+#include "trace/sink.hpp"
+
+namespace lpp::remap {
+
+Remapper::Remapper(std::vector<workloads::ArrayInfo> arrays_,
+                   trace::TraceSink &downstream)
+    : arrays(std::move(arrays_)), out(downstream)
+{
+    globalMapping.assign(arrays.size(), Slot{});
+    active = &globalMapping;
+}
+
+Remapper::Mapping
+Remapper::buildMapping(const AffinityGroups &groups)
+{
+    Mapping m(arrays.size());
+    for (const auto &group : groups) {
+        trace::Addr base = nextShadow;
+        nextShadow += 1ULL << 30; // 1 GiB shadow region per group
+        auto size = static_cast<uint32_t>(group.size());
+        for (uint32_t slot = 0; slot < size; ++slot) {
+            uint32_t a = group[slot];
+            LPP_REQUIRE(a < arrays.size(), "bad array index %u", a);
+            m[a].mapped = true;
+            m[a].shadowBase = base;
+            m[a].groupSize = size;
+            m[a].offset = slot;
+        }
+    }
+    return m;
+}
+
+void
+Remapper::setGlobalGroups(const AffinityGroups &groups)
+{
+    bool was_active = active == &globalMapping;
+    globalMapping = buildMapping(groups);
+    if (was_active)
+        active = &globalMapping;
+}
+
+void
+Remapper::setPhaseGroups(trace::PhaseId phase,
+                         const AffinityGroups &groups)
+{
+    phaseMappings[phase] = buildMapping(groups);
+}
+
+int32_t
+Remapper::arrayOf(trace::Addr addr) const
+{
+    for (size_t i = 0; i < arrays.size(); ++i) {
+        if (arrays[i].contains(addr))
+            return static_cast<int32_t>(i);
+    }
+    return -1;
+}
+
+void
+Remapper::onAccess(trace::Addr addr)
+{
+    int32_t a = arrayOf(addr);
+    if (a >= 0) {
+        const Slot &slot = (*active)[static_cast<size_t>(a)];
+        if (slot.mapped) {
+            const auto &info = arrays[static_cast<size_t>(a)];
+            uint64_t elem = (addr - info.base) / info.elemBytes;
+            addr = slot.shadowBase +
+                   (elem * slot.groupSize + slot.offset) *
+                       info.elemBytes;
+            ++remapped;
+        }
+    }
+    out.onAccess(addr);
+}
+
+void
+Remapper::onPhaseMarker(trace::PhaseId phase)
+{
+    auto it = phaseMappings.find(phase);
+    active = it == phaseMappings.end() ? &globalMapping : &it->second;
+    out.onPhaseMarker(phase);
+}
+
+RemapExperiment
+runRemapExperiment(const workloads::Workload &workload,
+                   const trace::MarkerTable &table,
+                   const cache::CacheConfig &cache_cfg,
+                   const TimingModel &model,
+                   const AffinityConfig &affinity_cfg)
+{
+    RemapExperiment ex;
+    ex.workload = workload.name();
+
+    auto train_in = workload.trainInput();
+    auto ref_in = workload.refInput();
+    auto ref_arrays = workload.arrays(ref_in);
+
+    // 1. Learn per-phase and global affinity from the instrumented
+    //    training run (the training and reference runs allocate the
+    //    same arrays, possibly with different sizes; affinity is by
+    //    array identity, so training groups carry over).
+    AffinityAnalyzer analyzer(workload.arrays(train_in), affinity_cfg);
+    {
+        trace::Instrumenter inst(table, analyzer);
+        workload.run(train_in, inst);
+    }
+
+    // 2. Original layout.
+    {
+        cache::LruCache cache(cache_cfg);
+        trace::ClockSink clock;
+        trace::FanoutSink fan;
+        fan.attach(&cache);
+        fan.attach(&clock);
+        workload.run(ref_in, fan);
+        ex.originalMisses = cache.misses();
+        ex.instructions = clock.instructions();
+    }
+
+    // 3. Best whole-program layout.
+    {
+        cache::LruCache cache(cache_cfg);
+        Remapper remap(ref_arrays, cache);
+        remap.setGlobalGroups(analyzer.globalGroups());
+        workload.run(ref_in, remap);
+        ex.globalMisses = cache.misses();
+    }
+
+    // 4. Phase-based remapping: markers switch the interleaving.
+    {
+        cache::LruCache cache(cache_cfg);
+        Remapper remap(ref_arrays, cache);
+        remap.setGlobalGroups(analyzer.globalGroups());
+        for (trace::PhaseId p : analyzer.phasesSeen())
+            remap.setPhaseGroups(p, analyzer.groupsForPhase(p));
+        trace::Instrumenter inst(table, remap);
+        workload.run(ref_in, inst);
+        ex.phaseMisses = cache.misses();
+    }
+
+    ex.originalTime = model.seconds(ex.instructions, ex.originalMisses);
+    ex.globalTime = model.seconds(ex.instructions, ex.globalMisses);
+    ex.phaseTime = model.seconds(ex.instructions, ex.phaseMisses);
+    return ex;
+}
+
+} // namespace lpp::remap

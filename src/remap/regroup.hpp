@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Affinity-based array regrouping via address remapping — the Impulse
+ * memory controller stand-in (paper Section 3.3 / Table 5).
+ *
+ * Impulse creates shadow regions that present a remapped view of
+ * physical memory without copying. Here a Remapper sink rewrites the
+ * address stream the same way: arrays of an affinity group are
+ * interleaved element-wise in a shadow region, so elements accessed
+ * together share cache blocks. Phase-based remapping installs a
+ * different interleaving at every phase marker; the paper's comparison
+ * point is a single whole-program ("global") layout, and the paper
+ * excludes the cost of performing the remapping itself (their Table 5
+ * does the same).
+ */
+
+#ifndef LPP_REMAP_REGROUP_HPP
+#define LPP_REMAP_REGROUP_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "remap/affinity.hpp"
+#include "trace/instrument.hpp"
+#include "trace/sink.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::remap {
+
+/**
+ * Address-remapping sink. With only a global mapping installed, every
+ * access is translated through it; with per-phase mappings, each phase
+ * marker switches the active mapping (identity for unknown phases).
+ */
+class Remapper : public trace::TraceSink
+{
+  public:
+    Remapper(std::vector<workloads::ArrayInfo> arrays,
+             trace::TraceSink &downstream);
+
+    /** Install the mapping used outside any known phase. */
+    void setGlobalGroups(const AffinityGroups &groups);
+
+    /** Install a phase-specific mapping. */
+    void setPhaseGroups(trace::PhaseId phase,
+                        const AffinityGroups &groups);
+
+    void onAccess(trace::Addr addr) override;
+    void onPhaseMarker(trace::PhaseId phase) override;
+
+    void
+    onBlock(trace::BlockId block, uint32_t instructions) override
+    {
+        out.onBlock(block, instructions);
+    }
+
+    void
+    onManualMarker(uint32_t id) override
+    {
+        out.onManualMarker(id);
+    }
+
+    void onEnd() override { out.onEnd(); }
+
+    /** @return how many accesses were remapped (vs passed through). */
+    uint64_t remappedCount() const { return remapped; }
+
+  private:
+    struct Slot
+    {
+        bool mapped = false;
+        trace::Addr shadowBase = 0;
+        uint32_t groupSize = 1;
+        uint32_t offset = 0;
+    };
+    /** One mapping: a Slot per array. */
+    using Mapping = std::vector<Slot>;
+
+    Mapping buildMapping(const AffinityGroups &groups);
+    int32_t arrayOf(trace::Addr addr) const;
+
+    std::vector<workloads::ArrayInfo> arrays;
+    trace::TraceSink &out;
+    Mapping globalMapping;
+    std::map<trace::PhaseId, Mapping> phaseMappings;
+    const Mapping *active;
+    trace::Addr nextShadow = 1ULL << 40;
+    uint64_t remapped = 0;
+};
+
+/** Simple timing model: time = (instr * cpi + misses * penalty) / f. */
+struct TimingModel
+{
+    double cpi = 1.0;          //!< cycles per instruction, cache apart
+    double missPenalty = 60.0; //!< cycles per L1 miss
+    double ghz = 2.0;          //!< clock frequency
+
+    /** @return modelled seconds. */
+    double
+    seconds(uint64_t instructions, uint64_t misses) const
+    {
+        return (static_cast<double>(instructions) * cpi +
+                static_cast<double>(misses) * missPenalty) /
+               (ghz * 1e9);
+    }
+};
+
+/** Table 5: one workload's remapping comparison. */
+struct RemapExperiment
+{
+    std::string workload;
+    uint64_t instructions = 0;
+    uint64_t originalMisses = 0;
+    uint64_t globalMisses = 0;
+    uint64_t phaseMisses = 0;
+    double originalTime = 0.0;
+    double globalTime = 0.0;
+    double phaseTime = 0.0;
+
+    double
+    phaseSpeedup() const
+    {
+        return phaseTime > 0.0 ? originalTime / phaseTime - 1.0 : 0.0;
+    }
+
+    double
+    globalSpeedup() const
+    {
+        return globalTime > 0.0 ? originalTime / globalTime - 1.0 : 0.0;
+    }
+};
+
+/**
+ * Run the full Table 5 experiment for one workload: learn affinity on
+ * the instrumented training run, then measure the reference run's cache
+ * misses under no remapping, the best whole-program layout, and
+ * phase-based remapping.
+ */
+RemapExperiment
+runRemapExperiment(const workloads::Workload &workload,
+                   const trace::MarkerTable &table,
+                   const cache::CacheConfig &cache_cfg = {},
+                   const TimingModel &model = {},
+                   const AffinityConfig &affinity_cfg = {});
+
+} // namespace lpp::remap
+
+#endif // LPP_REMAP_REGROUP_HPP

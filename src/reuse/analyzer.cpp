@@ -1,0 +1,4 @@
+#include "reuse/analyzer.hpp"
+
+// ReuseAnalyzer is header-only today; this translation unit anchors the
+// library target and leaves room for out-of-line growth.

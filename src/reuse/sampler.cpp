@@ -1,0 +1,143 @@
+#include "reuse/sampler.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace lpp::reuse {
+
+VariableDistanceSampler::VariableDistanceSampler(SamplerConfig cfg)
+    : config(cfg),
+      qualification(cfg.initialQualification),
+      temporal(cfg.initialTemporal),
+      spatial(cfg.initialSpatial),
+      nextCheck(cfg.checkInterval)
+{
+}
+
+bool
+VariableDistanceSampler::spatiallyIsolated(uint64_t element) const
+{
+    if (spatial == 0)
+        return true;
+    auto it = sampledElements.lower_bound(element);
+    if (it != sampledElements.end() && *it - element < spatial)
+        return false;
+    if (it != sampledElements.begin()) {
+        --it;
+        if (element - *it < spatial)
+            return false;
+    }
+    return true;
+}
+
+void
+VariableDistanceSampler::onAccess(trace::Addr addr)
+{
+    uint64_t element = trace::toElement(addr);
+    uint64_t now = stack.accessCount();
+    uint64_t dist = stack.access(element);
+
+    if (dist != ReuseStack::infinite) {
+        auto it = datumIndex.find(element);
+        if (it != datumIndex.end()) {
+            if (dist >= temporal) {
+                data[it->second].accesses.push_back(
+                    AccessSample{now, dist});
+                ++collected;
+            }
+        } else if (dist >= qualification &&
+                   data.size() < config.maxDataSamples &&
+                   spatiallyIsolated(element)) {
+            datumIndex.emplace(element,
+                               static_cast<uint32_t>(data.size()));
+            sampledElements.insert(element);
+            data.push_back(DataSample{element, {}});
+            data.back().accesses.push_back(AccessSample{now, dist});
+            ++collected;
+        }
+    }
+
+    if (stack.accessCount() >= nextCheck) {
+        feedback();
+        nextCheck = stack.accessCount() + config.checkInterval;
+    }
+}
+
+void
+VariableDistanceSampler::feedback()
+{
+    uint64_t recent = collected - collectedAtLastCheck;
+    collectedAtLastCheck = collected;
+
+    double projected;
+    uint64_t now = stack.accessCount();
+    if (config.expectedAccesses > now) {
+        double remaining =
+            static_cast<double>(config.expectedAccesses - now);
+        double rate = static_cast<double>(recent) /
+                      static_cast<double>(config.checkInterval);
+        projected = static_cast<double>(collected) + rate * remaining;
+    } else {
+        // No length hint (or already past it): steer the recent rate
+        // toward one target's worth per expected run of 32 checks.
+        projected = static_cast<double>(recent) * 32.0;
+    }
+
+    // Scale thresholds by how far off target the projection is; the
+    // factor is clamped so one noisy interval cannot swing them wildly,
+    // and floor/ceiling bounds keep them inside the configured range
+    // (no overflow to 0, no drift into within-phase reuse distances).
+    auto scale = [](uint64_t value, double factor, uint64_t lo,
+                    uint64_t hi) {
+        double scaled = static_cast<double>(std::max<uint64_t>(value, 1)) *
+                        factor;
+        scaled = std::min(scaled, static_cast<double>(hi));
+        scaled = std::max(scaled, static_cast<double>(lo));
+        return static_cast<uint64_t>(scaled);
+    };
+
+    double target = static_cast<double>(config.targetSamples);
+    double ratio = projected / target;
+    // Raising thresholds cannot undo past over-collection, so only raise
+    // while samples are actually still flowing; otherwise a permanently
+    // exceeded target would ratchet the thresholds to the cap.
+    if (ratio > 1.4 && recent > 0) {
+        double f = std::min(ratio, 8.0);
+        qualification = scale(qualification, f,
+                              config.floorQualification,
+                              config.ceilQualification);
+        temporal = scale(temporal, f, config.floorTemporal,
+                         config.ceilTemporal);
+        spatial = scale(spatial, f, 0, 1ULL << 40);
+        ++adjustCount;
+    } else if (ratio < 0.6 &&
+               static_cast<double>(collected) < target) {
+        double f = std::max(ratio / 0.9, 1.0 / 8.0);
+        qualification = scale(qualification, f,
+                              config.floorQualification,
+                              config.ceilQualification);
+        temporal = scale(temporal, f, config.floorTemporal,
+                         config.ceilTemporal);
+        spatial = spatial / 2;
+        ++adjustCount;
+    }
+}
+
+std::vector<SamplePoint>
+VariableDistanceSampler::mergedTrace() const
+{
+    std::vector<SamplePoint> merged;
+    merged.reserve(collected);
+    for (uint32_t di = 0; di < data.size(); ++di) {
+        for (const auto &a : data[di].accesses)
+            merged.push_back(SamplePoint{a.time, a.distance, di});
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const SamplePoint &a, const SamplePoint &b) {
+                  return a.time < b.time;
+              });
+    return merged;
+}
+
+} // namespace lpp::reuse

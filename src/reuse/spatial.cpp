@@ -1,0 +1,87 @@
+#include "reuse/spatial.hpp"
+
+namespace lpp::reuse {
+
+void
+SpatialAnalyzer::record(Accum &a, trace::Addr addr)
+{
+    ++a.accesses;
+    a.blocks.insert(trace::toCacheBlock(addr));
+    a.elements.insert(trace::toElement(addr));
+    if (a.haveLast) {
+        auto delta = static_cast<int64_t>(addr) -
+                     static_cast<int64_t>(a.lastAddr);
+        ++a.strides[delta];
+    }
+    a.lastAddr = addr;
+    a.haveLast = true;
+}
+
+void
+SpatialAnalyzer::onAccess(trace::Addr addr)
+{
+    record(perPhase[current], addr);
+    record(whole, addr);
+}
+
+void
+SpatialAnalyzer::onPhaseMarker(trace::PhaseId phase)
+{
+    current = phase;
+    // Strides do not bridge phase boundaries.
+    perPhase[current].haveLast = false;
+}
+
+void
+SpatialAnalyzer::onEnd()
+{
+}
+
+SpatialProfile
+SpatialAnalyzer::finalize(const Accum &a)
+{
+    SpatialProfile p;
+    p.accesses = a.accesses;
+    p.blocksTouched = a.blocks.size();
+    p.elementsTouched = a.elements.size();
+    uint64_t total = 0, best = 0;
+    for (const auto &kv : a.strides) {
+        total += kv.second;
+        if (kv.second > best) {
+            best = kv.second;
+            p.dominantStride = kv.first;
+        }
+    }
+    if (total > 0) {
+        p.dominantStrideShare = static_cast<double>(best) /
+                                static_cast<double>(total);
+    }
+    return p;
+}
+
+SpatialProfile
+SpatialAnalyzer::profile(trace::PhaseId phase) const
+{
+    auto it = perPhase.find(phase);
+    return it == perPhase.end() ? SpatialProfile{}
+                                : finalize(it->second);
+}
+
+SpatialProfile
+SpatialAnalyzer::wholeRun() const
+{
+    return finalize(whole);
+}
+
+std::vector<trace::PhaseId>
+SpatialAnalyzer::phasesSeen() const
+{
+    std::vector<trace::PhaseId> out;
+    for (const auto &kv : perPhase) {
+        if (kv.first != 0xFFFFFFFFu)
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+} // namespace lpp::reuse

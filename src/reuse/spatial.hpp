@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-phase spatial-locality analysis — the paper's closing future-work
+ * item ("the current analysis considers only temporal locality. The
+ * future work will consider spatial locality in conjunction with
+ * temporal locality").
+ *
+ * Two quantities summarize a phase's spatial behaviour:
+ *  - cache-block utilization: the fraction of each fetched 64-byte
+ *    block's elements the phase actually touches. Utilization near 1
+ *    means streaming; far below 1 means sparse or strided access —
+ *    the accesses that benefit from Impulse-style regrouping;
+ *  - the dominant stride between consecutive accesses, which separates
+ *    unit-stride sweeps, fixed-stride (column) walks, and irregular
+ *    (indirect) access.
+ */
+
+#ifndef LPP_REUSE_SPATIAL_HPP
+#define LPP_REUSE_SPATIAL_HPP
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::reuse {
+
+/** Spatial profile of one phase (or of the whole run). */
+struct SpatialProfile
+{
+    uint64_t accesses = 0;        //!< accesses observed
+    uint64_t blocksTouched = 0;   //!< distinct cache blocks
+    uint64_t elementsTouched = 0; //!< distinct 8-byte elements
+    int64_t dominantStride = 0;   //!< most frequent access delta, bytes
+    double dominantStrideShare = 0.0; //!< its fraction of all deltas
+
+    /**
+     * @return average fraction of each touched block's elements the
+     * phase used (1.0 = every fetched byte useful).
+     */
+    double
+    blockUtilization() const
+    {
+        if (blocksTouched == 0)
+            return 0.0;
+        double per_block = trace::cacheBlockBytes / trace::elementBytes;
+        return static_cast<double>(elementsTouched) /
+               (static_cast<double>(blocksTouched) * per_block);
+    }
+
+    /** @return whether access is dominantly sequential (64B stride
+     *  within a block or less). */
+    bool
+    isStreaming() const
+    {
+        return dominantStrideShare > 0.5 &&
+               dominantStride >= 0 &&
+               dominantStride <=
+                   static_cast<int64_t>(trace::cacheBlockBytes);
+    }
+};
+
+/**
+ * Sink accumulating a spatial profile per phase (phase boundaries come
+ * from onPhaseMarker; everything before the first marker goes to the
+ * pseudo-phase 0xFFFFFFFF).
+ */
+class SpatialAnalyzer : public trace::TraceSink
+{
+  public:
+    SpatialAnalyzer() = default;
+
+    void onAccess(trace::Addr addr) override;
+    void onPhaseMarker(trace::PhaseId phase) override;
+    void onEnd() override;
+
+    /** @return the profile of one phase (empty profile if unseen). */
+    SpatialProfile profile(trace::PhaseId phase) const;
+
+    /** @return the whole-run profile. */
+    SpatialProfile wholeRun() const;
+
+    /** @return the phases observed (excluding the prologue). */
+    std::vector<trace::PhaseId> phasesSeen() const;
+
+  private:
+    struct Accum
+    {
+        uint64_t accesses = 0;
+        std::unordered_set<uint64_t> blocks;
+        std::unordered_set<uint64_t> elements;
+        std::map<int64_t, uint64_t> strides;
+        trace::Addr lastAddr = 0;
+        bool haveLast = false;
+    };
+
+    static SpatialProfile finalize(const Accum &a);
+    void record(Accum &a, trace::Addr addr);
+
+    std::unordered_map<trace::PhaseId, Accum> perPhase;
+    Accum whole;
+    trace::PhaseId current = 0xFFFFFFFFu;
+};
+
+} // namespace lpp::reuse
+
+#endif // LPP_REUSE_SPATIAL_HPP

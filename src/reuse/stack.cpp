@@ -1,0 +1,73 @@
+#include "reuse/stack.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace lpp::reuse {
+
+ReuseStack::ReuseStack(size_t capacity_hint)
+    : tree(std::max<size_t>(capacity_hint, 64))
+{
+}
+
+uint64_t
+ReuseStack::access(uint64_t element)
+{
+    if (now >= tree.size())
+        compact();
+
+    ++accesses;
+    uint64_t dist = infinite;
+    auto it = lastTime.find(element);
+    if (it != lastTime.end()) {
+        uint64_t prev = it->second;
+        // Distinct elements touched strictly after prev: marks in
+        // (prev, now). The mark at prev is this element's own.
+        dist = liveMarks - tree.prefix(prev);
+        tree.add(prev, -1);
+        --liveMarks;
+        it->second = now;
+    } else {
+        lastTime.emplace(element, now);
+    }
+    tree.add(now, +1);
+    ++liveMarks;
+    ++now;
+    return dist;
+}
+
+void
+ReuseStack::compact()
+{
+    // Reassign times 0..D-1 in increasing last-access order; size the new
+    // tree at >= 2D so the next compaction is at least D accesses away.
+    std::vector<std::pair<uint64_t, uint64_t>> order; // (time, element)
+    order.reserve(lastTime.size());
+    for (const auto &kv : lastTime)
+        order.emplace_back(kv.second, kv.first);
+    std::sort(order.begin(), order.end());
+
+    size_t want = std::max<size_t>(64, 2 * order.size() + 64);
+    tree = FenwickTree(std::max(want, tree.size()));
+    liveMarks = 0;
+    now = 0;
+    for (auto &te : order) {
+        lastTime[te.second] = now;
+        tree.add(now, +1);
+        ++liveMarks;
+        ++now;
+    }
+}
+
+void
+ReuseStack::reset()
+{
+    tree = FenwickTree(tree.size());
+    lastTime.clear();
+    now = 0;
+    accesses = 0;
+    liveMarks = 0;
+}
+
+} // namespace lpp::reuse

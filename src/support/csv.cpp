@@ -1,0 +1,72 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "support/logging.hpp"
+
+namespace lpp {
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : filePath(path)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec)
+            warn("cannot create directory %s: %s",
+                 p.parent_path().c_str(), ec.message().c_str());
+    }
+    out.open(path);
+    if (!out) {
+        warn("cannot open %s for writing", path.c_str());
+        return;
+    }
+    if (!header.empty())
+        row(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    if (!out)
+        return;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(cells[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::rowNumeric(const std::vector<double> &cells)
+{
+    std::vector<std::string> strs;
+    strs.reserve(cells.size());
+    char buf[64];
+    for (double v : cells) {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        strs.emplace_back(buf);
+    }
+    row(strs);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace lpp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV emission for benchmark/figure data series.
+ */
+
+#ifndef LPP_SUPPORT_CSV_HPP
+#define LPP_SUPPORT_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lpp {
+
+/**
+ * Writes one CSV file. Values are escaped per RFC 4180 when they contain
+ * commas, quotes, or newlines. The destination directory is created on
+ * demand so benches can write to bench_out/ unconditionally.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open `path` for writing, creating parent directories.
+     * @param path destination file
+     * @param header column names written as the first row (may be empty)
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Append one row of string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Append one row of doubles (formatted with %.6g). */
+    void rowNumeric(const std::vector<double> &cells);
+
+    /** @return whether the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** @return the path the writer was opened with. */
+    const std::string &path() const { return filePath; }
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::string filePath;
+    std::ofstream out;
+};
+
+} // namespace lpp
+
+#endif // LPP_SUPPORT_CSV_HPP

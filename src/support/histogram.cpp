@@ -1,0 +1,148 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace lpp {
+
+size_t
+LogHistogram::binIndex(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<size_t>(64 - std::countl_zero(value));
+}
+
+uint64_t
+LogHistogram::binLow(size_t b)
+{
+    return b == 0 ? 0 : (1ULL << (b - 1));
+}
+
+uint64_t
+LogHistogram::binHigh(size_t b)
+{
+    return b == 0 ? 1 : (1ULL << b);
+}
+
+void
+LogHistogram::add(uint64_t value)
+{
+    add(value, 1);
+}
+
+void
+LogHistogram::add(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value == infinite) {
+        infCount += count;
+        return;
+    }
+    size_t b = binIndex(value);
+    if (b >= bins.size())
+        bins.resize(b + 1, 0);
+    bins[b] += count;
+    finiteCount += count;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.bins.size() > bins.size())
+        bins.resize(other.bins.size(), 0);
+    for (size_t i = 0; i < other.bins.size(); ++i)
+        bins[i] += other.bins[i];
+    finiteCount += other.finiteCount;
+    infCount += other.infCount;
+}
+
+uint64_t
+LogHistogram::countAtLeast(uint64_t threshold) const
+{
+    uint64_t count = infCount;
+    size_t first_full = binIndex(threshold);
+    for (size_t b = first_full; b < bins.size(); ++b) {
+        if (binLow(b) >= threshold) {
+            count += bins[b];
+        } else {
+            // Straddling bin: assume uniform occupancy inside the bin.
+            uint64_t lo = binLow(b);
+            uint64_t hi = binHigh(b);
+            double frac = static_cast<double>(hi - threshold) /
+                          static_cast<double>(hi - lo);
+            count += static_cast<uint64_t>(
+                std::llround(frac * static_cast<double>(bins[b])));
+        }
+    }
+    return count;
+}
+
+double
+LogHistogram::missRate(uint64_t capacity) const
+{
+    uint64_t all = total();
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(countAtLeast(capacity)) /
+           static_cast<double>(all);
+}
+
+double
+LogHistogram::meanFinite() const
+{
+    if (finiteCount == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b] == 0)
+            continue;
+        double mid = b == 0
+            ? 0.0
+            : std::sqrt(static_cast<double>(binLow(b)) *
+                        static_cast<double>(binHigh(b) - 1));
+        sum += mid * static_cast<double>(bins[b]);
+    }
+    return sum / static_cast<double>(finiteCount);
+}
+
+uint64_t
+LogHistogram::binValue(size_t b) const
+{
+    return b < bins.size() ? bins[b] : 0;
+}
+
+double
+LogHistogram::distance(const LogHistogram &other) const
+{
+    uint64_t ta = total();
+    uint64_t tb = other.total();
+    if (ta == 0 && tb == 0)
+        return 0.0;
+    if (ta == 0 || tb == 0)
+        return 2.0;
+    double da = static_cast<double>(ta);
+    double db = static_cast<double>(tb);
+    size_t nb = std::max(bins.size(), other.bins.size());
+    double dist = 0.0;
+    for (size_t b = 0; b < nb; ++b) {
+        double pa = static_cast<double>(binValue(b)) / da;
+        double pb = static_cast<double>(other.binValue(b)) / db;
+        dist += std::abs(pa - pb);
+    }
+    dist += std::abs(static_cast<double>(infCount) / da -
+                     static_cast<double>(other.infCount) / db);
+    return dist;
+}
+
+void
+LogHistogram::clear()
+{
+    bins.clear();
+    finiteCount = 0;
+    infCount = 0;
+}
+
+} // namespace lpp

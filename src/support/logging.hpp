@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error reporting and status messages.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (library bugs), fatal() for unrecoverable user errors (bad configuration,
+ * invalid arguments), warn()/inform() for non-fatal status.
+ */
+
+#ifndef LPP_SUPPORT_LOGGING_HPP
+#define LPP_SUPPORT_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace lpp {
+
+/**
+ * Print a formatted message and abort. Call when an internal invariant is
+ * violated — something that should never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a formatted message and exit(1). Call when the library cannot
+ * continue because of a user error (bad configuration, invalid argument).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about questionable but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable or disable inform() output (warnings are always printed). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is currently enabled. */
+bool isVerbose();
+
+} // namespace lpp
+
+/**
+ * Assert-like macro that survives NDEBUG builds. Use for invariants whose
+ * violation means the analysis result would be silently wrong.
+ */
+#define LPP_REQUIRE(cond, fmt, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::lpp::panic("requirement (%s) failed at %s:%d: " fmt, #cond,   \
+                         __FILE__, __LINE__, ##__VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+#endif // LPP_SUPPORT_LOGGING_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (workload generators, the BBV
+ * random projection, the OS-noise model) draws from these generators so
+ * that runs are reproducible from a single seed. std::mt19937 is avoided
+ * because its state is large and its distributions are not guaranteed to be
+ * identical across standard-library implementations.
+ */
+
+#ifndef LPP_SUPPORT_RANDOM_HPP
+#define LPP_SUPPORT_RANDOM_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace lpp {
+
+/**
+ * SplitMix64: tiny, statistically solid generator, used both directly and
+ * to seed Xoshiro256StarStar.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** @return the next 64 pseudo-random bits. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman and Vigna: the library's general-purpose
+ * generator. Passes BigCrush; 2^256 - 1 period.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** @return the next 64 pseudo-random bits. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's nearly-divisionless rejection method.
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<uint64_t>(m);
+        if (lo < bound) {
+            uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return a standard normal deviate (Marsaglia polar method). */
+    double
+    gaussian()
+    {
+        if (hasSpare) {
+            hasSpare = false;
+            return spare;
+        }
+        double u, v, r2;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            r2 = u * u + v * v;
+        } while (r2 >= 1.0 || r2 == 0.0);
+        double scale = std::sqrt(-2.0 * std::log(r2) / r2);
+        spare = v * scale;
+        hasSpare = true;
+        return u * scale;
+    }
+
+    /** @return true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s[4];
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace lpp
+
+#endif // LPP_SUPPORT_RANDOM_HPP

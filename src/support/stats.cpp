@@ -1,0 +1,120 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace lpp {
+
+void
+RunningStats::push(double x)
+{
+    ++n;
+    total += x;
+    double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    minVal = std::min(minVal, x);
+    maxVal = std::max(maxVal, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.m - m;
+    size_t total_n = n + other.n;
+    double na = static_cast<double>(n);
+    double nb = static_cast<double>(other.n);
+    m += delta * nb / (na + nb);
+    m2 += other.m2 + delta * delta * na * nb / (na + nb);
+    n = total_n;
+    total += other.total;
+    minVal = std::min(minVal, other.minVal);
+    maxVal = std::max(maxVal, other.maxVal);
+}
+
+double
+RunningStats::mean() const
+{
+    return n == 0 ? 0.0 : m;
+}
+
+double
+RunningStats::variance() const
+{
+    return n < 2 ? 0.0 : m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+VectorStats::push(const std::vector<double> &v)
+{
+    LPP_REQUIRE(v.size() == comps.size(),
+                "vector dimension mismatch: %zu vs %zu",
+                v.size(), comps.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        comps[i].push(v[i]);
+}
+
+size_t
+VectorStats::count() const
+{
+    return comps.empty() ? 0 : comps.front().count();
+}
+
+std::vector<double>
+VectorStats::mean() const
+{
+    std::vector<double> out(comps.size());
+    for (size_t i = 0; i < comps.size(); ++i)
+        out[i] = comps[i].mean();
+    return out;
+}
+
+std::vector<double>
+VectorStats::stddev() const
+{
+    std::vector<double> out(comps.size());
+    for (size_t i = 0; i < comps.size(); ++i)
+        out[i] = comps[i].stddev();
+    return out;
+}
+
+double
+VectorStats::averageStddev() const
+{
+    if (comps.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &c : comps)
+        sum += c.stddev();
+    return sum / static_cast<double>(comps.size());
+}
+
+double
+quantile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    double idx = p * static_cast<double>(values.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace lpp

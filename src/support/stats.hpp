@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming statistics helpers.
+ */
+
+#ifndef LPP_SUPPORT_STATS_HPP
+#define LPP_SUPPORT_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lpp {
+
+/**
+ * Welford's online algorithm for mean and variance. Numerically stable for
+ * long streams; supports merging partial results.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** @return the number of observations. */
+    size_t count() const { return n; }
+
+    /** @return the sample mean (0 when empty). */
+    double mean() const;
+
+    /** @return the population variance (0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** @return the population standard deviation. */
+    double stddev() const;
+
+    /** @return the smallest observation (+inf when empty). */
+    double min() const { return minVal; }
+
+    /** @return the largest observation (-inf when empty). */
+    double max() const { return maxVal; }
+
+    /** @return the sum of all observations. */
+    double sum() const { return total; }
+
+  private:
+    size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double total = 0.0;
+    double minVal = 1.0 / 0.0;
+    double maxVal = -1.0 / 0.0;
+};
+
+/**
+ * Statistics over a fixed-dimension vector stream: per-component mean and
+ * standard deviation, plus the averaged component std-dev that Table 4 of
+ * the paper reports for 8-point locality vectors.
+ */
+class VectorStats
+{
+  public:
+    /** @param dim number of vector components. */
+    explicit VectorStats(size_t dim) : comps(dim) {}
+
+    /** Add one observation vector; v.size() must equal dim. */
+    void push(const std::vector<double> &v);
+
+    /** @return number of vectors observed. */
+    size_t count() const;
+
+    /** @return dimensionality. */
+    size_t dim() const { return comps.size(); }
+
+    /** @return the per-component means. */
+    std::vector<double> mean() const;
+
+    /** @return the per-component standard deviations. */
+    std::vector<double> stddev() const;
+
+    /**
+     * @return the mean of the per-component standard deviations — the
+     * scalar "standard deviation of the locality vector" used in Table 4.
+     */
+    double averageStddev() const;
+
+  private:
+    std::vector<RunningStats> comps;
+};
+
+/** @return the p-quantile (0 <= p <= 1) of values; empty input returns 0. */
+double quantile(std::vector<double> values, double p);
+
+} // namespace lpp
+
+#endif // LPP_SUPPORT_STATS_HPP

@@ -1,0 +1,25 @@
+#include "trace/instrument.hpp"
+
+namespace lpp::trace {
+
+std::vector<std::pair<BlockId, PhaseId>>
+MarkerTable::entries() const
+{
+    std::vector<std::pair<BlockId, PhaseId>> out;
+    out.reserve(table.size());
+    for (const auto &kv : table)
+        out.emplace_back(kv.first, kv.second);
+    return out;
+}
+
+void
+Instrumenter::onBlock(BlockId block, uint32_t instructions)
+{
+    if (const PhaseId *phase = markers.find(block)) {
+        out.onPhaseMarker(*phase);
+        ++fired;
+    }
+    out.onBlock(block, instructions);
+}
+
+} // namespace lpp::trace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Marker instrumentation — the binary-rewriting stand-in.
+ *
+ * The paper's final off-line step rewrites the program binary so that a
+ * chosen basic block fires a phase marker whenever it executes. Here the
+ * same effect is achieved by interposing an Instrumenter between the
+ * running workload and the downstream sinks: when a block in the marker
+ * table executes, the Instrumenter injects an onPhaseMarker event before
+ * forwarding the block. The observable semantics match rewriting exactly.
+ */
+
+#ifndef LPP_TRACE_INSTRUMENT_HPP
+#define LPP_TRACE_INSTRUMENT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+/**
+ * The set of markers to insert: which basic block announces which leaf
+ * phase. Produced by phase::MarkerSelector; consumed by Instrumenter.
+ */
+class MarkerTable
+{
+  public:
+    /** Map `block` to announce `phase`; a block marks at most one phase. */
+    void set(BlockId block, PhaseId phase) { table[block] = phase; }
+
+    /** @return pointer to the phase marked by `block`, or nullptr. */
+    const PhaseId *
+    find(BlockId block) const
+    {
+        auto it = table.find(block);
+        return it == table.end() ? nullptr : &it->second;
+    }
+
+    /** @return number of marker blocks. */
+    size_t size() const { return table.size(); }
+
+    /** @return whether no markers are installed. */
+    bool empty() const { return table.empty(); }
+
+    /** @return all (block, phase) pairs, unordered. */
+    std::vector<std::pair<BlockId, PhaseId>> entries() const;
+
+  private:
+    std::unordered_map<BlockId, PhaseId> table;
+};
+
+/**
+ * Applies a MarkerTable to a live execution: forwards all events to the
+ * downstream sink and injects onPhaseMarker(phase) immediately before a
+ * marked block executes.
+ */
+class Instrumenter : public TraceSink
+{
+  public:
+    /**
+     * @param table marker table to apply (copied)
+     * @param downstream sink receiving the instrumented stream; not owned
+     */
+    Instrumenter(MarkerTable table, TraceSink &downstream)
+        : markers(std::move(table)), out(downstream)
+    {}
+
+    void onBlock(BlockId block, uint32_t instructions) override;
+    void onAccess(Addr addr) override { out.onAccess(addr); }
+
+    void
+    onManualMarker(uint32_t marker_id) override
+    {
+        out.onManualMarker(marker_id);
+    }
+
+    void onEnd() override { out.onEnd(); }
+
+    /** @return how many marker firings were injected so far. */
+    uint64_t firings() const { return fired; }
+
+  private:
+    MarkerTable markers;
+    TraceSink &out;
+    uint64_t fired = 0;
+};
+
+/**
+ * Records each phase-marker firing with its position on both clocks;
+ * the run-time predictor and the evaluation harness consume this.
+ */
+struct MarkerFiring
+{
+    PhaseId phase;       //!< announced leaf phase
+    uint64_t accessTime; //!< data accesses before the firing
+    uint64_t instrTime;  //!< instructions retired before the firing
+};
+
+/** Collects marker firings together with the logical clocks. */
+class MarkerFiringRecorder : public TraceSink
+{
+  public:
+    void onBlock(BlockId, uint32_t instructions) override
+    {
+        instrClock += instructions;
+    }
+
+    void onAccess(Addr) override { ++accessClock; }
+
+    void
+    onPhaseMarker(PhaseId phase) override
+    {
+        firingList.push_back(MarkerFiring{phase, accessClock, instrClock});
+    }
+
+    void onEnd() override { ended = true; }
+
+    /** @return all firings in execution order. */
+    const std::vector<MarkerFiring> &firings() const { return firingList; }
+
+    /** @return total instructions retired by the execution. */
+    uint64_t totalInstructions() const { return instrClock; }
+
+    /** @return total data accesses of the execution. */
+    uint64_t totalAccesses() const { return accessClock; }
+
+    /** @return whether onEnd was observed. */
+    bool finished() const { return ended; }
+
+  private:
+    std::vector<MarkerFiring> firingList;
+    uint64_t accessClock = 0;
+    uint64_t instrClock = 0;
+    bool ended = false;
+};
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_INSTRUMENT_HPP

@@ -1,0 +1,13 @@
+#include "trace/recorder.hpp"
+
+namespace lpp::trace {
+
+void
+BlockRecorder::onBlock(BlockId block, uint32_t instructions)
+{
+    blockEvents.push_back(
+        BlockEvent{block, instructions, accessClock, instrClock});
+    instrClock += instructions;
+}
+
+} // namespace lpp::trace

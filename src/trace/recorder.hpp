@@ -1,0 +1,101 @@
+/**
+ * @file
+ * In-memory trace recorders used by the off-line analysis.
+ */
+
+#ifndef LPP_TRACE_RECORDER_HPP
+#define LPP_TRACE_RECORDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+/**
+ * Records the full data-access trace. Only used for small training runs
+ * and unit tests; the production path samples instead (reuse module).
+ */
+class AccessRecorder : public TraceSink
+{
+  public:
+    void onAccess(Addr addr) override { addrs.push_back(addr); }
+
+    /** @return the recorded address sequence. */
+    const std::vector<Addr> &accesses() const { return addrs; }
+
+    /** Release the recorded trace (moves it out). */
+    std::vector<Addr> take() { return std::move(addrs); }
+
+  private:
+    std::vector<Addr> addrs;
+};
+
+/** One basic-block execution with its position on both logical clocks. */
+struct BlockEvent
+{
+    BlockId block;          //!< basic block identifier
+    uint32_t instructions;  //!< instructions retired by this execution
+    uint64_t accessTime;    //!< data accesses before this block ran
+    uint64_t instrTime;     //!< instructions retired before this block ran
+};
+
+/**
+ * Records the basic-block trace with both logical clocks, as needed by
+ * marker selection (instruction positions) and by the correlation of
+ * block positions against access-trace phase boundaries.
+ */
+class BlockRecorder : public TraceSink
+{
+  public:
+    void onBlock(BlockId block, uint32_t instructions) override;
+    void onAccess(Addr) override { ++accessClock; }
+
+    /** @return the recorded block event sequence. */
+    const std::vector<BlockEvent> &events() const { return blockEvents; }
+
+    /** @return total instructions retired. */
+    uint64_t totalInstructions() const { return instrClock; }
+
+    /** @return total data accesses observed. */
+    uint64_t totalAccesses() const { return accessClock; }
+
+  private:
+    std::vector<BlockEvent> blockEvents;
+    uint64_t accessClock = 0;
+    uint64_t instrClock = 0;
+};
+
+/**
+ * Records the logical times (access counts) at which manual markers fire;
+ * ground truth for the Table 6 recall/precision comparison.
+ */
+class ManualMarkerRecorder : public TraceSink
+{
+  public:
+    void onAccess(Addr) override { ++accessClock; }
+
+    void
+    onManualMarker(uint32_t marker_id) override
+    {
+        markerTimes.push_back(accessClock);
+        markerIds.push_back(marker_id);
+    }
+
+    /** @return access-clock timestamps of every manual marker firing. */
+    const std::vector<uint64_t> &times() const { return markerTimes; }
+
+    /** @return the marker id of each firing, aligned with times(). */
+    const std::vector<uint32_t> &ids() const { return markerIds; }
+
+  private:
+    std::vector<uint64_t> markerTimes;
+    std::vector<uint32_t> markerIds;
+    uint64_t accessClock = 0;
+};
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_RECORDER_HPP

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trace sinks: consumers of a simulated program's event stream.
+ *
+ * A running workload streams three kinds of events — basic-block
+ * executions (with retired instruction counts), data accesses (byte
+ * addresses), and programmer-inserted manual markers. This is exactly the
+ * information the paper extracted with ATOM on Alpha; every analysis in
+ * the library consumes it through the TraceSink interface, so the
+ * synthetic workloads and a real instrumentation front end are
+ * interchangeable.
+ */
+
+#ifndef LPP_TRACE_SINK_HPP
+#define LPP_TRACE_SINK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+/**
+ * Interface for consumers of the execution event stream. All callbacks
+ * have empty default implementations so sinks override only what they
+ * need.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * A basic block executed.
+     * @param block the block's identifier
+     * @param instructions instructions retired by this block execution
+     */
+    virtual void onBlock(BlockId block, uint32_t instructions)
+    {
+        (void)block;
+        (void)instructions;
+    }
+
+    /** A data access to byte address `addr`. */
+    virtual void onAccess(Addr addr) { (void)addr; }
+
+    /**
+     * A programmer-inserted (manual) phase marker fired. Used only as
+     * ground truth for the manual-vs-automatic comparison (Table 6).
+     */
+    virtual void onManualMarker(uint32_t marker_id) { (void)marker_id; }
+
+    /**
+     * An automatically inserted phase marker fired. Only emitted by
+     * Instrumenter (the binary-rewriting stand-in), never by workloads.
+     */
+    virtual void onPhaseMarker(PhaseId phase) { (void)phase; }
+
+    /** The execution finished. */
+    virtual void onEnd() {}
+};
+
+/** Forwards every event to a list of downstream sinks, in order. */
+class FanoutSink : public TraceSink
+{
+  public:
+    /** Append a downstream sink; not owned, must outlive the fanout. */
+    void attach(TraceSink *sink) { sinks.push_back(sink); }
+
+    void
+    onBlock(BlockId block, uint32_t instructions) override
+    {
+        for (auto *s : sinks)
+            s->onBlock(block, instructions);
+    }
+
+    void
+    onAccess(Addr addr) override
+    {
+        for (auto *s : sinks)
+            s->onAccess(addr);
+    }
+
+    void
+    onManualMarker(uint32_t marker_id) override
+    {
+        for (auto *s : sinks)
+            s->onManualMarker(marker_id);
+    }
+
+    void
+    onPhaseMarker(PhaseId phase) override
+    {
+        for (auto *s : sinks)
+            s->onPhaseMarker(phase);
+    }
+
+    void
+    onEnd() override
+    {
+        for (auto *s : sinks)
+            s->onEnd();
+    }
+
+  private:
+    std::vector<TraceSink *> sinks;
+};
+
+/**
+ * Maintains the two logical clocks of an execution: the number of data
+ * accesses (the paper's "logical time") and the number of retired
+ * instructions.
+ */
+class ClockSink : public TraceSink
+{
+  public:
+    void
+    onBlock(BlockId, uint32_t instructions) override
+    {
+        instrs += instructions;
+    }
+
+    void onAccess(Addr) override { ++accs; }
+
+    /** @return data accesses seen so far (logical time). */
+    uint64_t accesses() const { return accs; }
+
+    /** @return instructions retired so far. */
+    uint64_t instructions() const { return instrs; }
+
+  private:
+    uint64_t accs = 0;
+    uint64_t instrs = 0;
+};
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_SINK_HPP

@@ -1,0 +1,132 @@
+#include "trace/textio.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace lpp::trace {
+
+namespace {
+constexpr const char *header = "# lpp-trace 1";
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path) : out(path)
+{
+    if (out)
+        out << header << "\n";
+}
+
+void
+TraceWriter::onBlock(BlockId block, uint32_t instructions)
+{
+    out << "B " << block << " " << instructions << "\n";
+    ++events;
+}
+
+void
+TraceWriter::onAccess(Addr addr)
+{
+    out << "A 0x" << std::hex << addr << std::dec << "\n";
+    ++events;
+}
+
+void
+TraceWriter::onManualMarker(uint32_t marker_id)
+{
+    out << "M " << marker_id << "\n";
+    ++events;
+}
+
+void
+TraceWriter::onPhaseMarker(PhaseId phase)
+{
+    out << "P " << phase << "\n";
+    ++events;
+}
+
+void
+TraceWriter::onEnd()
+{
+    out << "E\n";
+    ++events;
+    out.flush();
+}
+
+ReplayFileResult
+replayTraceFile(const std::string &path, TraceSink &sink)
+{
+    ReplayFileResult result;
+    std::ifstream in(path);
+    if (!in) {
+        result.error = "cannot open file";
+        return result;
+    }
+
+    std::string line;
+    if (!std::getline(in, line) || line != header) {
+        result.line = 1;
+        result.error = "missing 'lpp-trace 1' header";
+        return result;
+    }
+    result.line = 1;
+
+    auto fail = [&result](const char *msg) {
+        result.error = msg;
+        return result;
+    };
+
+    while (std::getline(in, line)) {
+        ++result.line;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const char *s = line.c_str();
+        char *end = nullptr;
+        switch (s[0]) {
+          case 'B': {
+            uint64_t block = std::strtoull(s + 1, &end, 10);
+            if (end == s + 1)
+                return fail("malformed block id");
+            uint64_t instrs = std::strtoull(end, &end, 10);
+            if (*end != '\0' || block > 0xFFFFFFFFull ||
+                instrs > 0xFFFFFFFFull)
+                return fail("malformed block line");
+            sink.onBlock(static_cast<BlockId>(block),
+                         static_cast<uint32_t>(instrs));
+            break;
+          }
+          case 'A': {
+            uint64_t addr = std::strtoull(s + 1, &end, 0);
+            if (end == s + 1 || *end != '\0')
+                return fail("malformed access line");
+            sink.onAccess(addr);
+            break;
+          }
+          case 'M': {
+            uint64_t id = std::strtoull(s + 1, &end, 10);
+            if (end == s + 1 || *end != '\0' || id > 0xFFFFFFFFull)
+                return fail("malformed marker line");
+            sink.onManualMarker(static_cast<uint32_t>(id));
+            break;
+          }
+          case 'P': {
+            uint64_t id = std::strtoull(s + 1, &end, 10);
+            if (end == s + 1 || *end != '\0' || id > 0xFFFFFFFFull)
+                return fail("malformed phase line");
+            sink.onPhaseMarker(static_cast<PhaseId>(id));
+            break;
+          }
+          case 'E':
+            if (line != "E")
+                return fail("malformed end line");
+            sink.onEnd();
+            break;
+          default:
+            return fail("unknown record type");
+        }
+        ++result.events;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace lpp::trace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Text interchange format for event traces.
+ *
+ * The analysis consumes only TraceSink events, so any instrumentation
+ * front end (a Pin tool, a Valgrind plugin, the paper's ATOM) can feed
+ * it by dumping this line format and replaying the file:
+ *
+ *   # lpp-trace 1          header (required first line)
+ *   B <block> <instrs>     basic block executed
+ *   A <addr>               data access (hex with 0x, or decimal)
+ *   M <marker>             manual (programmer) phase marker
+ *   P <phase>              auto phase marker (from instrumented runs)
+ *   E                      end of execution
+ *
+ * Lines starting with '#' after the header are comments. TraceWriter
+ * produces the format; replayTraceFile() streams a file into any sink.
+ */
+
+#ifndef LPP_TRACE_TEXTIO_HPP
+#define LPP_TRACE_TEXTIO_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+/** Sink that serializes the event stream to the text format. */
+class TraceWriter : public TraceSink
+{
+  public:
+    /** Open `path` for writing (truncates). */
+    explicit TraceWriter(const std::string &path);
+
+    void onBlock(BlockId block, uint32_t instructions) override;
+    void onAccess(Addr addr) override;
+    void onManualMarker(uint32_t marker_id) override;
+    void onPhaseMarker(PhaseId phase) override;
+    void onEnd() override;
+
+    /** @return whether the file opened and all writes succeeded. */
+    bool ok() const { return static_cast<bool>(out); }
+
+    /** @return events written so far. */
+    uint64_t eventCount() const { return events; }
+
+  private:
+    std::ofstream out;
+    uint64_t events = 0;
+};
+
+/** Outcome of replaying a trace file. */
+struct ReplayFileResult
+{
+    bool ok = false;          //!< parsed to the end without error
+    uint64_t events = 0;      //!< events delivered
+    uint64_t line = 0;        //!< line of the first error (ok==false)
+    std::string error;        //!< human-readable error (ok==false)
+};
+
+/**
+ * Stream a trace file into `sink`. Parsing stops at the first
+ * malformed line; events before it have already been delivered.
+ */
+ReplayFileResult replayTraceFile(const std::string &path,
+                                 TraceSink &sink);
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_TEXTIO_HPP

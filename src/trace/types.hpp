@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental types shared by the tracing framework.
+ */
+
+#ifndef LPP_TRACE_TYPES_HPP
+#define LPP_TRACE_TYPES_HPP
+
+#include <cstdint>
+
+namespace lpp::trace {
+
+/** Byte address in the simulated program's address space. */
+using Addr = uint64_t;
+
+/** Identifier of a basic block in the simulated program. */
+using BlockId = uint32_t;
+
+/** Identifier of a phase (leaf phase of the detected hierarchy). */
+using PhaseId = uint32_t;
+
+/** Granularity at which reuse distance treats data as one element. */
+constexpr Addr elementBytes = 8;
+
+/** Cache block size used throughout the evaluation (paper Section 3.2). */
+constexpr Addr cacheBlockBytes = 64;
+
+/** @return the element index containing a byte address. */
+constexpr uint64_t
+toElement(Addr addr)
+{
+    return addr / elementBytes;
+}
+
+/** @return the cache block index containing a byte address. */
+constexpr uint64_t
+toCacheBlock(Addr addr)
+{
+    return addr / cacheBlockBytes;
+}
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_TYPES_HPP

@@ -1,0 +1,139 @@
+#include "wavelet/dwt.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace lpp::wavelet {
+
+namespace {
+
+/** Periodic index into a signal of length n. */
+inline size_t
+wrap(size_t i, size_t n)
+{
+    return i % n;
+}
+
+/** Whole-sample symmetric (reflected) index into a signal of length n. */
+inline size_t
+reflect(long i, long n)
+{
+    if (n == 1)
+        return 0;
+    long period = 2 * (n - 1);
+    long k = i % period;
+    if (k < 0)
+        k += period;
+    return static_cast<size_t>(k < n ? k : period - k);
+}
+
+} // namespace
+
+LevelCoefficients
+Dwt::analyzeLevel(const std::vector<double> &signal) const
+{
+    std::vector<double> padded = signal;
+    if (padded.size() % 2 != 0)
+        padded.push_back(padded.empty() ? 0.0 : padded.back());
+
+    size_t n = padded.size();
+    size_t half = n / 2;
+    const auto &h = bank.lowpass();
+    const auto &g = bank.highpass();
+    size_t taps = bank.length();
+
+    LevelCoefficients out;
+    out.approx.resize(half);
+    out.detail.resize(half);
+    for (size_t i = 0; i < half; ++i) {
+        double a = 0.0;
+        double d = 0.0;
+        for (size_t k = 0; k < taps; ++k) {
+            double x = padded[wrap(2 * i + k, n)];
+            a += h[k] * x;
+            d += g[k] * x;
+        }
+        out.approx[i] = a;
+        out.detail[i] = d;
+    }
+    return out;
+}
+
+std::vector<double>
+Dwt::synthesizeLevel(const LevelCoefficients &level, size_t size) const
+{
+    size_t half = level.approx.size();
+    LPP_REQUIRE(level.detail.size() == half,
+                "approx/detail size mismatch: %zu vs %zu",
+                half, level.detail.size());
+    size_t n = 2 * half;
+    const auto &h = bank.lowpass();
+    const auto &g = bank.highpass();
+    size_t taps = bank.length();
+
+    std::vector<double> signal(n, 0.0);
+    for (size_t i = 0; i < half; ++i) {
+        for (size_t k = 0; k < taps; ++k) {
+            size_t j = wrap(2 * i + k, n);
+            signal[j] += h[k] * level.approx[i] + g[k] * level.detail[i];
+        }
+    }
+    signal.resize(std::min(size, n));
+    return signal;
+}
+
+Decomposition
+Dwt::decompose(const std::vector<double> &signal, size_t levels) const
+{
+    Decomposition dec;
+    dec.originalSize = signal.size();
+    std::vector<double> current = signal;
+    for (size_t lvl = 0; lvl < levels; ++lvl) {
+        if (current.size() < bank.length())
+            break;
+        LevelCoefficients lc = analyzeLevel(current);
+        dec.detail.push_back(std::move(lc.detail));
+        current = std::move(lc.approx);
+    }
+    dec.finalApprox = std::move(current);
+    return dec;
+}
+
+std::vector<double>
+Dwt::reconstruct(const Decomposition &dec) const
+{
+    std::vector<double> current = dec.finalApprox;
+    for (size_t lvl = dec.detail.size(); lvl-- > 0;) {
+        LevelCoefficients lc;
+        lc.approx = std::move(current);
+        lc.detail = dec.detail[lvl];
+        // The signal at level lvl had length originalSize at the top and
+        // detail[lvl-1].size() below (it was the previous level's approx).
+        size_t target = lvl == 0 ? dec.originalSize
+                                 : dec.detail[lvl - 1].size();
+        current = synthesizeLevel(lc, target);
+    }
+    return current;
+}
+
+std::vector<double>
+Dwt::stationaryDetail(const std::vector<double> &signal) const
+{
+    long n = static_cast<long>(signal.size());
+    const auto &g = bank.highpass();
+    long taps = static_cast<long>(bank.length());
+    long center = (taps - 1) / 2;
+
+    std::vector<double> detail(signal.size(), 0.0);
+    for (long i = 0; i < n; ++i) {
+        double d = 0.0;
+        for (long k = 0; k < taps; ++k)
+            d += g[static_cast<size_t>(k)] *
+                 signal[reflect(i + k - center, n)];
+        detail[static_cast<size_t>(i)] = d;
+    }
+    return detail;
+}
+
+} // namespace lpp::wavelet

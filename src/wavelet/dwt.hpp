@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete Wavelet Transform: decimated multi-level analysis/synthesis
+ * with periodic extension, and the undecimated single-level detail
+ * transform used by the phase-detection filter.
+ */
+
+#ifndef LPP_WAVELET_DWT_HPP
+#define LPP_WAVELET_DWT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "wavelet/wavelet.hpp"
+
+namespace lpp::wavelet {
+
+/** Result of one decimated analysis level. */
+struct LevelCoefficients
+{
+    std::vector<double> approx; //!< scaling coefficients c_j(k)
+    std::vector<double> detail; //!< wavelet coefficients w_j(k)
+};
+
+/** A full multi-level decomposition. */
+struct Decomposition
+{
+    /** detail[j] holds level j+1 wavelet coefficients. */
+    std::vector<std::vector<double>> detail;
+    /** Scaling coefficients of the deepest level. */
+    std::vector<double> finalApprox;
+    /** Original signal length (needed for reconstruction of odd sizes). */
+    size_t originalSize = 0;
+};
+
+/**
+ * Discrete wavelet transform engine for a fixed filter bank.
+ *
+ * The decimated transform uses periodic signal extension, which makes
+ * analysis/synthesis a perfect-reconstruction pair for even-length
+ * signals (odd lengths are zero-padded by one).
+ */
+class Dwt
+{
+  public:
+    /** @param family wavelet family to use. */
+    explicit Dwt(Family family = Family::Daubechies6) : bank(family) {}
+
+    /** One decimated analysis level with periodic extension. */
+    LevelCoefficients analyzeLevel(const std::vector<double> &signal) const;
+
+    /** Invert one analysis level; `size` is the original length. */
+    std::vector<double> synthesizeLevel(const LevelCoefficients &level,
+                                        size_t size) const;
+
+    /**
+     * Multi-level decomposition.
+     * @param signal input signal
+     * @param levels number of levels (clamped so each level has >= taps
+     *               samples)
+     */
+    Decomposition decompose(const std::vector<double> &signal,
+                            size_t levels) const;
+
+    /** Reconstruct a signal from its decomposition. */
+    std::vector<double> reconstruct(const Decomposition &dec) const;
+
+    /**
+     * Undecimated (stationary) level-1 detail coefficients with
+     * whole-sample symmetric extension: one coefficient per input
+     * sample, so every access of a sub-trace gets a change magnitude.
+     */
+    std::vector<double>
+    stationaryDetail(const std::vector<double> &signal) const;
+
+    /** @return the filter bank in use. */
+    const FilterBank &filters() const { return bank; }
+
+  private:
+    FilterBank bank;
+};
+
+} // namespace lpp::wavelet
+
+#endif // LPP_WAVELET_DWT_HPP

@@ -1,0 +1,67 @@
+#include "wavelet/wavelet.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace lpp::wavelet {
+
+namespace {
+
+std::vector<double>
+lowpassTaps(Family family)
+{
+    const double s2 = std::sqrt(2.0);
+    const double s3 = std::sqrt(3.0);
+    switch (family) {
+      case Family::Haar:
+        return {1.0 / s2, 1.0 / s2};
+      case Family::Daubechies4:
+        return {
+            (1.0 + s3) / (4.0 * s2),
+            (3.0 + s3) / (4.0 * s2),
+            (3.0 - s3) / (4.0 * s2),
+            (1.0 - s3) / (4.0 * s2),
+        };
+      case Family::Daubechies6:
+        // Derived by spectral factorization of 1 + 3y + 6y^2; consistent
+        // (orthonormal, sum sqrt(2)) to machine precision.
+        return {
+            0.3326705529500826,
+            0.8068915093110924,
+            0.45987750211849154,
+            -0.13501102001025447,
+            -0.0854412738820266,
+            0.03522629188570955,
+        };
+    }
+    panic("unknown wavelet family %d", static_cast<int>(family));
+}
+
+} // namespace
+
+FilterBank::FilterBank(Family family)
+    : fam(family), h(lowpassTaps(family))
+{
+    g.resize(h.size());
+    for (size_t k = 0; k < h.size(); ++k) {
+        double sign = (k % 2 == 0) ? 1.0 : -1.0;
+        g[k] = sign * h[h.size() - 1 - k];
+    }
+}
+
+std::string
+FilterBank::name(Family family)
+{
+    switch (family) {
+      case Family::Haar:
+        return "Haar";
+      case Family::Daubechies4:
+        return "Daubechies-4";
+      case Family::Daubechies6:
+        return "Daubechies-6";
+    }
+    return "unknown";
+}
+
+} // namespace lpp::wavelet

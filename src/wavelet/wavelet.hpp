@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Orthonormal wavelet filter banks.
+ *
+ * The paper uses Daubechies-6 for its off-line filtering and notes that
+ * other families produce similar results; Haar (Daubechies-2) and
+ * Daubechies-4 are provided for the same sensitivity study.
+ */
+
+#ifndef LPP_WAVELET_WAVELET_HPP
+#define LPP_WAVELET_WAVELET_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lpp::wavelet {
+
+/** Supported wavelet families. */
+enum class Family
+{
+    Haar,        //!< Daubechies-2 (2 taps)
+    Daubechies4, //!< 4 taps
+    Daubechies6, //!< 6 taps — the paper's choice
+};
+
+/**
+ * An orthonormal two-channel filter bank: the scaling (low-pass) filter h
+ * and the wavelet (high-pass) filter g with g[k] = (-1)^k h[L-1-k].
+ */
+class FilterBank
+{
+  public:
+    /** Construct the bank for a family. */
+    explicit FilterBank(Family family);
+
+    /** @return the low-pass (scaling) taps. */
+    const std::vector<double> &lowpass() const { return h; }
+
+    /** @return the high-pass (wavelet) taps. */
+    const std::vector<double> &highpass() const { return g; }
+
+    /** @return number of taps. */
+    size_t length() const { return h.size(); }
+
+    /** @return the family this bank implements. */
+    Family family() const { return fam; }
+
+    /** @return a human-readable family name. */
+    static std::string name(Family family);
+
+  private:
+    Family fam;
+    std::vector<double> h;
+    std::vector<double> g;
+};
+
+} // namespace lpp::wavelet
+
+#endif // LPP_WAVELET_WAVELET_HPP

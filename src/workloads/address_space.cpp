@@ -1,0 +1,42 @@
+#include "workloads/address_space.hpp"
+
+#include "support/logging.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+constexpr trace::Addr pageBytes = 4096;
+}
+
+AddressSpace::AddressSpace(trace::Addr base) : next(base)
+{
+}
+
+ArrayInfo
+AddressSpace::allocate(const std::string &name, uint64_t elements,
+                       uint32_t elem_bytes)
+{
+    LPP_REQUIRE(elements > 0, "empty array %s", name.c_str());
+    ArrayInfo info;
+    info.name = name;
+    info.base = next;
+    info.elements = elements;
+    info.elemBytes = elem_bytes;
+
+    trace::Addr bytes = elements * elem_bytes;
+    next += (bytes + pageBytes - 1) / pageBytes * pageBytes;
+    arrayList.push_back(info);
+    return info;
+}
+
+const ArrayInfo *
+AddressSpace::find(trace::Addr addr) const
+{
+    for (const auto &a : arrayList) {
+        if (a.contains(addr))
+            return &a;
+    }
+    return nullptr;
+}
+
+} // namespace lpp::workloads

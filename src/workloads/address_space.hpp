@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated address space: named array allocation with page alignment.
+ */
+
+#ifndef LPP_WORKLOADS_ADDRESS_SPACE_HPP
+#define LPP_WORKLOADS_ADDRESS_SPACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace lpp::workloads {
+
+/** Metadata of one allocated array. */
+struct ArrayInfo
+{
+    std::string name;       //!< source-level array name
+    trace::Addr base = 0;   //!< base byte address
+    uint64_t elements = 0;  //!< element count
+    uint32_t elemBytes = 8; //!< element size
+
+    /** @return byte address of element i. */
+    trace::Addr
+    at(uint64_t i) const
+    {
+        return base + i * elemBytes;
+    }
+
+    /** @return one past the last byte. */
+    trace::Addr end() const { return base + elements * elemBytes; }
+
+    /** @return whether `addr` falls inside this array. */
+    bool
+    contains(trace::Addr addr) const
+    {
+        return addr >= base && addr < end();
+    }
+};
+
+/**
+ * Bump allocator over a simulated address space. Arrays are page
+ * aligned and padded so distinct arrays never share a cache block.
+ */
+class AddressSpace
+{
+  public:
+    /** @param base first address handed out. */
+    explicit AddressSpace(trace::Addr base = 0x10000);
+
+    /**
+     * Allocate a named array.
+     * @param name source-level name
+     * @param elements element count
+     * @param elem_bytes element size (default 8-byte words)
+     */
+    ArrayInfo allocate(const std::string &name, uint64_t elements,
+                       uint32_t elem_bytes = 8);
+
+    /** @return every allocation, in order. */
+    const std::vector<ArrayInfo> &allArrays() const { return arrayList; }
+
+    /** @return the allocation containing `addr`, or nullptr. */
+    const ArrayInfo *find(trace::Addr addr) const;
+
+  private:
+    trace::Addr next;
+    std::vector<ArrayInfo> arrayList;
+};
+
+} // namespace lpp::workloads
+
+#endif // LPP_WORKLOADS_ADDRESS_SPACE_HPP

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Compress-like workload: the UNIX compress utility shape (SPEC95 Int).
+ *
+ * The benchmark repeatedly compresses and decompresses a buffer. Each
+ * cycle runs two long phases — compress (input buffer + dictionary
+ * probing) and decompress (output buffer + dictionary) — plus a short
+ * setup phase, giving the paper's 52 executions of 4 phases with
+ * perfectly repeating lengths. Dictionary probes concentrate on a
+ * per-cycle hot subset; a dictionary datum hot in one cycle and cold in
+ * the next changes reuse behaviour abruptly at the cycle boundary,
+ * which is what phase detection keys on.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t bufLen;  //!< buffer elements per cycle
+    uint64_t dictLen; //!< dictionary elements
+    uint32_t cycles;  //!< compress/decompress cycles
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.bufLen = static_cast<uint64_t>(4500.0 * in.scale);
+    p.dictLen = 1 << 14;
+    p.cycles = 26;
+    return p;
+}
+
+class Compress : public Workload
+{
+  public:
+    std::string name() const override { return "compress"; }
+
+    std::string
+    description() const override
+    {
+        return "common UNIX compression utility";
+    }
+
+    std::string source() const override { return "Spec95Int"; }
+
+    WorkloadInput trainInput() const override { return {51, 1.0}; }
+
+    WorkloadInput refInput() const override { return {52, 40.0}; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &inbuf = arr[0], &outbuf = arr[1],
+                        &dict = arr[2], &codes = arr[3],
+                        &table = arr[4];
+
+        Emitter e(sink);
+        Rng rng(input.seed);
+
+        uint64_t window = std::max<uint64_t>(
+            32, codes.elements / p.cycles);
+        auto window_base = [&](uint32_t c, const ArrayInfo &a,
+                               uint64_t shift) {
+            return (static_cast<uint64_t>(c) * window + shift) %
+                   (a.elements - window);
+        };
+
+        for (uint32_t c = 0; c < p.cycles; ++c) {
+            // Per-cycle hot dictionary region (data-dependent hashing).
+            uint64_t hot_base = rng.below(p.dictLen / 2);
+            uint64_t hot_len = p.dictLen / 8;
+
+            e.marker(0); // manual: cycle setup (code tables)
+            e.block(501, 14);
+            for (uint64_t i = 0; i < codes.elements; ++i) {
+                e.block(511, 8);
+                e.touch(codes, i);
+            }
+
+            e.marker(1); // manual: compress
+            e.block(502, 14);
+            for (uint64_t i = 0; i < window; ++i) {
+                e.block(521, 10); // window over TABLE (decompress)
+                e.touch(table, window_base(c, table, 0) + i);
+            }
+            for (uint64_t i = 0; i < p.bufLen; ++i) {
+                e.block(512, 14);
+                e.touch(inbuf, i);
+                // Two dictionary probes: one hot, one cold-ish.
+                e.touch(dict, hot_base + (i * 31) % hot_len);
+                e.touch(dict, (i * 97) % p.dictLen);
+            }
+
+            e.marker(2); // manual: decompress
+            e.block(503, 14);
+            for (uint64_t i = 0; i < window; ++i) {
+                e.block(522, 10); // window over CODES (setup)
+                e.touch(codes, window_base(c, codes, 0) + i);
+            }
+            for (uint64_t i = 0; i < p.bufLen; ++i) {
+                e.block(513, 12);
+                e.touch(outbuf, i);
+                e.touch(dict, hot_base + (i * 13) % hot_len);
+                e.touch(table, (i * 7) % table.elements);
+            }
+
+            e.marker(3); // manual: verify round-trip
+            e.block(504, 14);
+            for (uint64_t i = 0; i < window; ++i) {
+                e.block(523, 10); // window over CODES, opposite phase
+                e.touch(codes,
+                        window_base(c, codes, codes.elements / 2) + i);
+            }
+            for (uint64_t i = 0; i < p.bufLen / 2; ++i) {
+                e.block(514, 10);
+                e.touch(inbuf, 2 * i);
+                e.touch(outbuf, 2 * i);
+            }
+        }
+        e.end();
+    }
+
+  private:
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("INBUF", p.bufLen));
+        arr.push_back(as.allocate("OUTBUF", p.bufLen));
+        arr.push_back(as.allocate("DICT", p.dictLen));
+        arr.push_back(as.allocate("CODES", 4096));
+        arr.push_back(as.allocate("TABLE", 8192));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCompress()
+{
+    return std::make_unique<Compress>();
+}
+
+} // namespace lpp::workloads

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Internal convenience wrapper for emitting workload events.
+ */
+
+#ifndef LPP_WORKLOADS_EMITTER_HPP
+#define LPP_WORKLOADS_EMITTER_HPP
+
+#include <cstdint>
+
+#include "trace/sink.hpp"
+#include "workloads/address_space.hpp"
+
+namespace lpp::workloads {
+
+/** Thin sugar over a TraceSink for workload implementations. */
+class Emitter
+{
+  public:
+    explicit Emitter(trace::TraceSink &sink_) : sink(sink_) {}
+
+    /** Execute basic block `b` retiring `instrs` instructions. */
+    void
+    block(trace::BlockId b, uint32_t instrs)
+    {
+        sink.onBlock(b, instrs);
+    }
+
+    /** Access element i of an array. */
+    void
+    touch(const ArrayInfo &a, uint64_t i)
+    {
+        sink.onAccess(a.at(i));
+    }
+
+    /** Fire a manual (programmer) phase marker. */
+    void marker(uint32_t id) { sink.onManualMarker(id); }
+
+    /** Finish the execution. */
+    void end() { sink.onEnd(); }
+
+  private:
+    trace::TraceSink &sink;
+};
+
+} // namespace lpp::workloads
+
+#endif // LPP_WORKLOADS_EMITTER_HPP

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * FFT workload: textbook radix-2 fast Fourier transform over a stream
+ * of input frames.
+ *
+ * Each frame runs three phases: windowing, bit-reversal permutation,
+ * and the log2(N) butterfly stages. The butterfly strides double per
+ * stage, so locality varies widely *inside* the transform phase — the
+ * paper notes FFT's "varied behavior" gives locality-phase prediction
+ * its smallest cache-resizing win (Fig 6). Rotating boundary windows
+ * over the twiddle/window tables provide the rare per-datum changes
+ * detection needs; a decaying spectral tail in the windowing phase
+ * makes a small part of the run inconsistent (strict coverage ~96%).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t n;      //!< FFT size (power of two)
+    uint32_t frames; //!< input frames
+    uint32_t plateau;
+    uint64_t window;
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.n = in.scale > 3.0 ? 4096 : 2048;
+    p.frames = std::max<uint32_t>(
+        8, static_cast<uint32_t>(std::lround(24.0 * in.scale)));
+    p.plateau = std::max<uint32_t>(4, p.frames / 5);
+    p.window = std::max<uint64_t>(32, p.n / p.frames);
+    return p;
+}
+
+class Fft : public Workload
+{
+  public:
+    std::string name() const override { return "fft"; }
+
+    std::string
+    description() const override
+    {
+        return "fast Fourier transformation";
+    }
+
+    std::string source() const override { return "textbook"; }
+
+    WorkloadInput trainInput() const override { return {41, 1.0}; }
+
+    WorkloadInput refInput() const override { return {42, 5.0}; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &re = arr[0], &im = arr[1], &w = arr[2],
+                        &win = arr[3];
+
+        Emitter e(sink);
+        Rng rng(input.seed);
+        uint64_t tail = p.n * 3 / 4;
+        auto stages = static_cast<uint32_t>(std::countr_zero(p.n));
+
+        auto window_base = [&p](uint32_t f, const ArrayInfo &a,
+                                uint64_t shift) {
+            return (static_cast<uint64_t>(f) * p.window + shift) %
+                   (a.elements - p.window);
+        };
+
+        for (uint32_t f = 0; f < p.frames; ++f) {
+            e.marker(0); // manual: windowing
+            e.block(401, 14);
+            for (uint64_t i = 0; i < p.window; ++i) {
+                e.block(421, 10); // boundary window over W (transform)
+                e.touch(w, window_base(f, w, 0) + i);
+            }
+            for (uint64_t i = 0; i < p.n; ++i) {
+                e.block(411, 10);
+                e.touch(re, i);
+                e.touch(win, i);
+            }
+            // Decaying spectral tail: rare jumps make this phase's
+            // length inconsistent.
+            for (uint64_t i = 0; i < tail; ++i) {
+                e.block(416, 8);
+                e.touch(im, i);
+            }
+            if ((f + 1) % p.plateau == 0)
+                tail = std::max<uint64_t>(
+                    tail - (p.n / 64 + rng.below(p.n / 128)),
+                    p.n / 2);
+
+            e.marker(1); // manual: bit reversal
+            e.block(402, 14);
+            for (uint64_t i = 0; i < p.window; ++i) {
+                e.block(422, 10); // window over WIN (windowing)
+                e.touch(win, window_base(f, win, 0) + i);
+            }
+            for (uint64_t i = 0; i < p.n; ++i) {
+                uint64_t j = bitReverse(i, stages);
+                e.block(412, 12);
+                e.touch(re, i);
+                e.touch(re, j);
+                e.touch(im, j);
+            }
+
+            e.marker(2); // manual: butterfly stages
+            e.block(403, 14);
+            for (uint64_t i = 0; i < p.window; ++i) {
+                e.block(423, 10); // window over WIN, opposite rotation
+                e.touch(win,
+                        window_base(f, win, win.elements / 2) + i);
+            }
+            for (uint32_t s = 0; s < stages; ++s) {
+                uint64_t half = 1ULL << s;
+                for (uint64_t k = 0; k < p.n / 2; ++k) {
+                    if (k % 256 == 0)
+                        e.block(404, 10); // butterfly chunk head
+                    uint64_t grp = k / half;
+                    uint64_t pos = k % half;
+                    uint64_t top = grp * half * 2 + pos;
+                    e.block(413, 8);
+                    e.touch(re, top);
+                    e.touch(re, top + half);
+                    e.touch(im, top);
+                    e.touch(im, top + half);
+                    e.touch(w, pos * (p.n / (2 * half)) % w.elements);
+                }
+            }
+        }
+        e.end();
+    }
+
+  private:
+    static uint64_t
+    bitReverse(uint64_t v, uint32_t bits)
+    {
+        uint64_t r = 0;
+        for (uint32_t i = 0; i < bits; ++i) {
+            r = (r << 1) | (v & 1);
+            v >>= 1;
+        }
+        return r;
+    }
+
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("RE", p.n));
+        arr.push_back(as.allocate("IM", p.n));
+        arr.push_back(as.allocate("W", p.n / 2));
+        arr.push_back(as.allocate("WIN", p.n));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft()
+{
+    return std::make_unique<Fft>();
+}
+
+} // namespace lpp::workloads

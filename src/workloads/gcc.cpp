@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Gcc-like workload: per-function compilation (SPEC95 Int).
+ *
+ * The phase structure exists — parse, optimize, emit per input function
+ * — but every phase's length is dictated by the size of the function
+ * being compiled, drawn from a heavy-tailed distribution. The paper's
+ * Fig 5: peaks in the sampled reuse trace correspond to input
+ * functions, and "the exact phase length is unpredictable in general".
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint32_t functions;
+    uint64_t irLen;
+    uint64_t symLen;
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.functions = std::max<uint32_t>(
+        8, static_cast<uint32_t>(std::lround(40.0 * in.scale)));
+    p.irLen = 1 << 16;
+    p.symLen = 1 << 14;
+    return p;
+}
+
+class Gcc : public Workload
+{
+  public:
+    std::string name() const override { return "gcc"; }
+
+    std::string
+    description() const override
+    {
+        return "GNU C compiler 2.5.3";
+    }
+
+    std::string source() const override { return "Spec95Int"; }
+
+    WorkloadInput trainInput() const override { return {81, 1.0}; }
+
+    WorkloadInput refInput() const override { return {82, 6.0}; }
+
+    bool predictable() const override { return false; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &tokens = arr[0], &ir = arr[1], &sym = arr[2],
+                        &code = arr[3];
+
+        Emitter e(sink);
+        Rng rng(input.seed);
+
+        for (uint32_t f = 0; f < p.functions; ++f) {
+            // Heavy-tailed function size: mostly small, rare giants.
+            double u = rng.uniform();
+            uint64_t size = static_cast<uint64_t>(
+                400.0 / std::pow(1.0 - u * 0.97, 0.8));
+            size = std::min<uint64_t>(size, p.irLen);
+
+            e.marker(0); // manual: next function
+            e.block(801, 14); // parse
+            for (uint64_t i = 0; i < size; ++i) {
+                e.block(811, 12);
+                e.touch(tokens, i % tokens.elements);
+                e.touch(ir, i % p.irLen);
+                e.touch(sym, (i * 17) % p.symLen);
+            }
+
+            e.block(802, 14); // optimize: repeated IR passes
+            uint32_t pass_count = 2 + static_cast<uint32_t>(size / 4000);
+            for (uint32_t pass = 0; pass < pass_count; ++pass) {
+                for (uint64_t i = 0; i < size; ++i) {
+                    e.block(812, 14);
+                    e.touch(ir, i % p.irLen);
+                    e.touch(ir, (i * 7919) % std::max<uint64_t>(size, 1));
+                }
+            }
+
+            e.block(803, 14); // emit
+            for (uint64_t i = 0; i < size; ++i) {
+                e.block(813, 10);
+                e.touch(ir, i % p.irLen);
+                e.touch(code, i % code.elements);
+            }
+        }
+        e.end();
+    }
+
+  private:
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("TOKENS", 1 << 14));
+        arr.push_back(as.allocate("IR", p.irLen));
+        arr.push_back(as.allocate("SYM", p.symLen));
+        arr.push_back(as.allocate("CODE", 1 << 14));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGcc()
+{
+    return std::make_unique<Gcc>();
+}
+
+} // namespace lpp::workloads

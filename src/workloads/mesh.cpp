@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Mesh-like workload: dynamic unstructured-mesh simulation (CHAOS).
+ *
+ * Each smoothing iteration sweeps the edge list and indirectly accesses
+ * the two endpoint nodes of every edge. The paper's Mesh is the one
+ * program whose detection and prediction runs have the same length: the
+ * prediction input is the same mesh with *sorted* edges, changing
+ * locality but not phase structure. Every R iterations a fraction of
+ * edges is rewired (the mesh is dynamic), which changes the reuse
+ * behaviour of the affected node datums — the rare abrupt changes phase
+ * detection needs.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t nodes;
+    uint64_t edges;
+    uint32_t iterations;
+    uint32_t rewireEvery;
+    bool sortedEdges;
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.nodes = 3000;
+    p.edges = 9000;
+    p.iterations = 60;
+    p.rewireEvery = 10;
+    // The prediction input is the sorted-edge version of the same mesh.
+    p.sortedEdges = in.scale > 1.0;
+    return p;
+}
+
+class Mesh : public Workload
+{
+  public:
+    std::string name() const override { return "mesh"; }
+
+    std::string
+    description() const override
+    {
+        return "dynamic mesh structure simulation";
+    }
+
+    std::string source() const override { return "CHAOS"; }
+
+    WorkloadInput trainInput() const override { return {71, 1.0}; }
+
+    WorkloadInput refInput() const override { return {71, 2.0}; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &nodes = arr[0], &edges = arr[1],
+                        &edgeval = arr[2], &nodeval = arr[3];
+
+        Emitter e(sink);
+        // The mesh itself depends only on the seed, not on the input
+        // variant: both runs use the same mesh.
+        Rng mesh_rng(input.seed);
+
+        // Endpoint tables (simulated indirection).
+        std::vector<uint64_t> from(p.edges), to(p.edges);
+        for (uint64_t i = 0; i < p.edges; ++i) {
+            from[i] = mesh_rng.below(p.nodes);
+            to[i] = mesh_rng.below(p.nodes);
+        }
+        std::vector<uint64_t> order(p.edges);
+        std::iota(order.begin(), order.end(), 0);
+        if (p.sortedEdges) {
+            std::sort(order.begin(), order.end(),
+                      [&](uint64_t a, uint64_t b) {
+                          return from[a] < from[b];
+                      });
+        }
+
+        uint64_t window = std::max<uint64_t>(
+            32, p.nodes / p.iterations);
+        auto window_base = [&](uint32_t it, const ArrayInfo &a) {
+            return (static_cast<uint64_t>(it) * window) %
+                   (a.elements - window);
+        };
+
+        for (uint32_t it = 0; it < p.iterations; ++it) {
+            e.marker(0); // manual: smoothing iteration
+
+            e.block(701, 14); // gather: edge sweep, indirect nodes
+            for (uint64_t k = 0; k < window; ++k) {
+                e.block(721, 10); // boundary window over NODEVAL
+                e.touch(nodeval, window_base(it, nodeval) + k);
+            }
+            for (uint64_t k = 0; k < p.edges; ++k) {
+                uint64_t ed = order[k];
+                e.block(711, 14);
+                e.touch(edges, ed);
+                e.touch(nodes, from[ed]);
+                e.touch(nodes, to[ed]);
+                e.touch(edgeval, ed);
+            }
+
+            e.block(702, 14); // scatter: node relaxation
+            for (uint64_t k = 0; k < window; ++k) {
+                e.block(722, 10); // window over EDGEVAL (gather)
+                e.touch(edgeval, window_base(it, edgeval) + k);
+            }
+            for (uint64_t i = 0; i < p.nodes; ++i) {
+                e.block(712, 10);
+                e.touch(nodes, i);
+                e.touch(nodeval, i);
+            }
+
+            // Mesh-quality check over a fixed-size edge slice; every
+            // rewireEvery-th iteration it also rewires the slice
+            // (dynamic mesh). The slice length is constant so phase
+            // lengths repeat exactly; only the *data* changes rarely.
+            e.block(703, 14);
+            uint64_t slice = p.edges / 100;
+            uint64_t base = (static_cast<uint64_t>(it) * slice) %
+                            (p.edges - slice);
+            bool rewire = (it + 1) % p.rewireEvery == 0;
+            for (uint64_t k = 0; k < slice; ++k) {
+                uint64_t ed = base + k;
+                if (rewire) {
+                    from[ed] = mesh_rng.below(p.nodes);
+                    to[ed] = mesh_rng.below(p.nodes);
+                }
+                e.block(713, 12);
+                e.touch(edges, ed);
+                e.touch(nodes, from[ed]);
+            }
+        }
+        e.end();
+    }
+
+  private:
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("NODES", p.nodes));
+        arr.push_back(as.allocate("EDGES", p.edges));
+        arr.push_back(as.allocate("EDGEVAL", p.edges));
+        arr.push_back(as.allocate("NODEVAL", p.nodes));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMesh()
+{
+    return std::make_unique<Mesh>();
+}
+
+} // namespace lpp::workloads

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * MolDyn-like workload: molecular dynamics simulation (CHAOS).
+ *
+ * Per time step: a position/velocity update sweep, then a force
+ * computation over the neighbor list. Every few steps the neighbor list
+ * is rebuilt by per-particle-group searches whose lengths depend on the
+ * (randomly drifting) particle density — the paper's example of uneven
+ * phases: the automatic analysis marks each group search as its own
+ * phase while the programmer marks the whole rebuild (low Table 6
+ * precision), and the varying lengths collapse strict coverage and
+ * relaxed accuracy (Table 2: 13.49% / 13.27%).
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t particles;
+    uint32_t steps;
+    uint32_t rebuildEvery;
+    uint32_t groups; //!< particle groups per rebuild
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.particles = static_cast<uint64_t>(
+        1200.0 * std::min(2.0, 0.9 + 0.1 * in.scale));
+    p.steps = std::max<uint32_t>(
+        8, static_cast<uint32_t>(std::lround(24.0 * in.scale)));
+    p.rebuildEvery = 4;
+    p.groups = 8;
+    return p;
+}
+
+class MolDyn : public Workload
+{
+  public:
+    std::string name() const override { return "moldyn"; }
+
+    std::string
+    description() const override
+    {
+        return "molecular dynamics simulation";
+    }
+
+    std::string source() const override { return "CHAOS"; }
+
+    WorkloadInput trainInput() const override { return {61, 1.0}; }
+
+    WorkloadInput refInput() const override { return {62, 8.0}; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &pos = arr[0], &vel = arr[1], &force = arr[2],
+                        &neigh = arr[3];
+
+        Emitter e(sink);
+        Rng rng(input.seed);
+
+        // Average neighbors per particle, redrawn per rebuild per
+        // group: the density drift that makes phase lengths uneven.
+        std::vector<uint64_t> group_density(p.groups, 20);
+        uint64_t neigh_used = p.particles * 20;
+        uint64_t window = std::max<uint64_t>(
+            32, p.particles / p.steps);
+        auto window_base = [&](uint32_t t, const ArrayInfo &a) {
+            return (static_cast<uint64_t>(t) * window) %
+                   (a.elements - window);
+        };
+
+        for (uint32_t t = 0; t < p.steps; ++t) {
+            e.marker(0); // manual: time step
+
+            if (t % p.rebuildEvery == 0) {
+                e.marker(1); // manual: neighbor-list rebuild (whole)
+                uint64_t per_group = p.particles / p.groups;
+                neigh_used = 0;
+                for (uint32_t g = 0; g < p.groups; ++g) {
+                    group_density[g] = 12 + rng.below(20);
+                    e.block(601, 14); // group search entry
+                    for (uint64_t i = 0; i < per_group; ++i) {
+                        uint64_t particle = g * per_group + i;
+                        // Search a density-sized window around the
+                        // particle.
+                        uint64_t w = group_density[g];
+                        for (uint64_t k = 0; k < w; ++k) {
+                            e.block(611, 10);
+                            e.touch(pos,
+                                    (particle + k) % p.particles);
+                            e.touch(neigh, neigh_used % neigh.elements);
+                            ++neigh_used;
+                        }
+                    }
+                }
+            }
+
+            e.block(602, 14); // force computation over neighbor list
+            for (uint64_t i = 0; i < window; ++i) {
+                e.block(621, 10); // boundary window over VEL (update)
+                e.touch(vel, window_base(t, vel) + i);
+            }
+            for (uint64_t i = 0; i < neigh_used; ++i) {
+                e.block(612, 12);
+                e.touch(neigh, i % neigh.elements);
+                e.touch(force, (i / 20) % p.particles);
+            }
+            // Per-step density fluctuation: the force phase length
+            // drifts every step, so its predictions are rarely exact.
+            neigh_used +=
+                rng.below(p.particles / 2) - p.particles / 4;
+            neigh_used = std::clamp<uint64_t>(
+                neigh_used, p.particles * 10, p.particles * 30);
+
+            e.block(603, 14); // position/velocity update
+            for (uint64_t i = 0; i < window; ++i) {
+                e.block(622, 10); // window over NEIGH (force)
+                e.touch(neigh, window_base(t, neigh) + i);
+            }
+            for (uint64_t i = 0; i < p.particles; ++i) {
+                e.block(613, 40);
+                e.touch(pos, i);
+                e.touch(vel, i);
+                e.touch(force, i);
+            }
+        }
+        e.end();
+    }
+
+  private:
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("POS", p.particles));
+        arr.push_back(as.allocate("VEL", p.particles));
+        arr.push_back(as.allocate("FORCE", p.particles));
+        arr.push_back(as.allocate("NEIGH", p.particles * 40));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMolDyn()
+{
+    return std::make_unique<MolDyn>();
+}
+
+} // namespace lpp::workloads

@@ -1,0 +1,54 @@
+#include "workloads/registry.hpp"
+
+namespace lpp::workloads {
+
+// Factory functions defined in the per-workload translation units.
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeApplu();
+std::unique_ptr<Workload> makeCompress();
+std::unique_ptr<Workload> makeGcc();
+std::unique_ptr<Workload> makeTomcatv();
+std::unique_ptr<Workload> makeSwim();
+std::unique_ptr<Workload> makeVortex();
+std::unique_ptr<Workload> makeMesh();
+std::unique_ptr<Workload> makeMolDyn();
+
+std::unique_ptr<Workload>
+create(const std::string &name)
+{
+    if (name == "fft")
+        return makeFft();
+    if (name == "applu")
+        return makeApplu();
+    if (name == "compress")
+        return makeCompress();
+    if (name == "gcc")
+        return makeGcc();
+    if (name == "tomcatv")
+        return makeTomcatv();
+    if (name == "swim")
+        return makeSwim();
+    if (name == "vortex")
+        return makeVortex();
+    if (name == "mesh")
+        return makeMesh();
+    if (name == "moldyn")
+        return makeMolDyn();
+    return nullptr;
+}
+
+std::vector<std::string>
+allNames()
+{
+    return {"fft",  "applu",  "compress", "gcc",   "tomcatv",
+            "swim", "vortex", "mesh",     "moldyn"};
+}
+
+std::vector<std::string>
+predictableNames()
+{
+    return {"fft",  "applu", "compress", "tomcatv",
+            "swim", "mesh",  "moldyn"};
+}
+
+} // namespace lpp::workloads

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Workload registry: creation by name and the full benchmark suite.
+ */
+
+#ifndef LPP_WORKLOADS_REGISTRY_HPP
+#define LPP_WORKLOADS_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+/** @return a workload by name, or nullptr for unknown names. */
+std::unique_ptr<Workload> create(const std::string &name);
+
+/** @return the names of every workload, in Table 1 order. */
+std::vector<std::string> allNames();
+
+/** @return the names of the seven prediction-amenable workloads. */
+std::vector<std::string> predictableNames();
+
+} // namespace lpp::workloads
+
+#endif // LPP_WORKLOADS_REGISTRY_HPP

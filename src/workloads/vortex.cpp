@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Vortex-like workload: object-oriented database (SPEC95 Int).
+ *
+ * The run first builds a database (insertions into index and heap
+ * regions) and then serves query batches over it. The paper's Fig 5
+ * shows the transition from insertion to query processing in the
+ * sampled reuse trace, and notes that the order and mix of operations
+ * is input dependent — phases are recognizable but their lengths are
+ * not predictable.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/random.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t records;
+    uint32_t batches;
+    uint64_t queriesPerBatch;
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.records = static_cast<uint64_t>(60000.0 * std::min(in.scale, 4.0));
+    p.batches = std::max<uint32_t>(
+        3, static_cast<uint32_t>(std::lround(6.0 * in.scale)));
+    p.queriesPerBatch = 30000;
+    return p;
+}
+
+class Vortex : public Workload
+{
+  public:
+    std::string name() const override { return "vortex"; }
+
+    std::string
+    description() const override
+    {
+        return "an object-oriented database";
+    }
+
+    std::string source() const override { return "Spec95Int"; }
+
+    WorkloadInput trainInput() const override { return {91, 1.0}; }
+
+    WorkloadInput refInput() const override { return {92, 3.0}; }
+
+    bool predictable() const override { return false; }
+
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> v;
+        build(input, as, v);
+        return v;
+    }
+
+    void
+    run(const WorkloadInput &input, trace::TraceSink &sink) const override
+    {
+        AddressSpace as;
+        std::vector<ArrayInfo> arr;
+        Params p = build(input, as, arr);
+        const ArrayInfo &heap = arr[0], &index = arr[1], &log = arr[2];
+
+        Emitter e(sink);
+        Rng rng(input.seed);
+
+        // Build phase: insertions grow the heap; index writes hash.
+        e.marker(0); // manual: database construction
+        e.block(901, 14);
+        for (uint64_t r = 0; r < p.records; ++r) {
+            e.block(911, 14);
+            e.touch(heap, r % heap.elements);
+            e.touch(index, (r * 2654435761ULL) % index.elements);
+            if (r % 64 == 0)
+                e.touch(log, (r / 64) % log.elements);
+        }
+
+        // Query batches with input-dependent mixes; some batches insert
+        // more data (the paper: "construction and queries may come in
+        // any order").
+        for (uint32_t b = 0; b < p.batches; ++b) {
+            if (rng.chance(0.3)) {
+                e.marker(0); // manual: more construction
+                e.block(901, 14);
+                uint64_t extra = p.records / 4 + rng.below(p.records / 2);
+                for (uint64_t r = 0; r < extra; ++r) {
+                    e.block(911, 14);
+                    e.touch(heap, rng.below(heap.elements));
+                    e.touch(index,
+                            (r * 2654435761ULL) % index.elements);
+                }
+            }
+            e.marker(1); // manual: query batch
+            e.block(902, 14);
+            uint64_t queries =
+                p.queriesPerBatch / 2 + rng.below(p.queriesPerBatch);
+            for (uint64_t q = 0; q < queries; ++q) {
+                e.block(912, 16);
+                uint64_t key = rng.below(p.records);
+                e.touch(index,
+                        (key * 2654435761ULL) % index.elements);
+                e.touch(heap, key % heap.elements);
+                e.touch(heap, (key + 1) % heap.elements);
+            }
+        }
+        e.end();
+    }
+
+  private:
+    Params
+    build(const WorkloadInput &input, AddressSpace &as,
+          std::vector<ArrayInfo> &arr) const
+    {
+        Params p = paramsFor(input);
+        arr.push_back(as.allocate("HEAP", p.records));
+        arr.push_back(as.allocate("INDEX", 1 << 16));
+        arr.push_back(as.allocate("LOG", 1 << 12));
+        return p;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeVortex()
+{
+    return std::make_unique<Vortex>();
+}
+
+} // namespace lpp::workloads

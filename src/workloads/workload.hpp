@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Workload interface: the synthetic-benchmark stand-in for the paper's
+ * SPEC95/SPEC2K/CHAOS binaries.
+ *
+ * A workload is a deterministic program over named arrays, expressed as
+ * basic blocks that issue memory accesses. Running one streams the same
+ * events ATOM instrumentation produced on Alpha: basic-block executions
+ * with instruction counts, data accesses with byte addresses, and
+ * programmer-inserted manual markers (the Table 6 ground truth). Every
+ * workload reproduces the memory-behaviour *structure* the paper
+ * describes for its namesake — recurring working sets separated by
+ * abrupt reuse changes, phase length scaling with input, and where the
+ * paper says so (MolDyn, Gcc, Vortex), inconsistent phase behaviour.
+ */
+
+#ifndef LPP_WORKLOADS_WORKLOAD_HPP
+#define LPP_WORKLOADS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "workloads/address_space.hpp"
+
+namespace lpp::workloads {
+
+/** Input of one run: everything that sizes and seeds the execution. */
+struct WorkloadInput
+{
+    uint64_t seed = 1;  //!< seeds all data-dependent behaviour
+    double scale = 1.0; //!< scales data sizes and iteration counts
+};
+
+/** Abstract benchmark program. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** @return the short name (e.g. "tomcatv"). */
+    virtual std::string name() const = 0;
+
+    /** @return the one-line description (paper Table 1). */
+    virtual std::string description() const = 0;
+
+    /** @return the suite the namesake came from (paper Table 1). */
+    virtual std::string source() const = 0;
+
+    /** @return the input used for phase detection (training). */
+    virtual WorkloadInput trainInput() const = 0;
+
+    /** @return the input used for phase prediction (reference). */
+    virtual WorkloadInput refInput() const = 0;
+
+    /** Run one full execution into `sink`. Deterministic per input. */
+    virtual void run(const WorkloadInput &input,
+                     trace::TraceSink &sink) const = 0;
+
+    /** @return the arrays a run with `input` allocates, in order. */
+    virtual std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const = 0;
+
+    /**
+     * Whether the paper found this program's phase behaviour consistent
+     * enough for locality phase prediction (Gcc and Vortex are not).
+     */
+    virtual bool predictable() const { return true; }
+};
+
+} // namespace lpp::workloads
+
+#endif // LPP_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bbv/bbv.hpp"
+
+namespace {
+
+using namespace lpp::bbv;
+
+TEST(BbvCollector, OneVectorPerInterval)
+{
+    BbvCollector c(8);
+    c.onBlock(1, 10);
+    c.finalizeInterval();
+    c.onBlock(2, 10);
+    c.finalizeInterval();
+    EXPECT_EQ(c.vectors().size(), 2u);
+    EXPECT_EQ(c.vectors()[0].size(), 8u);
+}
+
+TEST(BbvCollector, VectorsAreL1Normalized)
+{
+    BbvCollector c(16);
+    c.onBlock(1, 100);
+    c.onBlock(2, 300);
+    c.finalizeInterval();
+    double sum = 0.0;
+    for (double v : c.vectors()[0])
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(BbvCollector, SameMixSameVector)
+{
+    BbvCollector c(32);
+    for (int i = 0; i < 50; ++i)
+        c.onBlock(7, 12);
+    c.onBlock(9, 40);
+    c.finalizeInterval();
+    for (int i = 0; i < 100; ++i)
+        c.onBlock(7, 12); // same proportions, double the length
+    c.onBlock(9, 80);
+    c.finalizeInterval();
+    EXPECT_NEAR(manhattan(c.vectors()[0], c.vectors()[1]), 0.0, 1e-9);
+}
+
+TEST(BbvCollector, DifferentMixDifferentVector)
+{
+    BbvCollector c(32);
+    c.onBlock(1, 100);
+    c.finalizeInterval();
+    c.onBlock(2, 100);
+    c.finalizeInterval();
+    EXPECT_GT(manhattan(c.vectors()[0], c.vectors()[1]), 0.05);
+}
+
+TEST(BbvCollector, ProjectionDeterministicAcrossInstances)
+{
+    BbvCollector a(32, 99), b(32, 99);
+    a.onBlock(5, 10);
+    b.onBlock(5, 10);
+    a.finalizeInterval();
+    b.finalizeInterval();
+    EXPECT_EQ(a.vectors()[0], b.vectors()[0]);
+}
+
+TEST(BbvCollector, SeedChangesProjection)
+{
+    BbvCollector a(32, 1), b(32, 2);
+    a.onBlock(5, 10);
+    b.onBlock(5, 10);
+    a.finalizeInterval();
+    b.finalizeInterval();
+    EXPECT_GT(manhattan(a.vectors()[0], b.vectors()[0]), 1e-6);
+}
+
+TEST(BbvCollector, EmptyIntervalYieldsZeroVector)
+{
+    BbvCollector c(4);
+    c.finalizeInterval();
+    for (double v : c.vectors()[0])
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BbvCollector, OnEndFlushesPartialInterval)
+{
+    BbvCollector c(4);
+    c.onBlock(1, 5);
+    c.onEnd();
+    EXPECT_EQ(c.vectors().size(), 1u);
+    c.onEnd();
+    EXPECT_EQ(c.vectors().size(), 1u);
+}
+
+TEST(Manhattan, BasicProperties)
+{
+    std::vector<double> a = {0.5, 0.5};
+    std::vector<double> b = {1.0, 0.0};
+    EXPECT_DOUBLE_EQ(manhattan(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(manhattan(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(manhattan(b, a), 1.0);
+}
+
+TEST(ManhattanDeathTest, DimensionMismatch)
+{
+    std::vector<double> a = {1.0};
+    std::vector<double> b = {1.0, 2.0};
+    EXPECT_DEATH(manhattan(a, b), "mismatch");
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "bbv/clustering.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::bbv;
+
+std::vector<double>
+point(double x, double y)
+{
+    return {x, y};
+}
+
+TEST(BbvClustering, FirstVectorFoundsCluster)
+{
+    BbvClustering c(0.1);
+    EXPECT_EQ(c.assign(point(0.5, 0.5)), 0u);
+    EXPECT_EQ(c.clusterCount(), 1u);
+    EXPECT_EQ(c.memberCount(0), 1u);
+}
+
+TEST(BbvClustering, NearbyVectorsJoin)
+{
+    BbvClustering c(0.2);
+    c.assign(point(0.5, 0.5));
+    EXPECT_EQ(c.assign(point(0.55, 0.45)), 0u);
+    EXPECT_EQ(c.memberCount(0), 2u);
+    EXPECT_EQ(c.clusterCount(), 1u);
+}
+
+TEST(BbvClustering, DistantVectorsFoundNewClusters)
+{
+    BbvClustering c(0.2);
+    c.assign(point(1.0, 0.0));
+    EXPECT_EQ(c.assign(point(0.0, 1.0)), 1u);
+    EXPECT_EQ(c.clusterCount(), 2u);
+}
+
+TEST(BbvClustering, CentroidTracksRunningMean)
+{
+    BbvClustering c(1.0);
+    c.assign(point(0.0, 0.0));
+    c.assign(point(0.2, 0.0));
+    EXPECT_NEAR(c.centroid(0)[0], 0.1, 1e-12);
+    c.assign(point(0.4, 0.0));
+    EXPECT_NEAR(c.centroid(0)[0], 0.2, 1e-12);
+}
+
+TEST(BbvClustering, AssignAllMatchesSequentialAssign)
+{
+    std::vector<std::vector<double>> pts = {
+        point(0, 0), point(0.01, 0), point(1, 1), point(0.99, 1.0)};
+    BbvClustering a(0.1), b(0.1);
+    auto ids = a.assignAll(pts);
+    std::vector<uint32_t> ids2;
+    for (const auto &p : pts)
+        ids2.push_back(b.assign(p));
+    EXPECT_EQ(ids, ids2);
+    EXPECT_EQ(ids[0], ids[1]);
+    EXPECT_EQ(ids[2], ids[3]);
+    EXPECT_NE(ids[0], ids[2]);
+}
+
+TEST(BbvClustering, RecurringPatternMapsToStableClusters)
+{
+    // A B A B ... with small noise: exactly two clusters.
+    lpp::Rng rng(71);
+    BbvClustering c(0.3);
+    std::vector<uint32_t> ids;
+    for (int i = 0; i < 40; ++i) {
+        double noise = rng.uniform() * 0.02;
+        ids.push_back(c.assign(i % 2 ? point(0.9 + noise, 0.1)
+                                     : point(0.1 + noise, 0.9)));
+    }
+    EXPECT_EQ(c.clusterCount(), 2u);
+    for (size_t i = 2; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], ids[i - 2]);
+}
+
+TEST(BbvClusteringDeathTest, RejectsNonPositiveThreshold)
+{
+    EXPECT_DEATH(BbvClustering(0.0), "positive");
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "bbv/markov.hpp"
+
+namespace {
+
+using lpp::bbv::RleMarkovPredictor;
+
+TEST(RleMarkov, LastValueBeforeAnyTableHit)
+{
+    RleMarkovPredictor p;
+    p.observe(5);
+    EXPECT_EQ(p.predict(), 5u);
+}
+
+TEST(RleMarkov, LearnsAlternation)
+{
+    // A B A B ... : after training, predictions are perfect.
+    RleMarkovPredictor p;
+    for (int i = 0; i < 4; ++i) {
+        p.observe(0);
+        p.observe(1);
+    }
+    EXPECT_EQ(p.predict(), 0u);
+    p.observe(0);
+    EXPECT_EQ(p.predict(), 1u);
+}
+
+TEST(RleMarkov, RunLengthDisambiguates)
+{
+    // A A B A A B: after 1 A comes A, after 2 As comes B — plain
+    // last-value cannot learn this, RLE Markov can.
+    RleMarkovPredictor p;
+    for (int i = 0; i < 5; ++i) {
+        p.observe(0);
+        p.observe(0);
+        p.observe(1);
+    }
+    p.observe(0);
+    EXPECT_EQ(p.predict(), 0u); // one A so far: next is A
+    p.observe(0);
+    EXPECT_EQ(p.predict(), 1u); // two As: next is B
+}
+
+TEST(RleMarkov, PredictSequenceAccuracyOnPeriodicInput)
+{
+    std::vector<uint32_t> seq;
+    for (int i = 0; i < 60; ++i)
+        seq.push_back(i % 3);
+    RleMarkovPredictor p;
+    auto pred = p.predictSequence(seq);
+    ASSERT_EQ(pred.size(), seq.size());
+    double acc = RleMarkovPredictor::accuracy(pred, seq);
+    // After a short warm-up the pattern is learned exactly.
+    EXPECT_GT(acc, 0.85);
+}
+
+TEST(RleMarkov, StableRunsPredictedByFallback)
+{
+    RleMarkovPredictor p;
+    std::vector<uint32_t> seq(50, 7);
+    auto pred = p.predictSequence(seq);
+    double acc = RleMarkovPredictor::accuracy(pred, seq);
+    EXPECT_GT(acc, 0.95);
+}
+
+TEST(RleMarkov, RandomInputPoorAccuracy)
+{
+    // xorshift-ish pseudo-random clusters: accuracy far below 1.
+    std::vector<uint32_t> seq;
+    uint32_t x = 123;
+    for (int i = 0; i < 400; ++i) {
+        x = x * 1664525 + 1013904223;
+        seq.push_back((x >> 24) % 7);
+    }
+    RleMarkovPredictor p;
+    auto pred = p.predictSequence(seq);
+    EXPECT_LT(RleMarkovPredictor::accuracy(pred, seq), 0.5);
+}
+
+TEST(RleMarkov, RunLengthCapKeepsTableBounded)
+{
+    RleMarkovPredictor p(4);
+    for (int i = 0; i < 1000; ++i)
+        p.observe(1);
+    EXPECT_LE(p.tableSize(), 5u);
+}
+
+TEST(RleMarkov, AccuracyEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(RleMarkovPredictor::accuracy({}, {}), 0.0);
+}
+
+TEST(RleMarkovDeathTest, AccuracySizeMismatch)
+{
+    EXPECT_DEATH(RleMarkovPredictor::accuracy({1}, {1, 2}), "mismatch");
+}
+
+} // namespace

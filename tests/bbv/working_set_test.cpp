@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "bbv/working_set.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::bbv;
+
+TEST(WorkingSetSignature, EmptySignaturesIdentical)
+{
+    WorkingSetSignature a(256), b(256);
+    EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+    EXPECT_DOUBLE_EQ(a.fillRatio(), 0.0);
+}
+
+TEST(WorkingSetSignature, SameContentSameSignature)
+{
+    WorkingSetSignature a(256), b(256);
+    for (uint64_t id = 0; id < 40; ++id) {
+        a.add(id);
+        b.add(id);
+    }
+    EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+    EXPECT_GT(a.fillRatio(), 0.1);
+}
+
+TEST(WorkingSetSignature, DisjointContentFarApart)
+{
+    WorkingSetSignature a(1024), b(1024);
+    for (uint64_t id = 0; id < 30; ++id) {
+        a.add(id);
+        b.add(1000 + id);
+    }
+    EXPECT_GT(a.distance(b), 0.8);
+}
+
+TEST(WorkingSetSignature, PartialOverlapIntermediate)
+{
+    WorkingSetSignature a(1024), b(1024);
+    for (uint64_t id = 0; id < 40; ++id)
+        a.add(id);
+    for (uint64_t id = 20; id < 60; ++id)
+        b.add(id);
+    double d = a.distance(b);
+    EXPECT_GT(d, 0.2);
+    EXPECT_LT(d, 0.9);
+}
+
+TEST(WorkingSetSignature, ClearEmpties)
+{
+    WorkingSetSignature a(256);
+    a.add(5);
+    a.clear();
+    EXPECT_DOUBLE_EQ(a.fillRatio(), 0.0);
+}
+
+TEST(WorkingSetSignatureDeathTest, WidthMustBeWordMultiple)
+{
+    EXPECT_DEATH(WorkingSetSignature(100), "multiple of 64");
+}
+
+TEST(WorkingSetPhases, AlternatingCodeRegionsFormTwoPhases)
+{
+    WorkingSetPhases ws(1000, 0.5, 512);
+    for (int rep = 0; rep < 6; ++rep) {
+        for (int i = 0; i < 100; ++i)
+            ws.onBlock(static_cast<uint32_t>(i % 20), 10);
+        for (int i = 0; i < 100; ++i)
+            ws.onBlock(static_cast<uint32_t>(500 + i % 20), 10);
+    }
+    ws.onEnd();
+    EXPECT_EQ(ws.phaseCount(), 2u);
+    ASSERT_EQ(ws.intervalPhases().size(), 12u);
+    // Strict alternation after the two exemplars are known.
+    for (size_t i = 2; i < ws.intervalPhases().size(); ++i)
+        EXPECT_EQ(ws.intervalPhases()[i], ws.intervalPhases()[i - 2]);
+    EXPECT_EQ(ws.transitions(), 11u);
+}
+
+TEST(WorkingSetPhases, StableCodeIsOnePhase)
+{
+    WorkingSetPhases ws(1000, 0.5, 512);
+    for (int i = 0; i < 5000; ++i)
+        ws.onBlock(static_cast<uint32_t>(i % 30), 10);
+    ws.onEnd();
+    EXPECT_EQ(ws.phaseCount(), 1u);
+    EXPECT_EQ(ws.transitions(), 0u);
+}
+
+TEST(WorkingSetPhases, PartialTrailingIntervalFlushedOnce)
+{
+    WorkingSetPhases ws(1000, 0.5, 256);
+    ws.onBlock(1, 300);
+    ws.onEnd();
+    ws.onEnd();
+    EXPECT_EQ(ws.intervalPhases().size(), 1u);
+}
+
+TEST(WorkingSetPhases, ThresholdControlsSensitivity)
+{
+    // Two regions sharing half their blocks: a loose threshold merges
+    // them into one phase, a tight one separates them.
+    auto run = [](double threshold) {
+        WorkingSetPhases ws(1000, threshold, 1024);
+        for (int rep = 0; rep < 4; ++rep) {
+            for (int i = 0; i < 100; ++i)
+                ws.onBlock(static_cast<uint32_t>(i % 40), 10);
+            for (int i = 0; i < 100; ++i)
+                ws.onBlock(static_cast<uint32_t>(20 + i % 40), 10);
+        }
+        ws.onEnd();
+        return ws.phaseCount();
+    };
+    EXPECT_EQ(run(0.9), 1u);
+    EXPECT_GE(run(0.2), 2u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::cache;
+
+TEST(CacheConfig, CapacityMath)
+{
+    CacheConfig cfg{512, 8, 64};
+    EXPECT_EQ(cfg.capacityBytes(), 256u * 1024u);
+    EXPECT_DOUBLE_EQ(cfg.capacityKB(), 256.0);
+    CacheConfig one_way{512, 1, 64};
+    EXPECT_DOUBLE_EQ(one_way.capacityKB(), 32.0);
+}
+
+TEST(LruCache, ColdMissThenHit)
+{
+    LruCache c(CacheConfig{16, 2, 64});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same 64-byte block
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(LruCache, LruEvictionOrder)
+{
+    // Direct-mapped-like conflict in one set: 1 set x 2 ways.
+    LruCache c(CacheConfig{1, 2, 64});
+    c.access(0 * 64);   // miss, cache {0}
+    c.access(1 * 64);   // miss, cache {1,0}
+    c.access(0 * 64);   // hit,  cache {0,1}
+    c.access(2 * 64);   // miss, evicts 1 (LRU)
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(1 * 64));
+    EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(LruCache, SetIndexingSeparatesBlocks)
+{
+    LruCache c(CacheConfig{2, 1, 64});
+    c.access(0 * 64); // set 0
+    c.access(1 * 64); // set 1
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_TRUE(c.access(1 * 64));
+}
+
+TEST(LruCache, MissRateOfStreamingSweep)
+{
+    LruCache c(CacheConfig{512, 8, 64});
+    // Touch 8 words per block: 1 miss per 8 accesses.
+    for (uint64_t w = 0; w < 8000; ++w)
+        c.access(0x100000 + w * 8);
+    EXPECT_NEAR(c.missRate(), 1.0 / 8.0, 0.001);
+}
+
+TEST(LruCache, WorkingSetFitsAfterWarmup)
+{
+    LruCache c(CacheConfig{512, 8, 64});
+    // 128KB working set in a 256KB cache.
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t b = 0; b < 2048; ++b)
+            c.access(b * 64);
+    EXPECT_EQ(c.misses(), 2048u); // cold only
+}
+
+TEST(LruCache, ThrashingWhenWorkingSetExceedsCapacity)
+{
+    LruCache c(CacheConfig{512, 1, 64});
+    // 64KB round-robin through a 32KB direct-mapped cache: every access
+    // conflicts.
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t b = 0; b < 1024; ++b)
+            c.access(b * 64);
+    EXPECT_DOUBLE_EQ(c.missRate(), 1.0);
+}
+
+TEST(LruCache, ResetClearsContents)
+{
+    LruCache c(CacheConfig{16, 2, 64});
+    c.access(0x100);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x100));
+}
+
+TEST(LruCache, ResetCountersKeepsContentsWarm)
+{
+    LruCache c(CacheConfig{16, 2, 64});
+    c.access(0x100);
+    c.resetCounters();
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_EQ(c.accesses(), 1u);
+}
+
+TEST(LruCache, SinkInterfaceCounts)
+{
+    LruCache c;
+    lpp::trace::TraceSink &sink = c;
+    sink.onAccess(0x40);
+    sink.onAccess(0x40);
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCacheDeathTest, RejectsNonPowerOfTwoSets)
+{
+    EXPECT_DEATH(LruCache(CacheConfig{3, 2, 64}), "power of two");
+}
+
+class AssocSweep : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(AssocSweep, HigherAssociativityNeverMissesMore)
+{
+    // LRU inclusion: misses are monotone non-increasing in ways.
+    uint32_t ways = GetParam();
+    lpp::Rng rng(ways);
+    LruCache small(CacheConfig{64, ways, 64});
+    LruCache big(CacheConfig{64, ways * 2, 64});
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t addr = rng.below(1 << 19);
+        small.access(addr);
+        big.access(addr);
+    }
+    EXPECT_GE(small.misses(), big.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssocSweep, ::testing::Values(1, 2, 4));
+
+} // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "cache/opt_sim.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::cache;
+using lpp::trace::Addr;
+
+TEST(OptSimulator, ColdMissesOnly)
+{
+    OptSimulator sim(CacheConfig{4, 2, 64});
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t b = 0; b < 8; ++b)
+            sim.record(b * 64); // 8 blocks fit the 8-line cache
+    EXPECT_EQ(sim.simulate(), 8u);
+}
+
+TEST(OptSimulator, BeladyClassicExample)
+{
+    // Fully-associative (1 set) 3-way cache; the textbook page string.
+    OptSimulator sim(CacheConfig{1, 3, 64});
+    for (uint64_t b : {7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2})
+        sim.record(b * 64);
+    // Belady: 7 misses for this string with 3 frames.
+    EXPECT_EQ(sim.simulate(), 7u);
+}
+
+TEST(OptSimulator, NeverWorseThanLruAnywhere)
+{
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        lpp::Rng rng(seed);
+        std::vector<Addr> trace;
+        for (int i = 0; i < 30000; ++i)
+            trace.push_back(rng.below(1 << 18));
+
+        for (uint32_t ways : {1u, 2u, 4u}) {
+            CacheConfig cfg{64, ways, 64};
+            LruCache lru(cfg);
+            for (Addr a : trace)
+                lru.access(a);
+            EXPECT_LE(optMisses(trace, cfg), lru.misses())
+                << "seed " << seed << " ways " << ways;
+        }
+    }
+}
+
+TEST(OptSimulator, EqualToLruWhenEverythingFits)
+{
+    lpp::Rng rng(9);
+    std::vector<Addr> trace;
+    for (int i = 0; i < 5000; ++i)
+        trace.push_back(rng.below(32) * 64); // 32 blocks << capacity
+    CacheConfig cfg{64, 8, 64};
+    LruCache lru(cfg);
+    for (Addr a : trace)
+        lru.access(a);
+    EXPECT_EQ(optMisses(trace, cfg), lru.misses());
+}
+
+TEST(OptSimulator, OptBeatsLruOnCyclicSweep)
+{
+    // The classic LRU pathology: cyclic sweep one block larger than
+    // the cache. LRU misses everything, OPT keeps most of it.
+    CacheConfig cfg{1, 8, 64}; // fully associative, 8 lines
+    std::vector<Addr> trace;
+    for (int pass = 0; pass < 50; ++pass)
+        for (uint64_t b = 0; b < 9; ++b)
+            trace.push_back(b * 64);
+    LruCache lru(cfg);
+    for (Addr a : trace)
+        lru.access(a);
+    uint64_t opt = optMisses(trace, cfg);
+    EXPECT_EQ(lru.misses(), trace.size());
+    EXPECT_LT(opt, trace.size() / 3);
+}
+
+TEST(OptSimulator, RepeatedSimulateIsIdempotent)
+{
+    OptSimulator sim(CacheConfig{4, 2, 64});
+    lpp::Rng rng(3);
+    for (int i = 0; i < 2000; ++i)
+        sim.record(rng.below(1 << 14));
+    uint64_t first = sim.simulate();
+    EXPECT_EQ(sim.simulate(), first);
+    EXPECT_GT(sim.missRate(), 0.0);
+}
+
+TEST(OptSimulator, SinkInterfaceRecords)
+{
+    OptSimulator sim;
+    lpp::trace::TraceSink &sink = sim;
+    sink.onAccess(0);
+    sink.onAccess(64);
+    EXPECT_EQ(sim.accesses(), 2u);
+}
+
+TEST(OptSimulatorDeathTest, RejectsBadGeometry)
+{
+    EXPECT_DEATH(OptSimulator(CacheConfig{3, 1, 64}), "power of two");
+}
+
+} // namespace

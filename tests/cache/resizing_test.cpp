@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/resizing.hpp"
+
+namespace {
+
+using namespace lpp::cache;
+
+/** Unit with a given best size: misses drop to `floor` at `best` ways. */
+SegmentLocality
+unitWithBest(uint32_t best, uint64_t accesses = 10000,
+             uint64_t floor_misses = 100)
+{
+    SegmentLocality u;
+    u.accesses = accesses;
+    for (uint32_t w = 1; w <= simWays; ++w)
+        u.misses[w - 1] = w >= best ? floor_misses
+                                    : floor_misses + 1000 * (best - w);
+    return u;
+}
+
+TEST(BestWays, ZeroBoundRequiresEqualMisses)
+{
+    auto u = unitWithBest(5);
+    EXPECT_EQ(bestWays(u, 0.0), 5u);
+}
+
+TEST(BestWays, LooseBoundAllowsSmaller)
+{
+    auto u = unitWithBest(5);
+    // 5% of 100 = 5 extra misses: not enough for the 1000-miss step.
+    EXPECT_EQ(bestWays(u, 0.05), 5u);
+    // 1000% allows one step down.
+    EXPECT_EQ(bestWays(u, 10.0), 4u);
+}
+
+TEST(BestWays, AlwaysAtMostSimWays)
+{
+    SegmentLocality u;
+    u.accesses = 10;
+    for (uint32_t w = 0; w < simWays; ++w)
+        u.misses[w] = 10 - w;
+    EXPECT_LE(bestWays(u, 0.0), simWays);
+}
+
+TEST(ResizeOracle, PicksBestPerUnit)
+{
+    std::vector<SegmentLocality> units = {unitWithBest(2),
+                                          unitWithBest(8),
+                                          unitWithBest(2)};
+    auto r = resizeOracle(units, 0.0);
+    EXPECT_DOUBLE_EQ(r.avgWays, 4.0);
+    EXPECT_EQ(r.totalMisses, 300u);
+    EXPECT_EQ(r.fullSizeMisses, 300u);
+    EXPECT_DOUBLE_EQ(r.missIncrease(), 0.0);
+}
+
+TEST(ResizeInterval, StablePhaseConvergesAfterExploration)
+{
+    std::vector<SegmentLocality> units(10, unitWithBest(2));
+    auto r = resizeInterval(units, 0.0);
+    // Units: full(8), half(4), then 2 for the remaining 8.
+    EXPECT_NEAR(r.avgWays, (8.0 + 4.0 + 8 * 2.0) / 10.0, 1e-9);
+    EXPECT_EQ(r.explorations, 2u);
+}
+
+TEST(ResizeInterval, ReexploresOnEveryBestChange)
+{
+    // Alternating best sizes: perfect detection fires constantly and
+    // the policy keeps exploring — the paper's point about intervals
+    // fighting non-uniform behaviour.
+    std::vector<SegmentLocality> units;
+    for (int i = 0; i < 20; ++i)
+        units.push_back(unitWithBest(i % 2 ? 2 : 7));
+    auto r = resizeInterval(units, 0.0);
+    EXPECT_GT(r.explorations, 8u);
+    EXPECT_GT(r.avgWays, 4.0);
+}
+
+TEST(ResizePhase, RecurringKeysReuseLearnedSize)
+{
+    // Two phases alternating, 10 occurrences each.
+    std::vector<SegmentLocality> units;
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 20; ++i) {
+        units.push_back(unitWithBest(i % 2 ? 2 : 6));
+        keys.push_back(i % 2);
+    }
+    auto r = resizePhase(units, keys, 0.0);
+    // Each key: 8, 4, then learned (6 or 2) x8.
+    double expect =
+        (8 + 4 + 8 * 6.0 + 8 + 4 + 8 * 2.0) / 20.0;
+    EXPECT_NEAR(r.avgWays, expect, 1e-9);
+    EXPECT_EQ(r.explorations, 4u);
+}
+
+TEST(ResizePhase, LearnedSizeComesFromFirstOccurrence)
+{
+    std::vector<SegmentLocality> units = {unitWithBest(3),
+                                          unitWithBest(3),
+                                          unitWithBest(3)};
+    std::vector<uint64_t> keys = {7, 7, 7};
+    auto r = resizePhase(units, keys, 0.0);
+    EXPECT_NEAR(r.avgWays, (8.0 + 4.0 + 3.0) / 3.0, 1e-9);
+}
+
+TEST(ResizeBbv, CurrentBestTracksClusterDrift)
+{
+    // A cluster whose members drift from best=2 to best=7: the policy
+    // follows with one unit of lag.
+    std::vector<SegmentLocality> units;
+    std::vector<uint32_t> clusters;
+    for (int i = 0; i < 6; ++i) {
+        units.push_back(unitWithBest(i < 3 ? 2 : 7));
+        clusters.push_back(0);
+    }
+    auto r = resizeBbv(units, clusters, 0.0);
+    // Chosen: 8, 4, 2, 2(lag), 7, 7.
+    EXPECT_NEAR(r.avgWays, (8 + 4 + 2 + 2 + 7 + 7) / 6.0, 1e-9);
+    // The lagged unit pays extra misses.
+    EXPECT_GT(r.totalMisses, r.fullSizeMisses);
+}
+
+TEST(ResizePolicies, PhaseBeatsIntervalOnRecurringNonUniformUnits)
+{
+    // The Fig 6 situation in miniature: three phases of different best
+    // sizes recur in a cycle. Interval's perfect detection re-explores
+    // at every change; phase learns each key once.
+    std::vector<SegmentLocality> units;
+    std::vector<uint64_t> keys;
+    for (int rep = 0; rep < 30; ++rep) {
+        for (uint32_t p = 0; p < 3; ++p) {
+            units.push_back(unitWithBest(p == 0 ? 1 : p == 1 ? 4 : 2));
+            keys.push_back(p);
+        }
+    }
+    auto phase = resizePhase(units, keys, 0.0);
+    auto interval = resizeInterval(units, 0.0);
+    auto oracle = resizeOracle(units, 0.0);
+    EXPECT_LT(phase.avgWays, interval.avgWays);
+    EXPECT_GE(phase.avgWays, oracle.avgWays);
+}
+
+TEST(ResizeResults, NormalizedSizeAndKB)
+{
+    ResizingResult r;
+    r.avgWays = 4.0;
+    EXPECT_DOUBLE_EQ(r.normalizedSize(), 0.5);
+    EXPECT_DOUBLE_EQ(r.avgKB(), 128.0);
+}
+
+TEST(ResizeEmptyInputs, AllPoliciesSafe)
+{
+    std::vector<SegmentLocality> none;
+    EXPECT_DOUBLE_EQ(resizeOracle(none, 0.0).avgWays, 8.0);
+    EXPECT_DOUBLE_EQ(resizeInterval(none, 0.0).avgWays, 8.0);
+    EXPECT_DOUBLE_EQ(
+        resizePhase(none, {}, 0.0).avgWays, 8.0);
+    EXPECT_DOUBLE_EQ(
+        resizeBbv(none, {}, 0.0).avgWays, 8.0);
+}
+
+} // namespace

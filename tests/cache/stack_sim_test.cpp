@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.hpp"
+#include "cache/stack_sim.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::cache;
+
+TEST(SegmentLocality, MissRateVectorAndMerge)
+{
+    SegmentLocality a;
+    a.accesses = 100;
+    for (uint32_t w = 0; w < simWays; ++w)
+        a.misses[w] = 80 - w * 10;
+    auto v = a.missRateVector();
+    ASSERT_EQ(v.size(), simWays);
+    EXPECT_DOUBLE_EQ(v[0], 0.8);
+    EXPECT_DOUBLE_EQ(v[7], 0.1);
+
+    SegmentLocality b = a;
+    b.merge(a);
+    EXPECT_EQ(b.accesses, 200u);
+    EXPECT_EQ(b.misses[0], 160u);
+}
+
+TEST(StackSimulator, MatchesConcreteLruCachesAtEveryWays)
+{
+    // One pass of the stack simulator equals eight separate LRU caches.
+    lpp::Rng rng(57);
+    StackSimulator sim(64, 64);
+    std::vector<LruCache> caches;
+    for (uint32_t w = 1; w <= simWays; ++w)
+        caches.emplace_back(CacheConfig{64, w, 64});
+
+    for (int i = 0; i < 30000; ++i) {
+        uint64_t addr = rng.below(1 << 19);
+        sim.onAccess(addr);
+        for (auto &c : caches)
+            c.access(addr);
+    }
+    auto total = sim.total();
+    EXPECT_EQ(total.accesses, 30000u);
+    for (uint32_t w = 1; w <= simWays; ++w)
+        EXPECT_EQ(total.misses[w - 1], caches[w - 1].misses())
+            << "ways " << w;
+}
+
+TEST(StackSimulator, InclusionPropertyHolds)
+{
+    lpp::Rng rng(58);
+    StackSimulator sim;
+    for (int i = 0; i < 50000; ++i)
+        sim.onAccess(rng.below(1 << 21));
+    auto total = sim.total();
+    for (uint32_t w = 1; w < simWays; ++w)
+        EXPECT_GE(total.misses[w - 1], total.misses[w]);
+}
+
+TEST(StackSimulator, SegmentsSumToTotal)
+{
+    lpp::Rng rng(59);
+    StackSimulator sim;
+    for (int seg = 0; seg < 5; ++seg) {
+        for (int i = 0; i < 4000; ++i)
+            sim.onAccess(rng.below(1 << 18));
+        sim.markSegment();
+    }
+    SegmentLocality sum;
+    for (const auto &s : sim.segments())
+        sum.merge(s);
+    auto total = sim.total();
+    EXPECT_EQ(sum.accesses, total.accesses);
+    for (uint32_t w = 0; w < simWays; ++w)
+        EXPECT_EQ(sum.misses[w], total.misses[w]);
+}
+
+TEST(StackSimulator, CacheStaysWarmAcrossSegments)
+{
+    StackSimulator sim;
+    for (uint64_t b = 0; b < 100; ++b)
+        sim.onAccess(b * 64);
+    sim.markSegment();
+    for (uint64_t b = 0; b < 100; ++b)
+        sim.onAccess(b * 64);
+    sim.onEnd();
+    ASSERT_EQ(sim.segments().size(), 2u);
+    // Second segment hits everywhere at full size (working set fits).
+    EXPECT_EQ(sim.segments()[1].misses[simWays - 1], 0u);
+}
+
+TEST(StackSimulator, OnEndClosesOpenSegmentOnly)
+{
+    StackSimulator sim;
+    sim.onAccess(0);
+    sim.onEnd();
+    sim.onEnd(); // second end: nothing new
+    EXPECT_EQ(sim.segments().size(), 1u);
+}
+
+TEST(StackSimulator, CapacityKB)
+{
+    StackSimulator sim(512, 64);
+    EXPECT_DOUBLE_EQ(sim.capacityKB(1), 32.0);
+    EXPECT_DOUBLE_EQ(sim.capacityKB(8), 256.0);
+}
+
+TEST(StackSimulator, StreamingSweepMissesEverySizeEqually)
+{
+    // Working set far beyond 256KB: every size misses once per block.
+    StackSimulator sim;
+    for (uint64_t b = 0; b < 100000; ++b)
+        sim.onAccess(b * 64);
+    auto total = sim.total();
+    for (uint32_t w = 0; w < simWays; ++w)
+        EXPECT_EQ(total.misses[w], 100000u);
+}
+
+TEST(StackSimulator, SmallWorkingSetHitsAtEverySize)
+{
+    StackSimulator sim;
+    // 16KB working set: fits even the 32KB 1-way cache (no conflicts
+    // within one wrap of the sets).
+    for (int pass = 0; pass < 10; ++pass)
+        for (uint64_t b = 0; b < 256; ++b)
+            sim.onAccess(b * 64);
+    auto total = sim.total();
+    EXPECT_EQ(total.misses[0], 256u); // cold only
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp::core;
+
+TEST(MarkerOverlap, ExactAndToleratedMatches)
+{
+    std::vector<uint64_t> manual = {1000, 5000, 9000};
+    std::vector<uint64_t> autos = {1100, 5000, 20000};
+    auto r = markerOverlap(manual, autos, 400);
+    EXPECT_NEAR(r.recall, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MarkerOverlap, EmptySets)
+{
+    auto r = markerOverlap({}, {});
+    EXPECT_DOUBLE_EQ(r.recall, 0.0);
+    EXPECT_DOUBLE_EQ(r.precision, 0.0);
+    auto r2 = markerOverlap({100}, {});
+    EXPECT_DOUBLE_EQ(r2.recall, 0.0);
+    auto r3 = markerOverlap({}, {100});
+    EXPECT_DOUBLE_EQ(r3.precision, 0.0);
+}
+
+TEST(MarkerOverlap, ManySpuriousAutosLowerPrecisionOnly)
+{
+    std::vector<uint64_t> manual = {10000};
+    std::vector<uint64_t> autos = {10000, 20000, 30000, 40000};
+    auto r = markerOverlap(manual, autos);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_DOUBLE_EQ(r.precision, 0.25);
+}
+
+TEST(MarkerOverlap, ToleranceBoundaryInclusive)
+{
+    auto r = markerOverlap({1000}, {1400}, 400);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    auto r2 = markerOverlap({1000}, {1401}, 400);
+    EXPECT_DOUBLE_EQ(r2.recall, 0.0);
+}
+
+TEST(Granularity, RowFromReplay)
+{
+    Replay r;
+    r.totalInstructions = 10000000;
+    for (int step = 0; step < 10; ++step) {
+        for (uint32_t p = 0; p < 2; ++p) {
+            ExecutionRecord e;
+            e.phase = p;
+            e.instructions = p == 0 ? 600000 : 400000;
+            r.executions.push_back(e);
+        }
+    }
+    auto hier = lpp::grammar::PhaseHierarchy::fromSequence(r.sequence());
+    auto row = granularity(r, hier);
+    EXPECT_EQ(row.leafExecutions, 20u);
+    EXPECT_DOUBLE_EQ(row.execLengthM, 10.0);
+    EXPECT_DOUBLE_EQ(row.avgLeafSizeM, 0.5);
+    // Largest composite = one (0 1) iteration = 1.0M instructions.
+    EXPECT_DOUBLE_EQ(row.avgLargestCompositeM, 1.0);
+}
+
+TEST(Granularity, NoRepetitionUsesWholeRun)
+{
+    Replay r;
+    r.totalInstructions = 3000000;
+    for (uint32_t p = 0; p < 3; ++p) {
+        ExecutionRecord e;
+        e.phase = p;
+        e.instructions = 1000000;
+        r.executions.push_back(e);
+    }
+    auto hier = lpp::grammar::PhaseHierarchy::fromSequence(r.sequence());
+    auto row = granularity(r, hier);
+    EXPECT_DOUBLE_EQ(row.avgLargestCompositeM, 3.0);
+}
+
+TEST(CollectIntervals, UnitsAndBbvsAligned)
+{
+    auto runner = [](lpp::trace::TraceSink &sink) {
+        for (int i = 0; i < 2500; ++i) {
+            sink.onBlock(i < 1200 ? 1 : 2, 10);
+            sink.onAccess(static_cast<uint64_t>(i % 700) * 8);
+        }
+        sink.onEnd();
+    };
+    auto prof = collectIntervals(runner, 1000, 16);
+    EXPECT_EQ(prof.units.size(), 3u);
+    EXPECT_EQ(prof.bbvs.size(), 3u);
+    EXPECT_EQ(prof.units[0].accesses, 1000u);
+    EXPECT_EQ(prof.units[2].accesses, 500u);
+    // Different block mix in unit 0 vs unit 2.
+    EXPECT_GT(lpp::bbv::manhattan(prof.bbvs[0], prof.bbvs[2]), 0.01);
+}
+
+TEST(CollectPhaseIntervals, KeysRestartAtMarkers)
+{
+    lpp::trace::MarkerTable table;
+    table.set(100, 0);
+    table.set(200, 1);
+    auto runner = [](lpp::trace::TraceSink &sink) {
+        for (int rep = 0; rep < 2; ++rep) {
+            sink.onBlock(100, 5);
+            for (int i = 0; i < 2500; ++i) {
+                sink.onBlock(1, 10);
+                sink.onAccess(static_cast<uint64_t>(i) * 8);
+            }
+            sink.onBlock(200, 5);
+            for (int i = 0; i < 1200; ++i) {
+                sink.onBlock(2, 10);
+                sink.onAccess(0x900000 + static_cast<uint64_t>(i) * 8);
+            }
+        }
+        sink.onEnd();
+    };
+    auto prof = collectPhaseIntervals(table, runner, 1000);
+    ASSERT_EQ(prof.units.size(), prof.keys.size());
+    // Phase 0: 2500 accesses = units (0,0) (0,1) (0,2);
+    // phase 1: 1200 accesses = units (1,0) (1,1). Repeated twice.
+    std::vector<uint64_t> want = {
+        (0ULL << 32) | 0, (0ULL << 32) | 1, (0ULL << 32) | 2,
+        (1ULL << 32) | 0, (1ULL << 32) | 1,
+        (0ULL << 32) | 0, (0ULL << 32) | 1, (0ULL << 32) | 2,
+        (1ULL << 32) | 0, (1ULL << 32) | 1,
+    };
+    EXPECT_EQ(prof.keys, want);
+    EXPECT_EQ(prof.units[2].accesses, 500u);
+}
+
+TEST(EvaluateWorkloadIntegration, TomcatvEndToEnd)
+{
+    auto w = lpp::workloads::create("tomcatv");
+    ASSERT_NE(w, nullptr);
+    auto ev = evaluateWorkload(*w);
+
+    // Five substep phases with markers.
+    EXPECT_EQ(ev.analysis.detection.selection.phases.size(), 5u);
+    // Strict accuracy perfect; relaxed coverage near complete.
+    EXPECT_DOUBLE_EQ(ev.metrics.strictAccuracy, 1.0);
+    EXPECT_GT(ev.metrics.relaxedCoverage, 0.95);
+    EXPECT_GT(ev.metrics.relaxedAccuracy, 0.95);
+    // Strict coverage reduced by the inconsistent correction substep.
+    EXPECT_LT(ev.metrics.strictCoverage, 0.95);
+    EXPECT_GT(ev.metrics.strictCoverage, 0.3);
+    // The prediction run is much longer with more leaf executions.
+    EXPECT_GT(ev.predictionRow.leafExecutions,
+              3 * ev.detectionRow.leafExecutions);
+    // The composite phase (time step) is larger than the leaf average.
+    EXPECT_GT(ev.predictionRow.avgLargestCompositeM,
+              2 * ev.predictionRow.avgLeafSizeM);
+    // Auto markers catch every manual marker.
+    EXPECT_GT(ev.refOverlap.recall, 0.95);
+    // Phase locality repeats: tiny standard deviation.
+    EXPECT_LT(ev.localityStddev, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/persistence.hpp"
+#include "core/runtime.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp;
+
+class PersistenceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("lpp_persist_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir / name).string();
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(PersistenceTest, RoundTripsRealAnalysis)
+{
+    auto w = workloads::create("tomcatv");
+    auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+    std::string file = path("tomcatv.lpp");
+    ASSERT_TRUE(core::saveAnalysis(analysis, file));
+
+    core::PersistedAnalysis loaded;
+    ASSERT_TRUE(core::loadAnalysis(file, &loaded));
+
+    // Marker table identical.
+    auto orig = analysis.detection.selection.table.entries();
+    EXPECT_EQ(loaded.table.size(), orig.size());
+    for (const auto &e : orig) {
+        ASSERT_NE(loaded.table.find(e.first), nullptr);
+        EXPECT_EQ(*loaded.table.find(e.first), e.second);
+    }
+
+    // Phase stats identical.
+    ASSERT_EQ(loaded.phases.size(),
+              analysis.detection.selection.phases.size());
+    for (const auto &p : analysis.detection.selection.phases) {
+        const auto &q = loaded.phases[p.id];
+        EXPECT_EQ(q.marker, p.marker);
+        EXPECT_EQ(q.executions, p.executions);
+        EXPECT_EQ(q.minInstructions, p.minInstructions);
+        EXPECT_EQ(q.maxInstructions, p.maxInstructions);
+        EXPECT_NEAR(q.markerQuality, p.markerQuality, 1e-9);
+    }
+
+    // Hierarchy equivalent (same expansion).
+    ASSERT_NE(loaded.hierarchy, nullptr);
+    EXPECT_EQ(loaded.hierarchy->expand(),
+              analysis.hierarchy.root()->expand());
+}
+
+TEST_F(PersistenceTest, LoadedTableDrivesPrediction)
+{
+    auto w = workloads::create("compress");
+    auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+    std::string file = path("compress.lpp");
+    ASSERT_TRUE(core::saveAnalysis(analysis, file));
+    core::PersistedAnalysis loaded;
+    ASSERT_TRUE(core::loadAnalysis(file, &loaded));
+
+    auto ref = w->refInput();
+    auto replay = core::replayInstrumented(
+        loaded.table,
+        [&](trace::TraceSink &s) { w->run(ref, s); });
+    EXPECT_GT(replay.executions.size(), 50u);
+}
+
+TEST_F(PersistenceTest, MissingFileFails)
+{
+    core::PersistedAnalysis out;
+    EXPECT_FALSE(core::loadAnalysis(path("nope.lpp"), &out));
+}
+
+TEST_F(PersistenceTest, CorruptHeaderFails)
+{
+    std::string file = path("bad.lpp");
+    {
+        std::ofstream f(file);
+        f << "not-an-analysis 1\nmarkers 0\n";
+    }
+    core::PersistedAnalysis out;
+    EXPECT_FALSE(core::loadAnalysis(file, &out));
+}
+
+TEST_F(PersistenceTest, TruncatedFileFails)
+{
+    std::string file = path("trunc.lpp");
+    {
+        std::ofstream f(file);
+        f << "lpp-analysis 1\nmarkers 3\n100 0\n";
+    }
+    core::PersistedAnalysis out;
+    EXPECT_FALSE(core::loadAnalysis(file, &out));
+}
+
+TEST_F(PersistenceTest, EmptyHierarchyRoundTrips)
+{
+    core::AnalysisResult analysis; // no phases, no hierarchy
+    std::string file = path("empty.lpp");
+    ASSERT_TRUE(core::saveAnalysis(analysis, file));
+    core::PersistedAnalysis out;
+    ASSERT_TRUE(core::loadAnalysis(file, &out));
+    EXPECT_TRUE(out.table.empty());
+    EXPECT_EQ(out.hierarchy, nullptr);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "trace/instrument.hpp"
+
+namespace {
+
+using namespace lpp::core;
+using namespace lpp::trace;
+
+/** Feed a synthetic instrumented stream into a collector. */
+class StreamBuilder
+{
+  public:
+    explicit StreamBuilder(TraceSink &sink_) : sink(sink_) {}
+
+    void
+    phase(PhaseId p, uint64_t instructions, uint64_t accesses,
+          Addr base = 0)
+    {
+        sink.onPhaseMarker(p);
+        uint64_t blocks = instructions / 10;
+        uint64_t done = 0;
+        for (uint64_t b = 0; b < blocks; ++b) {
+            sink.onBlock(1, 10);
+            while (done * blocks < accesses * (b + 1)) {
+                sink.onAccess(base + done * 8);
+                ++done;
+            }
+        }
+    }
+
+    void
+    prologue(uint64_t instructions)
+    {
+        for (uint64_t b = 0; b < instructions / 10; ++b)
+            sink.onBlock(0, 10);
+    }
+
+    void end() { sink.onEnd(); }
+
+    TraceSink &sink;
+};
+
+TEST(ExecutionCollector, CutsExecutionsAtMarkers)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    sb.prologue(500);
+    sb.phase(0, 1000, 64);
+    sb.phase(1, 2000, 128);
+    sb.phase(0, 1000, 64);
+    sb.end();
+
+    const Replay &r = coll.replay();
+    ASSERT_EQ(r.executions.size(), 3u);
+    EXPECT_EQ(r.prologueInstructions, 500u);
+    EXPECT_EQ(r.executions[0].phase, 0u);
+    EXPECT_EQ(r.executions[0].instructions, 1000u);
+    EXPECT_EQ(r.executions[0].accesses, 64u);
+    EXPECT_EQ(r.executions[1].instructions, 2000u);
+    EXPECT_EQ(r.executions[2].startInstr, 3500u);
+    EXPECT_EQ(r.totalInstructions, 4500u);
+    EXPECT_EQ(r.sequence(), (std::vector<PhaseId>{0, 1, 0}));
+}
+
+TEST(ExecutionCollector, PerExecutionLocalityMeasured)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    // Phase 0 streams fresh data (all cold); its repeat hits.
+    sb.phase(0, 1000, 512, 0);
+    sb.phase(0, 1000, 512, 0);
+    sb.end();
+    const Replay &r = coll.replay();
+    ASSERT_EQ(r.executions.size(), 2u);
+    EXPECT_GT(r.executions[0].locality.misses[7], 0u);
+    EXPECT_EQ(r.executions[1].locality.misses[7], 0u)
+        << "warm repeat of a 4KB working set must hit at 256KB";
+}
+
+std::vector<bool>
+consistent(std::initializer_list<bool> v)
+{
+    return {v};
+}
+
+TEST(EvaluatePrediction, PerfectlyRepeatingPhase)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    for (int i = 0; i < 10; ++i)
+        sb.phase(0, 1000, 64);
+    sb.end();
+
+    auto m = evaluatePrediction(coll.replay(), consistent({true}));
+    EXPECT_DOUBLE_EQ(m.strictAccuracy, 1.0);
+    EXPECT_DOUBLE_EQ(m.relaxedAccuracy, 1.0);
+    EXPECT_EQ(m.strictPredictions, 9u);
+    EXPECT_DOUBLE_EQ(m.strictCoverage, 0.9);
+    EXPECT_DOUBLE_EQ(m.relaxedCoverage, 0.9);
+}
+
+TEST(EvaluatePrediction, TrainingInconsistentPhaseExcludedFromStrict)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    for (int i = 0; i < 10; ++i)
+        sb.phase(0, 1000, 64);
+    sb.end();
+
+    auto m = evaluatePrediction(coll.replay(), consistent({false}));
+    EXPECT_EQ(m.strictPredictions, 0u);
+    EXPECT_DOUBLE_EQ(m.strictCoverage, 0.0);
+    // Relaxed still predicts.
+    EXPECT_EQ(m.relaxedPredictions, 9u);
+}
+
+TEST(EvaluatePrediction, RuntimeInconsistencyStopsStrictPrediction)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    sb.phase(0, 1000, 64);
+    sb.phase(0, 1000, 64);  // predicted, exact
+    sb.phase(0, 2000, 64);  // predicted, wrong; phase goes inconsistent
+    sb.phase(0, 2000, 64);  // NOT strict-predicted anymore
+    sb.end();
+
+    auto m = evaluatePrediction(coll.replay(), consistent({true}));
+    EXPECT_EQ(m.strictPredictions, 2u);
+    EXPECT_DOUBLE_EQ(m.strictAccuracy, 0.5);
+    EXPECT_EQ(m.relaxedPredictions, 3u);
+    // Relaxed last-value: exec2 wrong (1000 predicted), exec3 right
+    // (2000 predicted) -> 2/3.
+    EXPECT_NEAR(m.relaxedAccuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluatePrediction, VaryingPhaseLowRelaxedAccuracy)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    for (int i = 0; i < 12; ++i)
+        sb.phase(0, 1000 + 10 * static_cast<uint64_t>(i), 64);
+    sb.end();
+
+    auto m = evaluatePrediction(coll.replay(), consistent({true}));
+    EXPECT_DOUBLE_EQ(m.relaxedAccuracy, 0.0) << "MolDyn-like drift";
+    EXPECT_EQ(m.strictPredictions, 1u) << "only until first mismatch";
+}
+
+TEST(EvaluatePrediction, EmptyReplay)
+{
+    Replay r;
+    auto m = evaluatePrediction(r, {});
+    EXPECT_DOUBLE_EQ(m.strictAccuracy, 0.0);
+    EXPECT_DOUBLE_EQ(m.relaxedCoverage, 0.0);
+}
+
+TEST(PhaseLocalityStddev, IdenticalExecutionsGiveZero)
+{
+    ExecutionCollector coll;
+    StreamBuilder sb(coll);
+    sb.phase(0, 1000, 512, 0);     // cold warm-up
+    for (int i = 0; i < 5; ++i)
+        sb.phase(1, 1000, 512, 1 << 20); // identical warm executions
+    sb.end();
+    // Phase 1 executions after the first have identical locality; the
+    // weighted stddev is dominated by them and small.
+    double sd = phaseLocalityStddev(coll.replay());
+    EXPECT_LT(sd, 0.05);
+    EXPECT_GE(sd, 0.0);
+}
+
+TEST(ReplayInstrumented, EndToEndWithMarkerTable)
+{
+    MarkerTable table;
+    table.set(100, 0);
+    table.set(200, 1);
+
+    auto runner = [](TraceSink &sink) {
+        for (int r = 0; r < 3; ++r) {
+            sink.onBlock(100, 10);
+            for (int i = 0; i < 100; ++i) {
+                sink.onBlock(1, 10);
+                sink.onAccess(static_cast<Addr>(i) * 8);
+            }
+            sink.onBlock(200, 10);
+            for (int i = 0; i < 50; ++i) {
+                sink.onBlock(2, 10);
+                sink.onAccess(0x100000 + static_cast<Addr>(i) * 8);
+            }
+        }
+        sink.onEnd();
+    };
+
+    Replay r = replayInstrumented(table, runner);
+    ASSERT_EQ(r.executions.size(), 6u);
+    EXPECT_EQ(r.sequence(),
+              (std::vector<PhaseId>{0, 1, 0, 1, 0, 1}));
+    EXPECT_EQ(r.executions[0].instructions, 1010u);
+    EXPECT_EQ(r.executions[1].instructions, 510u);
+}
+
+} // namespace

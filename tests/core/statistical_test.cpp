@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/statistical.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::core;
+
+TEST(StatisticalPredictor, NoPredictionBeforeMinObservations)
+{
+    StatisticalPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.observe(0, 1000);
+    EXPECT_FALSE(p.predict(0, nullptr));
+    p.observe(0, 1000);
+    EXPECT_TRUE(p.predict(0, nullptr));
+    EXPECT_EQ(p.observationCount(0), 5u);
+}
+
+TEST(StatisticalPredictor, ConstantLengthsGivePointBand)
+{
+    StatisticalPredictor p;
+    for (int i = 0; i < 10; ++i)
+        p.observe(1, 5000);
+    StatisticalPredictor::Band band;
+    ASSERT_TRUE(p.predict(1, &band));
+    EXPECT_EQ(band.low, 5000u);
+    EXPECT_EQ(band.high, 5000u);
+    EXPECT_DOUBLE_EQ(band.mean, 5000.0);
+    EXPECT_DOUBLE_EQ(band.relativeWidth(), 0.0);
+    EXPECT_TRUE(band.contains(5000));
+    EXPECT_FALSE(band.contains(5001));
+}
+
+TEST(StatisticalPredictor, QuantilesBoundTheBulk)
+{
+    // Uniform lengths in [1000, 2000]: the 10-90 band excludes the
+    // extreme tails but contains ~80% of fresh draws.
+    lpp::Rng rng(91);
+    StatisticalPredictor p;
+    for (int i = 0; i < 500; ++i)
+        p.observe(2, 1000 + rng.below(1001));
+    StatisticalPredictor::Band band;
+    ASSERT_TRUE(p.predict(2, &band));
+    EXPECT_NEAR(static_cast<double>(band.low), 1100.0, 40.0);
+    EXPECT_NEAR(static_cast<double>(band.high), 1900.0, 40.0);
+
+    int hits = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i)
+        hits += band.contains(1000 + rng.below(1001));
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.8, 0.04);
+}
+
+TEST(StatisticalPredictor, PhasesAreIndependent)
+{
+    StatisticalPredictor p;
+    for (int i = 0; i < 6; ++i) {
+        p.observe(0, 100);
+        p.observe(1, 900000);
+    }
+    StatisticalPredictor::Band a, b;
+    ASSERT_TRUE(p.predict(0, &a));
+    ASSERT_TRUE(p.predict(1, &b));
+    EXPECT_LT(a.high, b.low);
+}
+
+TEST(EvaluateStatistical, PerfectOnRepeatingPhases)
+{
+    Replay r;
+    r.totalInstructions = 0;
+    for (int i = 0; i < 50; ++i) {
+        ExecutionRecord e;
+        e.phase = 0;
+        e.instructions = 7777;
+        r.executions.push_back(e);
+        r.totalInstructions += e.instructions;
+    }
+    auto m = evaluateStatisticalPrediction(r);
+    EXPECT_EQ(m.predictions, 45u); // after 5 warm-up observations
+    EXPECT_DOUBLE_EQ(m.hitRate, 1.0);
+    EXPECT_NEAR(m.coverage, 45.0 / 50.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.meanRelativeWidth, 0.0);
+}
+
+TEST(EvaluateStatistical, GccLikeHeavyTailGetsUsefulBands)
+{
+    // Exact-match prediction is hopeless on heavy-tailed lengths, but
+    // the band predictor should land its configured ~80%.
+    lpp::Rng rng(93);
+    Replay r;
+    for (int i = 0; i < 400; ++i) {
+        ExecutionRecord e;
+        e.phase = static_cast<lpp::trace::PhaseId>(i % 3);
+        double u = rng.uniform();
+        e.instructions = static_cast<uint64_t>(
+            400.0 / std::pow(1.0 - u * 0.97, 0.8));
+        r.executions.push_back(e);
+        r.totalInstructions += e.instructions;
+    }
+    auto m = evaluateStatisticalPrediction(r);
+    EXPECT_GT(m.predictions, 300u);
+    EXPECT_GT(m.hitRate, 0.6);
+    EXPECT_LT(m.hitRate, 0.95);
+    EXPECT_GT(m.meanRelativeWidth, 0.5) << "bands must be honest: wide";
+}
+
+TEST(EvaluateStatistical, EmptyReplay)
+{
+    Replay r;
+    auto m = evaluateStatisticalPrediction(r);
+    EXPECT_EQ(m.predictions, 0u);
+    EXPECT_DOUBLE_EQ(m.hitRate, 0.0);
+}
+
+TEST(StatisticalPredictorDeathTest, RejectsBadQuantiles)
+{
+    StatisticalPredictor::Config cfg;
+    cfg.lowQuantile = 0.9;
+    cfg.highQuantile = 0.1;
+    EXPECT_DEATH(StatisticalPredictor p(cfg), "quantiles");
+}
+
+} // namespace

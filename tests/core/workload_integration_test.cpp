@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/statistical.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp;
+
+/**
+ * Full-pipeline integration sweep: every prediction-amenable workload
+ * must reproduce the paper's qualitative claims end to end. One
+ * evaluation per workload is shared across the assertions via a
+ * per-suite cache (the pipeline run is the expensive part).
+ */
+class WorkloadPipeline : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static const core::WorkloadEvaluation &
+    eval(const std::string &name)
+    {
+        static std::map<std::string, core::WorkloadEvaluation> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            auto w = workloads::create(name);
+            it = cache.emplace(name, core::evaluateWorkload(*w)).first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(WorkloadPipeline, MarkersFoundAndExact)
+{
+    const auto &ev = eval(GetParam());
+    const auto &sel = ev.analysis.detection.selection;
+    EXPECT_GE(sel.phases.size(), 2u);
+    EXPECT_LE(sel.phases.size(), 16u);
+    for (const auto &p : sel.phases) {
+        EXPECT_GT(p.executions, 0u) << "phase " << p.id;
+        EXPECT_GT(p.markerQuality, 0.9) << "phase " << p.id;
+    }
+}
+
+TEST_P(WorkloadPipeline, StrictAccuracyPerfect)
+{
+    const auto &ev = eval(GetParam());
+    EXPECT_GE(ev.metrics.strictAccuracy, 0.99);
+}
+
+TEST_P(WorkloadPipeline, RelaxedCoverageNearComplete)
+{
+    const auto &ev = eval(GetParam());
+    EXPECT_GE(ev.metrics.relaxedCoverage, 0.9);
+}
+
+TEST_P(WorkloadPipeline, AutoMarkersCatchManualOnes)
+{
+    const auto &ev = eval(GetParam());
+    EXPECT_GE(ev.trainOverlap.recall, 0.95);
+    EXPECT_GE(ev.refOverlap.recall, 0.95);
+}
+
+TEST_P(WorkloadPipeline, HierarchyHasCompositePhase)
+{
+    const auto &ev = eval(GetParam());
+    ASSERT_NE(ev.analysis.hierarchy.root(), nullptr);
+    EXPECT_NE(ev.analysis.hierarchy.largestComposite(), nullptr)
+        << "every suite program repeats its time-step loop";
+}
+
+TEST_P(WorkloadPipeline, PhaseLocalityMoreRepeatableThanTenPercent)
+{
+    const auto &ev = eval(GetParam());
+    EXPECT_LT(ev.localityStddev, 0.01);
+}
+
+TEST_P(WorkloadPipeline, PredictionRunScalesUp)
+{
+    const auto &ev = eval(GetParam());
+    if (GetParam() == "mesh") {
+        // Same-length inputs (the paper's sorted-edge variant).
+        EXPECT_EQ(ev.predictionRow.leafExecutions,
+                  ev.detectionRow.leafExecutions);
+    } else if (GetParam() == "compress") {
+        // Like the paper's Compress: the execution count stays put and
+        // the phase *size* grows with the input instead.
+        EXPECT_EQ(ev.predictionRow.leafExecutions,
+                  ev.detectionRow.leafExecutions);
+        EXPECT_GE(ev.predictionRow.avgLeafSizeM,
+                  10 * ev.detectionRow.avgLeafSizeM);
+    } else {
+        EXPECT_GE(ev.predictionRow.leafExecutions,
+                  3 * ev.detectionRow.leafExecutions);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, WorkloadPipeline,
+                         ::testing::Values("fft", "applu", "compress",
+                                           "tomcatv", "swim", "mesh",
+                                           "moldyn"));
+
+TEST(UnpredictableWorkloads, GccGetsBandsNotPoints)
+{
+    // The statistical extension: exact prediction fails on gcc, band
+    // prediction is usefully reliable.
+    auto w = workloads::create("gcc");
+    auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+    ASSERT_FALSE(analysis.detection.selection.table.empty());
+
+    auto ref = w->refInput();
+    auto replay = core::replayInstrumented(
+        analysis.detection.selection.table,
+        [&](trace::TraceSink &s) { w->run(ref, s); });
+
+    auto exact = core::evaluatePrediction(
+        replay, analysis.consistentPhases());
+    auto bands = core::evaluateStatisticalPrediction(replay);
+
+    EXPECT_LT(exact.relaxedAccuracy, 0.2)
+        << "gcc phase lengths are input dependent";
+    EXPECT_GT(bands.hitRate, 0.6)
+        << "quantile bands still capture the distribution";
+    EXPECT_GT(bands.predictions, 50u);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "grammar/automaton.hpp"
+#include "grammar/hierarchy.hpp"
+
+namespace {
+
+using namespace lpp::grammar;
+
+RegexPtr
+tomcatvRegex(int steps = 25)
+{
+    auto step = Regex::concat({Regex::symbol(0), Regex::symbol(1),
+                               Regex::symbol(2), Regex::symbol(3),
+                               Regex::symbol(4)});
+    return Regex::repeat(step, static_cast<uint64_t>(steps));
+}
+
+TEST(PhaseAutomaton, NullRootAcceptsNothing)
+{
+    PhaseAutomaton a(nullptr);
+    EXPECT_TRUE(a.possibleNext().empty());
+    EXPECT_FALSE(a.feed(1));
+    EXPECT_TRUE(a.lost());
+}
+
+TEST(PhaseAutomaton, TracksLinearSequence)
+{
+    auto r = Regex::concat({Regex::symbol(1), Regex::symbol(2),
+                            Regex::symbol(3)});
+    PhaseAutomaton a(r);
+    EXPECT_EQ(a.possibleNext(), (std::vector<uint32_t>{1}));
+    EXPECT_TRUE(a.feed(1));
+    EXPECT_EQ(a.possibleNext(), (std::vector<uint32_t>{2}));
+    EXPECT_TRUE(a.feed(2));
+    EXPECT_TRUE(a.feed(3));
+    EXPECT_TRUE(a.possibleNext().empty());
+}
+
+TEST(PhaseAutomaton, LoopAllowsMoreIterationsThanTraining)
+{
+    // Trained with 3 iterations; prediction run does 10: the loop must
+    // keep accepting.
+    auto r = Regex::repeat(Regex::concat({Regex::symbol(0),
+                                          Regex::symbol(1)}),
+                           3);
+    PhaseAutomaton a(r);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(a.feed(0)) << "iteration " << i;
+        EXPECT_TRUE(a.feed(1)) << "iteration " << i;
+    }
+    EXPECT_EQ(a.resyncCount(), 0u);
+}
+
+TEST(PhaseAutomaton, DeterministicNextInsideLoopBody)
+{
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    EXPECT_TRUE(a.feed(0));
+    uint32_t next = 99;
+    ASSERT_TRUE(a.deterministicNext(&next));
+    EXPECT_EQ(next, 1u);
+    EXPECT_TRUE(a.feed(1));
+    ASSERT_TRUE(a.deterministicNext(&next));
+    EXPECT_EQ(next, 2u);
+}
+
+TEST(PhaseAutomaton, LoopBoundaryPredictsBodyStart)
+{
+    // After the last leaf of an iteration the only possible successor
+    // inside the hierarchy is the body start (loop) — plus whatever
+    // follows the loop, which here is nothing.
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    for (uint32_t p = 0; p < 5; ++p)
+        EXPECT_TRUE(a.feed(p));
+    EXPECT_EQ(a.possibleNext(), (std::vector<uint32_t>{0}));
+}
+
+TEST(PhaseAutomaton, AmbiguityAtLoopExit)
+{
+    // (0 1)^n 2: after a 1, both another 0 (loop) and 2 (exit) are
+    // possible.
+    auto loop = Regex::repeat(Regex::concat({Regex::symbol(0),
+                                             Regex::symbol(1)}),
+                              4);
+    auto r = Regex::concat({loop, Regex::symbol(2)});
+    PhaseAutomaton a(r);
+    EXPECT_TRUE(a.feed(0));
+    EXPECT_TRUE(a.feed(1));
+    EXPECT_EQ(a.possibleNext(), (std::vector<uint32_t>{0, 2}));
+    EXPECT_FALSE(a.deterministicNext(nullptr));
+    EXPECT_TRUE(a.feed(2));
+    EXPECT_TRUE(a.possibleNext().empty());
+}
+
+TEST(PhaseAutomaton, ResyncAfterUnexpectedSymbol)
+{
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    EXPECT_TRUE(a.feed(0));
+    EXPECT_FALSE(a.feed(3)); // impossible: 1 expected
+    EXPECT_TRUE(a.lost());
+    EXPECT_EQ(a.resyncCount(), 1u);
+    // Resync lands back at the start; feeding the body start works.
+    EXPECT_TRUE(a.feed(0));
+    EXPECT_FALSE(a.lost());
+}
+
+TEST(PhaseAutomaton, ResyncMatchesStartSymbolImmediately)
+{
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    EXPECT_TRUE(a.feed(0));
+    EXPECT_TRUE(a.feed(1));
+    // Unexpected 0 (e.g. a skipped substep): resync consumes it as the
+    // start of a fresh iteration.
+    EXPECT_FALSE(a.feed(0));
+    uint32_t next = 99;
+    ASSERT_TRUE(a.deterministicNext(&next));
+    EXPECT_EQ(next, 1u);
+}
+
+TEST(PhaseAutomaton, ResetReturnsToStart)
+{
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    EXPECT_TRUE(a.feed(0));
+    EXPECT_TRUE(a.feed(1));
+    a.reset();
+    EXPECT_FALSE(a.lost());
+    EXPECT_EQ(a.possibleNext(), (std::vector<uint32_t>{0}));
+}
+
+TEST(PhaseAutomaton, WorksOnRealHierarchy)
+{
+    // End-to-end: sequence -> Sequitur -> regex -> automaton accepts a
+    // longer run of the same pattern.
+    std::vector<uint32_t> seq;
+    for (int s = 0; s < 12; ++s)
+        for (uint32_t p = 0; p < 5; ++p)
+            seq.push_back(p);
+    auto h = PhaseHierarchy::fromSequence(seq);
+    PhaseAutomaton a(h.root());
+    for (int s = 0; s < 100; ++s)
+        for (uint32_t p = 0; p < 5; ++p)
+            ASSERT_TRUE(a.feed(p)) << "step " << s << " phase " << p;
+    EXPECT_EQ(a.resyncCount(), 0u);
+    EXPECT_EQ(a.feedCount(), 500u);
+}
+
+TEST(PhaseAutomaton, StateCountLinearInRegexSize)
+{
+    auto r = tomcatvRegex();
+    PhaseAutomaton a(r);
+    EXPECT_LT(a.stateCount(), 24u);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grammar/hierarchy.hpp"
+
+namespace {
+
+using namespace lpp::grammar;
+
+std::vector<uint32_t>
+timeSteps(const std::vector<uint32_t> &body, int steps)
+{
+    std::vector<uint32_t> seq;
+    for (int s = 0; s < steps; ++s)
+        seq.insert(seq.end(), body.begin(), body.end());
+    return seq;
+}
+
+TEST(PhaseHierarchy, EmptySequence)
+{
+    auto h = PhaseHierarchy::fromSequence({});
+    EXPECT_EQ(h.root(), nullptr);
+    EXPECT_EQ(h.leafCount(), 0u);
+    EXPECT_TRUE(h.composites().empty());
+    EXPECT_EQ(h.largestComposite(), nullptr);
+}
+
+TEST(PhaseHierarchy, SingleLeaf)
+{
+    auto h = PhaseHierarchy::fromSequence({4});
+    ASSERT_NE(h.root(), nullptr);
+    EXPECT_EQ(h.root()->kind(), Regex::Kind::Symbol);
+    EXPECT_EQ(h.leafCount(), 1u);
+}
+
+TEST(PhaseHierarchy, TomcatvShape)
+{
+    // 5 substeps repeated 25 times: the hierarchy must expose the time
+    // step as one composite phase of 5 leaves and 25 iterations.
+    auto h = PhaseHierarchy::fromSequence(timeSteps({0, 1, 2, 3, 4}, 25));
+    ASSERT_NE(h.root(), nullptr);
+    EXPECT_EQ(h.root()->expand(),
+              timeSteps({0, 1, 2, 3, 4}, 25));
+
+    const CompositePhase *big = h.largestComposite();
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(big->leavesPerIteration, 5u);
+    EXPECT_EQ(big->iterations, 25u);
+}
+
+TEST(PhaseHierarchy, RegexRoundTripsGrammar)
+{
+    std::vector<uint32_t> seq = timeSteps({1, 2, 1, 3}, 10);
+    auto h = PhaseHierarchy::fromSequence(seq);
+    EXPECT_EQ(h.root()->expand(), seq);
+    EXPECT_EQ(h.grammar().expand(), seq);
+}
+
+TEST(PhaseHierarchy, NestedComposites)
+{
+    // ((0 1)^3 2)^8: inner and outer repeats both discovered.
+    std::vector<uint32_t> inner = timeSteps({0, 1}, 3);
+    inner.push_back(2);
+    auto seq = timeSteps(inner, 8);
+    auto h = PhaseHierarchy::fromSequence(seq);
+    EXPECT_EQ(h.root()->expand(), seq);
+    ASSERT_GE(h.composites().size(), 2u);
+
+    const CompositePhase *big = h.largestComposite();
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(big->leavesPerIteration, 7u);
+    EXPECT_EQ(big->iterations, 8u);
+}
+
+TEST(PhaseHierarchy, NonRepeatingSequenceHasNoComposite)
+{
+    auto h = PhaseHierarchy::fromSequence({0, 1, 2, 3, 4, 5});
+    EXPECT_EQ(h.root()->expand(),
+              (std::vector<uint32_t>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(h.largestComposite(), nullptr);
+}
+
+TEST(PhaseHierarchy, PrologueThenSteadyState)
+{
+    // A prologue phase then a steady loop, like MolDyn's setup followed
+    // by time steps.
+    std::vector<uint32_t> seq = {9, 9, 8};
+    auto steps = timeSteps({0, 1}, 30);
+    seq.insert(seq.end(), steps.begin(), steps.end());
+    auto h = PhaseHierarchy::fromSequence(seq);
+    EXPECT_EQ(h.root()->expand(), seq);
+    const CompositePhase *big = h.largestComposite();
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(big->leavesPerIteration, 2u);
+    EXPECT_EQ(big->iterations, 30u);
+}
+
+TEST(PhaseHierarchy, CompositeDepthsAreRecorded)
+{
+    std::vector<uint32_t> inner = timeSteps({0, 1}, 4);
+    inner.push_back(2);
+    auto seq = timeSteps(inner, 6);
+    auto h = PhaseHierarchy::fromSequence(seq);
+    bool saw_outer = false, saw_inner = false;
+    for (const auto &c : h.composites()) {
+        if (c.depth == 0)
+            saw_outer = true;
+        if (c.depth > 0)
+            saw_inner = true;
+    }
+    EXPECT_TRUE(saw_outer);
+    EXPECT_TRUE(saw_inner);
+}
+
+TEST(PhaseHierarchy, RegexFromGrammarEmptyGrammar)
+{
+    Grammar g;
+    EXPECT_EQ(PhaseHierarchy::regexFromGrammar(g), nullptr);
+    g.rules.emplace_back();
+    EXPECT_EQ(PhaseHierarchy::regexFromGrammar(g), nullptr);
+}
+
+TEST(PhaseHierarchy, LongRunCompressesToSingleRepeat)
+{
+    auto h = PhaseHierarchy::fromSequence(std::vector<uint32_t>(500, 3));
+    ASSERT_NE(h.root(), nullptr);
+    ASSERT_EQ(h.root()->kind(), Regex::Kind::Repeat);
+    EXPECT_EQ(h.root()->count(), 500u);
+    EXPECT_EQ(h.root()->body()->kind(), Regex::Kind::Symbol);
+}
+
+} // namespace

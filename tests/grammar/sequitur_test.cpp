@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "grammar/sequitur.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::grammar;
+
+std::vector<uint32_t>
+roundTrip(const std::vector<uint32_t> &input)
+{
+    Sequitur s;
+    s.append(input);
+    return s.extract().expand();
+}
+
+TEST(Sequitur, EmptyInput)
+{
+    Sequitur s;
+    Grammar g = s.extract();
+    ASSERT_EQ(g.rules.size(), 1u);
+    EXPECT_TRUE(g.rules[0].empty());
+    EXPECT_TRUE(g.expand().empty());
+}
+
+TEST(Sequitur, SingleSymbol)
+{
+    std::vector<uint32_t> in = {7};
+    EXPECT_EQ(roundTrip(in), in);
+}
+
+TEST(Sequitur, NoRepetitionNoRules)
+{
+    Sequitur s;
+    std::vector<uint32_t> in = {1, 2, 3, 4, 5};
+    s.append(in);
+    EXPECT_EQ(s.ruleCount(), 1u);
+    EXPECT_EQ(s.extract().expand(), in);
+}
+
+TEST(Sequitur, ClassicAbcdbc)
+{
+    // "abcdbc" -> S: a R d R ; R: b c
+    Sequitur s;
+    std::vector<uint32_t> in = {'a', 'b', 'c', 'd', 'b', 'c'};
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.rules.size(), 2u);
+    EXPECT_EQ(g.expand(), in);
+    EXPECT_EQ(g.rules[0].size(), 4u);
+    EXPECT_EQ(g.rules[1].size(), 2u);
+}
+
+TEST(Sequitur, RuleReuseAbcdbcabcdbc)
+{
+    // Doubling the string reuses rules hierarchically.
+    std::vector<uint32_t> once = {'a', 'b', 'c', 'd', 'b', 'c'};
+    std::vector<uint32_t> twice = once;
+    twice.insert(twice.end(), once.begin(), once.end());
+    Sequitur s;
+    s.append(twice);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), twice);
+    // S must be compressed to two references of one rule.
+    EXPECT_EQ(g.rules[0].size(), 2u);
+}
+
+TEST(Sequitur, OverlappingPairsAaa)
+{
+    std::vector<uint32_t> in = {9, 9, 9};
+    EXPECT_EQ(roundTrip(in), in);
+}
+
+TEST(Sequitur, LongRunOfOneSymbol)
+{
+    std::vector<uint32_t> in(64, 5);
+    Sequitur s;
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), in);
+    // Hierarchical doubling keeps the grammar logarithmic.
+    EXPECT_LT(g.totalSymbols(), 24u);
+}
+
+TEST(Sequitur, PeriodicPhaseSequenceCompressesWell)
+{
+    // The Tomcatv shape: five leaf phases repeated many times.
+    std::vector<uint32_t> in;
+    for (int step = 0; step < 50; ++step)
+        for (uint32_t p = 0; p < 5; ++p)
+            in.push_back(p);
+    Sequitur s;
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), in);
+    EXPECT_LT(g.totalSymbols(), in.size() / 4);
+}
+
+TEST(Sequitur, DigramUniquenessInvariant)
+{
+    // No digram may appear twice in the final grammar (count across all
+    // right-hand sides).
+    lpp::Rng rng(77);
+    std::vector<uint32_t> in;
+    for (int i = 0; i < 500; ++i)
+        in.push_back(static_cast<uint32_t>(rng.below(4)));
+    Sequitur s;
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), in);
+
+    std::set<std::pair<Grammar::Sym, Grammar::Sym>> seen;
+    for (const auto &rule : g.rules) {
+        for (size_t i = 1; i < rule.size(); ++i) {
+            auto digram = std::make_pair(rule[i - 1], rule[i]);
+            EXPECT_TRUE(seen.insert(digram).second)
+                << "digram (" << digram.first << "," << digram.second
+                << ") appears twice";
+        }
+    }
+}
+
+TEST(Sequitur, RuleUtilityInvariant)
+{
+    // Every rule except the start rule must be referenced >= 2 times.
+    lpp::Rng rng(78);
+    std::vector<uint32_t> in;
+    for (int i = 0; i < 800; ++i)
+        in.push_back(static_cast<uint32_t>(rng.below(3)));
+    Sequitur s;
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), in);
+
+    std::vector<int> refs(g.rules.size(), 0);
+    for (const auto &rule : g.rules)
+        for (Grammar::Sym sym : rule)
+            if (Grammar::isRule(sym))
+                ++refs[Grammar::ruleIndex(sym)];
+    for (size_t r = 1; r < g.rules.size(); ++r)
+        EXPECT_GE(refs[r], 2) << "rule " << r << " underused";
+}
+
+TEST(Sequitur, RandomRoundTripSweep)
+{
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        lpp::Rng rng(seed);
+        std::vector<uint32_t> in;
+        size_t len = 100 + rng.below(900);
+        uint64_t alphabet = 2 + rng.below(10);
+        for (size_t i = 0; i < len; ++i)
+            in.push_back(static_cast<uint32_t>(rng.below(alphabet)));
+        EXPECT_EQ(roundTrip(in), in) << "seed " << seed;
+    }
+}
+
+TEST(Sequitur, CompressionLinearInDistinctContent)
+{
+    // Grammar size for a highly repetitive string grows ~log, far below
+    // input size.
+    std::vector<uint32_t> in;
+    for (int i = 0; i < 1024; ++i) {
+        in.push_back(1);
+        in.push_back(2);
+    }
+    Sequitur s;
+    s.append(in);
+    EXPECT_EQ(s.inputLength(), in.size());
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expand(), in);
+    EXPECT_LT(g.totalSymbols(), 64u);
+}
+
+TEST(Sequitur, ExpandedLengthMatchesWithoutMaterializing)
+{
+    std::vector<uint32_t> in;
+    for (int i = 0; i < 300; ++i)
+        in.push_back(static_cast<uint32_t>(i % 7));
+    Sequitur s;
+    s.append(in);
+    Grammar g = s.extract();
+    EXPECT_EQ(g.expandedLength(), in.size());
+}
+
+TEST(SequiturDeathTest, RejectsHugeTerminals)
+{
+    Sequitur s;
+    EXPECT_DEATH(s.append(0x80000001u), "too large");
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phase/detector.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace lpp::phase;
+using lpp::trace::Addr;
+using lpp::trace::TraceSink;
+using lpp::trace::elementBytes;
+
+/**
+ * Three-regime program (the Compress/Vortex shape): sweep array X for a
+ * while, then X and Y interleaved, then Y only. Array elements change
+ * their reuse behaviour exactly at the regime switches, which is what
+ * the wavelet filter keys on.
+ */
+void
+threeRegimeProgram(TraceSink &sink, uint64_t n = 1500, int passes = 24)
+{
+    auto sweep_x = [&](uint64_t i) {
+        sink.onBlock(11, 8);
+        sink.onAccess(i * elementBytes);
+    };
+    auto sweep_y = [&](uint64_t i) {
+        sink.onBlock(12, 8);
+        sink.onAccess((n + i) * elementBytes);
+    };
+
+    sink.onBlock(100, 12); // regime 1 entry
+    for (int p = 0; p < passes; ++p)
+        for (uint64_t i = 0; i < n; ++i)
+            sweep_x(i);
+
+    sink.onBlock(200, 12); // regime 2 entry
+    for (int p = 0; p < passes; ++p) {
+        for (uint64_t i = 0; i < n; ++i) {
+            sweep_x(i);
+            sweep_y(i);
+        }
+    }
+
+    sink.onBlock(300, 12); // regime 3 entry
+    for (int p = 0; p < passes; ++p)
+        for (uint64_t i = 0; i < n; ++i)
+            sweep_y(i);
+
+    sink.onEnd();
+}
+
+DetectorConfig
+testConfig()
+{
+    DetectorConfig cfg;
+    cfg.sampler.targetSamples = 4000;
+    cfg.sampler.initialQualification = 512;
+    cfg.sampler.initialTemporal = 512;
+    cfg.sampler.initialSpatial = 8;
+    cfg.filter.family = lpp::wavelet::Family::Haar;
+    cfg.marker.minPhaseInstructions = 10000;
+    return cfg;
+}
+
+TEST(PhaseDetector, ThreeRegimesDetected)
+{
+    PhaseDetector det(testConfig());
+    auto result = det.analyze(
+        [](TraceSink &s) { threeRegimeProgram(s); });
+
+    // The trace totals are recorded.
+    EXPECT_GT(result.trainAccesses, 100000u);
+    EXPECT_GT(result.trainInstructions, result.trainAccesses);
+    EXPECT_GT(result.dataSamples, 10u);
+    EXPECT_GT(result.accessSamples, 100u);
+
+    // Locality analysis must find a small number of phases (the two
+    // regime switches, possibly with minor noise).
+    EXPECT_GE(result.partitionResult.phaseCount(), 2u);
+    EXPECT_LE(result.partitionResult.phaseCount(), 8u);
+
+    // Markers: the three regime entry blocks, each a distinct phase.
+    ASSERT_EQ(result.selection.table.size(), 3u);
+    EXPECT_NE(result.selection.table.find(100), nullptr);
+    EXPECT_NE(result.selection.table.find(200), nullptr);
+    EXPECT_NE(result.selection.table.find(300), nullptr);
+    EXPECT_EQ(result.selection.executions.size(), 3u);
+}
+
+TEST(PhaseDetector, BoundaryTimesFallNearRegimeSwitches)
+{
+    uint64_t n = 1500;
+    int passes = 24;
+    PhaseDetector det(testConfig());
+    auto result = det.analyze([&](TraceSink &s) {
+        threeRegimeProgram(s, n, passes);
+    });
+
+    uint64_t switch1 = n * static_cast<uint64_t>(passes);
+    uint64_t switch2 = switch1 + 2 * n * static_cast<uint64_t>(passes);
+    uint64_t tolerance = 2 * n; // within one sweep pass
+
+    bool near1 = false, near2 = false;
+    for (uint64_t t : result.boundaryTimes) {
+        if (t + tolerance >= switch1 && t <= switch1 + tolerance)
+            near1 = true;
+        if (t + tolerance >= switch2 && t <= switch2 + tolerance)
+            near2 = true;
+    }
+    EXPECT_TRUE(near1) << "no boundary near first regime switch";
+    EXPECT_TRUE(near2) << "no boundary near second regime switch";
+}
+
+TEST(PhaseDetector, MarkedExecutionLengthsMatchRegimes)
+{
+    uint64_t n = 1500;
+    int passes = 24;
+    PhaseDetector det(testConfig());
+    auto result = det.analyze([&](TraceSink &s) {
+        threeRegimeProgram(s, n, passes);
+    });
+
+    ASSERT_EQ(result.selection.executions.size(), 3u);
+    uint64_t np = n * static_cast<uint64_t>(passes);
+    // Regime instruction totals: entry 12 + 8 per access.
+    EXPECT_NEAR(static_cast<double>(
+                    result.selection.executions[0].endInstr -
+                    result.selection.executions[0].startInstr),
+                static_cast<double>(12 + 8 * np), 16.0);
+    EXPECT_NEAR(static_cast<double>(
+                    result.selection.executions[1].endInstr -
+                    result.selection.executions[1].startInstr),
+                static_cast<double>(12 + 8 * 2 * np), 16.0);
+}
+
+TEST(PhaseDetector, InstrumenterReplaysDetectedMarkers)
+{
+    PhaseDetector det(testConfig());
+    auto result = det.analyze(
+        [](TraceSink &s) { threeRegimeProgram(s); });
+
+    lpp::trace::MarkerFiringRecorder rec;
+    lpp::trace::Instrumenter inst(result.selection.table, rec);
+    threeRegimeProgram(inst);
+
+    ASSERT_EQ(rec.firings().size(), 3u);
+    // Firing phases reproduce the detected training sequence.
+    auto seq = result.selection.sequence();
+    for (size_t i = 0; i < seq.size(); ++i)
+        EXPECT_EQ(rec.firings()[i].phase, seq[i]);
+}
+
+TEST(PhaseDetector, UniformProgramYieldsNoMarkers)
+{
+    // One endless homogeneous sweep: no abrupt reuse changes, so no
+    // boundary indicators survive filtering and no phase markers exist
+    // (the paper's "some programs do not have predictable phases").
+    DetectorConfig cfg = testConfig();
+    PhaseDetector det(cfg);
+    auto result = det.analyze([](TraceSink &s) {
+        for (int p = 0; p < 40; ++p) {
+            for (uint64_t i = 0; i < 2000; ++i) {
+                s.onBlock(11, 8);
+                s.onAccess(i * elementBytes);
+            }
+        }
+        s.onEnd();
+    });
+    EXPECT_LE(result.partitionResult.phaseCount(), 2u);
+    EXPECT_TRUE(result.selection.table.empty());
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "phase/partition.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::phase;
+using lpp::reuse::SamplePoint;
+
+std::vector<SamplePoint>
+pointsFromIds(const std::vector<uint32_t> &ids, uint64_t dt = 100)
+{
+    std::vector<SamplePoint> pts;
+    uint64_t t = 0;
+    for (uint32_t id : ids) {
+        pts.push_back(SamplePoint{t, 1000, id});
+        t += dt;
+    }
+    return pts;
+}
+
+TEST(Partition, EmptyTrace)
+{
+    OptimalPartitioner part;
+    auto p = part.partition({});
+    EXPECT_TRUE(p.boundaries.empty());
+    EXPECT_EQ(p.phaseCount(), 1u);
+}
+
+TEST(Partition, SinglePointIsOnePhase)
+{
+    OptimalPartitioner part;
+    auto p = part.partition(pointsFromIds({0}));
+    EXPECT_TRUE(p.boundaries.empty());
+    EXPECT_DOUBLE_EQ(p.cost, 1.0);
+}
+
+TEST(Partition, DistinctIdsStayOnePhase)
+{
+    // No recurrences anywhere: a single phase costs 1, any split more.
+    OptimalPartitioner part;
+    auto p = part.partition(pointsFromIds({0, 1, 2, 3, 4}));
+    EXPECT_TRUE(p.boundaries.empty());
+    EXPECT_DOUBLE_EQ(p.cost, 1.0);
+}
+
+TEST(Partition, BoundaryClustersSplitCleanly)
+{
+    // Three boundary clusters (0 1 2 3)(0 1 2 3)(0 1 2 3): splitting is
+    // strictly cheaper than merging once alpha*(m-1) > 1, so the optimal
+    // partition cuts exactly at the cluster starts.
+    OptimalPartitioner part;
+    auto p = part.partition(
+        pointsFromIds({0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3}));
+    EXPECT_EQ(p.phaseCount(), 3u);
+    ASSERT_EQ(p.boundaries.size(), 2u);
+    // Path nodes are excluded from phase intervals, so optima can sit up
+    // to two nodes before the exact cluster start; all are cost 3.
+    EXPECT_GE(p.boundaries[0], 2u);
+    EXPECT_LE(p.boundaries[0], 4u);
+    EXPECT_GE(p.boundaries[1], 6u);
+    EXPECT_LE(p.boundaries[1], 8u);
+    EXPECT_DOUBLE_EQ(p.cost, 3.0);
+}
+
+TEST(Partition, AlphaZeroMergesEverything)
+{
+    PartitionConfig cfg;
+    cfg.alpha = 0.0;
+    OptimalPartitioner part(cfg);
+    auto p = part.partition(
+        pointsFromIds({0, 1, 2, 0, 1, 2, 0, 1, 2}));
+    EXPECT_TRUE(p.boundaries.empty());
+    EXPECT_DOUBLE_EQ(p.cost, 1.0);
+}
+
+TEST(Partition, AlphaOneForbidsReuseInPhase)
+{
+    PartitionConfig cfg;
+    cfg.alpha = 1.0;
+    OptimalPartitioner part(cfg);
+    // 0 0 0: the optimal path uses the middle access as a boundary,
+    // leaving one 0 in each phase interval and no reuse anywhere:
+    // cost 2, strictly below the single-phase cost 1 + 1*2 = 3.
+    auto p = part.partition(pointsFromIds({0, 0, 0}));
+    EXPECT_DOUBLE_EQ(p.cost, 2.0);
+    EXPECT_EQ(p.phaseCount(), 2u);
+}
+
+TEST(Partition, PaperExampleWeights)
+{
+    // "aceefgefbd": between c and b there are 3 recurrences (e twice,
+    // f once), so the edge weight is 3*alpha + 1. Verify via the cost of
+    // the forced two-phase partition of "ac|eefgefbd"... simpler: the
+    // one-phase cost of "ceefgefb" is alpha*3 + 1.
+    PartitionConfig cfg;
+    cfg.alpha = 0.5;
+    OptimalPartitioner part(cfg);
+    // c e e f g e f b as ids: c=0 e=1 f=2 g=3 b=4
+    auto whole = pointsFromIds({0, 1, 1, 2, 3, 1, 2, 4});
+    // Force "one phase" by alpha=0 comparison is trivial; instead check
+    // the optimal cost never exceeds the single-phase weight 1+0.5*3.
+    auto p = part.partition(whole);
+    EXPECT_LE(p.cost, 2.5);
+    EXPECT_GT(p.cost, 0.0);
+}
+
+TEST(Partition, NoisyClusterStillSplits)
+{
+    // Clusters with one stray repeated datum inside a phase; alpha=0.5
+    // tolerates the noise but still prefers the 3-way split.
+    OptimalPartitioner part;
+    auto p = part.partition(pointsFromIds(
+        {0, 1, 2, 3, 1, 0, 1, 2, 3, 0, 1, 2, 3}));
+    EXPECT_EQ(p.phaseCount(), 3u);
+}
+
+TEST(Partition, BoundaryTimesMapThroughSamplePoints)
+{
+    OptimalPartitioner part;
+    auto pts = pointsFromIds({0, 1, 2, 3, 0, 1, 2, 3}, 50);
+    auto times = part.boundaryTimes(pts);
+    ASSERT_EQ(times.size(), 1u);
+    // Boundary at node 3 or 4 (tied optima): time 150 or 200.
+    EXPECT_GE(times[0], 150u);
+    EXPECT_LE(times[0], 200u);
+}
+
+TEST(Partition, SubsamplingKeepsBoundaryStructure)
+{
+    // 4 clusters of 300 points each; maxNodes forces subsampling, yet
+    // the partition must still find ~4 phases at roughly the right
+    // positions.
+    std::vector<uint32_t> ids;
+    for (int c = 0; c < 4; ++c)
+        for (uint32_t i = 0; i < 300; ++i)
+            ids.push_back(i);
+    PartitionConfig cfg;
+    cfg.maxNodes = 200;
+    OptimalPartitioner part(cfg);
+    auto pts = pointsFromIds(ids);
+    auto p = part.partition(pts);
+    EXPECT_EQ(p.nodes, 200u);
+    EXPECT_EQ(p.phaseCount(), 4u);
+    for (size_t b : p.boundaries) {
+        // All-distinct clusters admit several zero-recurrence optima
+        // shifted by a few strides; boundaries must still land within
+        // 10% of a true cluster start (multiples of 300).
+        size_t mod = b % 300;
+        EXPECT_TRUE(mod <= 30 || mod >= 270) << "boundary at " << b;
+    }
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AlphaSweep, MidRangeAlphasAgree)
+{
+    // The paper found partitions stable across alpha in [0.2, 0.8];
+    // with 10-datum boundary clusters every alpha above 1/9 splits.
+    std::vector<uint32_t> ids;
+    for (int c = 0; c < 4; ++c)
+        for (uint32_t i = 0; i < 10; ++i)
+            ids.push_back(i);
+    OptimalPartitioner part(PartitionConfig{GetParam(), 6000});
+    auto p = part.partition(pointsFromIds(ids));
+    EXPECT_EQ(p.phaseCount(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, AlphaSweep,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8));
+
+
+/**
+ * Exhaustive reference: enumerate every subset of nodes as the path and
+ * take the cheapest, with the same interval semantics as the DP (path
+ * nodes excluded from segments).
+ */
+double
+bruteForceCost(const std::vector<uint32_t> &ids, double alpha)
+{
+    size_t n = ids.size();
+    double best = 1e18;
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+        // Path: source, nodes in mask (ascending), sink.
+        std::vector<size_t> cuts;
+        for (size_t i = 0; i < n; ++i)
+            if (mask & (1u << i))
+                cuts.push_back(i);
+        double cost = 0.0;
+        size_t prev = 0; // first uncovered position
+        std::vector<size_t> stops(cuts);
+        stops.push_back(n);    // sink
+        for (size_t stop : stops) {
+            // Segment = positions [prev, stop), minus nothing (prev
+            // starts after the previous path node).
+            std::map<uint32_t, int> count;
+            double r = 0.0;
+            for (size_t k = prev; k < stop; ++k)
+                if (++count[ids[k]] > 1)
+                    r += 1.0;
+            cost += alpha * r + 1.0;
+            prev = stop + 1; // skip the path node itself
+        }
+        best = std::min(best, cost);
+    }
+    return best;
+}
+
+struct BruteParam
+{
+    uint64_t seed;
+    double alpha;
+};
+
+class BruteForceSweep : public ::testing::TestWithParam<BruteParam>
+{};
+
+TEST_P(BruteForceSweep, DpMatchesExhaustiveOptimum)
+{
+    auto [seed, alpha] = GetParam();
+    lpp::Rng rng(seed);
+    std::vector<uint32_t> ids;
+    size_t n = 8 + rng.below(5); // 8..12 nodes
+    for (size_t i = 0; i < n; ++i)
+        ids.push_back(static_cast<uint32_t>(rng.below(3)));
+
+    OptimalPartitioner part(PartitionConfig{alpha, 6000});
+    auto p = part.partition(pointsFromIds(ids));
+    EXPECT_NEAR(p.cost, bruteForceCost(ids, alpha), 1e-9)
+        << "seed " << seed << " alpha " << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTraces, BruteForceSweep,
+    ::testing::Values(BruteParam{1, 0.5}, BruteParam{2, 0.5},
+                      BruteParam{3, 0.3}, BruteParam{4, 0.3},
+                      BruteParam{5, 1.0}, BruteParam{6, 1.0},
+                      BruteParam{7, 0.7}, BruteParam{8, 0.2}));
+
+} // namespace

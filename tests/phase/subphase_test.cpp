@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "phase/marker_selection.hpp"
+
+namespace {
+
+using namespace lpp::phase;
+using lpp::trace::BlockEvent;
+using lpp::trace::BlockId;
+
+/** Builds a block trace with running clocks. */
+class TraceBuilder
+{
+  public:
+    void
+    block(BlockId b, uint32_t instrs, uint32_t accs = 0)
+    {
+        events.push_back(BlockEvent{b, instrs, accessClock, instrClock});
+        instrClock += instrs;
+        accessClock += accs;
+    }
+
+    void
+    body(BlockId b, uint32_t n, uint32_t instrs = 10)
+    {
+        for (uint32_t i = 0; i < n; ++i)
+            block(b, instrs);
+    }
+
+    std::vector<BlockEvent> events;
+    uint64_t instrClock = 0;
+    uint64_t accessClock = 0;
+};
+
+/**
+ * Phase A contains two sub-kernels a1/a2 (2K instructions each, below
+ * the 10K coarse threshold, above the fine one); phase B is flat.
+ */
+TraceBuilder
+nestedProgram(int steps = 8)
+{
+    TraceBuilder tb;
+    for (int s = 0; s < steps; ++s) {
+        tb.block(100, 10); // phase A entry
+        tb.block(110, 10); // sub-kernel a1 entry
+        tb.body(1, 200);   // 2000 instructions
+        tb.block(120, 10); // sub-kernel a2 entry
+        tb.body(2, 300);   // 3000 instructions
+        tb.block(200, 10); // phase B entry
+        tb.body(3, 1200);  // 12000 instructions
+    }
+    return tb;
+}
+
+MarkerConfig
+coarseCfg()
+{
+    MarkerConfig c;
+    c.minPhaseInstructions = 5000;
+    return c;
+}
+
+TEST(SubPhases, CoarseLevelFindsOnlyLargePhases)
+{
+    auto tb = nestedProgram();
+    MarkerSelector sel(coarseCfg());
+    auto out = sel.selectSubPhases(tb.events, tb.instrClock, 16, 4.0);
+    // Coarse level: only B's 12K-instruction body leaves a >= 5K blank
+    // region (the sub-kernel gaps are 2-3K each).
+    EXPECT_GE(out.coarse.phases.size(), 1u);
+    EXPECT_NE(out.coarse.table.find(200), nullptr);
+    // Sub-kernels are never coarse phases (regions 2-3K < 5K).
+    EXPECT_EQ(out.coarse.table.find(110), nullptr);
+    EXPECT_EQ(out.coarse.table.find(120), nullptr);
+}
+
+TEST(SubPhases, FineLevelFindsSubKernels)
+{
+    auto tb = nestedProgram();
+    MarkerSelector sel(coarseCfg());
+    auto out = sel.selectSubPhases(tb.events, tb.instrClock, 16, 4.0);
+    // Fine threshold 1250: the 2K/3K sub-kernel regions qualify.
+    EXPECT_NE(out.fine.table.find(110), nullptr);
+    EXPECT_NE(out.fine.table.find(120), nullptr);
+    EXPECT_NE(out.fine.table.find(200), nullptr);
+    EXPECT_GT(out.fine.phases.size(), out.coarse.phases.size());
+}
+
+TEST(SubPhases, ParentAttributionEnclosesSubKernels)
+{
+    auto tb = nestedProgram();
+    MarkerSelector sel(coarseCfg());
+    auto out = sel.selectSubPhases(tb.events, tb.instrClock, 16, 4.0);
+    ASSERT_EQ(out.parentOf.size(), out.fine.phases.size());
+
+    // Both sub-kernels must map to the same coarse parent (phase A's
+    // span), and B's fine phase maps to B's coarse phase.
+    const lpp::trace::PhaseId *fine_a1 = out.fine.table.find(110);
+    const lpp::trace::PhaseId *fine_a2 = out.fine.table.find(120);
+    const lpp::trace::PhaseId *fine_b = out.fine.table.find(200);
+    const lpp::trace::PhaseId *coarse_b = out.coarse.table.find(200);
+    ASSERT_NE(fine_a1, nullptr);
+    ASSERT_NE(fine_a2, nullptr);
+    ASSERT_NE(fine_b, nullptr);
+    ASSERT_NE(coarse_b, nullptr);
+
+    EXPECT_EQ(out.parentOf[*fine_a1], out.parentOf[*fine_a2]);
+    EXPECT_EQ(out.parentOf[*fine_b], *coarse_b);
+    EXPECT_NE(out.parentOf[*fine_a1], SubPhaseSelection::noParent);
+}
+
+TEST(SubPhases, FineExecutionsNestInsideCoarse)
+{
+    auto tb = nestedProgram();
+    MarkerSelector sel(coarseCfg());
+    auto out = sel.selectSubPhases(tb.events, tb.instrClock, 16, 4.0);
+    // Every fine execution's span lies inside some coarse execution or
+    // before the first coarse marker.
+    for (const auto &fe : out.fine.executions) {
+        bool inside = fe.startInstr <
+                      out.coarse.executions.front().startInstr;
+        for (const auto &ce : out.coarse.executions) {
+            if (fe.startInstr >= ce.startInstr &&
+                fe.startInstr < ce.endInstr)
+                inside = true;
+        }
+        EXPECT_TRUE(inside) << "fine exec at " << fe.startInstr;
+    }
+}
+
+TEST(SubPhasesDeathTest, RefinementMustExceedOne)
+{
+    MarkerSelector sel(coarseCfg());
+    EXPECT_DEATH(sel.selectSubPhases({}, 0, 1, 1.0), "refinement");
+}
+
+TEST(IntersectSelections, KeepsCommonMarkersOnly)
+{
+    MarkerSelection a, b;
+    a.table.set(100, 0);
+    a.table.set(200, 1);
+    a.table.set(300, 2);
+    a.phases.resize(3);
+    for (uint32_t i = 0; i < 3; ++i) {
+        a.phases[i].id = i;
+        a.phases[i].marker = 100 * (i + 1);
+        a.phases[i].executions = 5;
+    }
+    b.table.set(100, 0);
+    b.table.set(300, 1); // 200 missing in run 2
+
+    auto merged = intersectSelections({a, b});
+    EXPECT_EQ(merged.table.size(), 2u);
+    ASSERT_NE(merged.table.find(100), nullptr);
+    EXPECT_EQ(merged.table.find(200), nullptr);
+    ASSERT_NE(merged.table.find(300), nullptr);
+    // Dense renumbering in first-run order.
+    EXPECT_EQ(*merged.table.find(100), 0u);
+    EXPECT_EQ(*merged.table.find(300), 1u);
+    ASSERT_EQ(merged.phases.size(), 2u);
+    EXPECT_EQ(merged.phases[1].marker, 300u);
+    EXPECT_EQ(merged.phases[1].id, 1u);
+}
+
+TEST(IntersectSelections, SingleRunIsIdentityModuloRenumbering)
+{
+    MarkerSelection a;
+    a.table.set(7, 0);
+    a.phases.resize(1);
+    a.phases[0].marker = 7;
+    auto merged = intersectSelections({a});
+    EXPECT_EQ(merged.table.size(), 1u);
+}
+
+TEST(IntersectSelections, EmptyInput)
+{
+    auto merged = intersectSelections({});
+    EXPECT_TRUE(merged.table.empty());
+}
+
+} // namespace

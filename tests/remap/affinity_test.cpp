@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "remap/affinity.hpp"
+#include "workloads/address_space.hpp"
+
+namespace {
+
+using namespace lpp::remap;
+using lpp::workloads::AddressSpace;
+using lpp::workloads::ArrayInfo;
+
+struct Fixture
+{
+    Fixture()
+    {
+        for (const char *n : {"A", "B", "C", "D"})
+            arrays.push_back(as.allocate(n, 4096));
+    }
+
+    AddressSpace as;
+    std::vector<ArrayInfo> arrays;
+};
+
+AffinityConfig
+cfg(uint64_t min_accesses = 100)
+{
+    AffinityConfig c;
+    c.minAccesses = min_accesses;
+    return c;
+}
+
+TEST(Affinity, CoAccessedPairGroups)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    for (uint64_t i = 0; i < 2000; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[1].at(i));
+    }
+    auto groups = an.globalGroups();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(Affinity, SequentialPhasesDoNotGroup)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    for (uint64_t i = 0; i < 2000; ++i)
+        an.onAccess(f.arrays[0].at(i));
+    for (uint64_t i = 0; i < 2000; ++i)
+        an.onAccess(f.arrays[1].at(i));
+    EXPECT_TRUE(an.globalGroups().empty());
+}
+
+TEST(Affinity, RareInterleavingBelowThresholdIgnored)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    for (uint64_t i = 0; i < 2000; ++i) {
+        an.onAccess(f.arrays[0].at(i % 4096));
+        if (i % 40 == 0)
+            an.onAccess(f.arrays[1].at(i % 4096)); // B sees A always;
+                                                   // A sees B rarely
+    }
+    // co(A,B)/count(A) is low: not affine.
+    EXPECT_TRUE(an.globalGroups().empty());
+}
+
+TEST(Affinity, PerPhaseGroupsDiffer)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    an.onPhaseMarker(0); // phase 0: A with B
+    for (uint64_t i = 0; i < 2000; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[1].at(i));
+    }
+    an.onPhaseMarker(1); // phase 1: A with C
+    for (uint64_t i = 0; i < 2000; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[2].at(i));
+    }
+
+    auto g0 = an.groupsForPhase(0);
+    auto g1 = an.groupsForPhase(1);
+    ASSERT_EQ(g0.size(), 1u);
+    ASSERT_EQ(g1.size(), 1u);
+    EXPECT_EQ(g0[0], (std::vector<uint32_t>{0, 1}));
+    EXPECT_EQ(g1[0], (std::vector<uint32_t>{0, 2}));
+
+    auto phases = an.phasesSeen();
+    EXPECT_EQ(phases.size(), 2u);
+}
+
+TEST(Affinity, TriplesGroupTogether)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    for (uint64_t i = 0; i < 3000; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[1].at(i));
+        an.onAccess(f.arrays[2].at(i));
+    }
+    auto groups = an.globalGroups();
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(Affinity, TwoIndependentPairs)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    for (uint64_t i = 0; i < 1500; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[1].at(i));
+    }
+    // Flush the window so the pairs do not bridge.
+    for (uint64_t i = 0; i < 64; ++i)
+        an.onAccess(f.arrays[3].at(i));
+    for (uint64_t i = 0; i < 1500; ++i) {
+        an.onAccess(f.arrays[2].at(i));
+        an.onAccess(f.arrays[3].at(i));
+    }
+    auto groups = an.globalGroups();
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Affinity, MinAccessesFiltersColdArrays)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg(10000));
+    for (uint64_t i = 0; i < 2000; ++i) {
+        an.onAccess(f.arrays[0].at(i));
+        an.onAccess(f.arrays[1].at(i));
+    }
+    EXPECT_TRUE(an.globalGroups().empty());
+}
+
+TEST(Affinity, UnknownAddressesIgnored)
+{
+    Fixture f;
+    AffinityAnalyzer an(f.arrays, cfg());
+    an.onAccess(1); // below every array
+    SUCCEED();
+}
+
+} // namespace

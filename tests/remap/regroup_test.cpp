@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.hpp"
+#include "remap/regroup.hpp"
+#include "trace/recorder.hpp"
+#include "workloads/address_space.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp::remap;
+using lpp::cache::CacheConfig;
+using lpp::cache::LruCache;
+using lpp::trace::AccessRecorder;
+using lpp::workloads::AddressSpace;
+using lpp::workloads::ArrayInfo;
+
+struct Fixture
+{
+    Fixture()
+    {
+        for (const char *n : {"A", "B", "C"})
+            arrays.push_back(as.allocate(n, 4096));
+    }
+
+    AddressSpace as;
+    std::vector<ArrayInfo> arrays;
+};
+
+TEST(Remapper, IdentityWithoutGroups)
+{
+    Fixture f;
+    AccessRecorder rec;
+    Remapper remap(f.arrays, rec);
+    remap.onAccess(f.arrays[0].at(7));
+    remap.onAccess(0x4); // outside every array
+    ASSERT_EQ(rec.accesses().size(), 2u);
+    EXPECT_EQ(rec.accesses()[0], f.arrays[0].at(7));
+    EXPECT_EQ(rec.accesses()[1], 0x4u);
+    EXPECT_EQ(remap.remappedCount(), 0u);
+}
+
+TEST(Remapper, InterleavesGroupedArrays)
+{
+    Fixture f;
+    AccessRecorder rec;
+    Remapper remap(f.arrays, rec);
+    remap.setGlobalGroups({{0, 1}});
+
+    remap.onAccess(f.arrays[0].at(10)); // A[10] -> slot 0
+    remap.onAccess(f.arrays[1].at(10)); // B[10] -> slot 1
+    remap.onAccess(f.arrays[0].at(11));
+
+    ASSERT_EQ(rec.accesses().size(), 3u);
+    // A[10] and B[10] are adjacent elements in the shadow region.
+    EXPECT_EQ(rec.accesses()[1] - rec.accesses()[0], 8u);
+    // A[11] is one group stride (2 arrays * 8B) after A[10].
+    EXPECT_EQ(rec.accesses()[2] - rec.accesses()[0], 16u);
+    EXPECT_EQ(remap.remappedCount(), 3u);
+}
+
+TEST(Remapper, UngroupedArrayPassesThrough)
+{
+    Fixture f;
+    AccessRecorder rec;
+    Remapper remap(f.arrays, rec);
+    remap.setGlobalGroups({{0, 1}});
+    remap.onAccess(f.arrays[2].at(5));
+    EXPECT_EQ(rec.accesses()[0], f.arrays[2].at(5));
+}
+
+TEST(Remapper, PhaseMarkersSwitchMappings)
+{
+    Fixture f;
+    AccessRecorder rec;
+    Remapper remap(f.arrays, rec);
+    remap.setPhaseGroups(0, {{0, 1}});
+    remap.setPhaseGroups(1, {{0, 2}});
+
+    remap.onPhaseMarker(0);
+    remap.onAccess(f.arrays[0].at(0));
+    remap.onPhaseMarker(1);
+    remap.onAccess(f.arrays[0].at(0));
+    remap.onPhaseMarker(7); // unknown phase: global mapping (identity)
+    remap.onAccess(f.arrays[0].at(0));
+
+    ASSERT_EQ(rec.accesses().size(), 3u);
+    EXPECT_NE(rec.accesses()[0], rec.accesses()[1])
+        << "different phase mappings use different shadow regions";
+    EXPECT_EQ(rec.accesses()[2], f.arrays[0].at(0));
+}
+
+TEST(Remapper, InterleavingHalvesMissesForCoAccessedStridedArrays)
+{
+    // Strided co-access of two arrays: separate layouts fetch two
+    // blocks per element pair, the interleaved layout one — the
+    // Impulse effect the paper exploits.
+    Fixture f;
+    auto run = [&](bool remapped) {
+        LruCache cache(CacheConfig{512, 8, 64});
+        Remapper remap(f.arrays, cache);
+        if (remapped)
+            remap.setGlobalGroups({{0, 1}});
+        for (int pass = 0; pass < 2; ++pass) {
+            for (uint64_t i = 0; i < 4096; i += 8) {
+                remap.onAccess(f.arrays[0].at(i));
+                remap.onAccess(f.arrays[1].at(i));
+            }
+        }
+        return cache.misses();
+    };
+    uint64_t separate = run(false);
+    uint64_t interleaved = run(true);
+    EXPECT_LT(interleaved, separate * 3 / 4);
+}
+
+TEST(TimingModel, Seconds)
+{
+    TimingModel m{1.0, 50.0, 2.0};
+    EXPECT_DOUBLE_EQ(m.seconds(2000000000, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.seconds(0, 40000000), 1.0);
+}
+
+TEST(RemapExperimentResult, SpeedupMath)
+{
+    RemapExperiment ex;
+    ex.originalTime = 2.0;
+    ex.phaseTime = 1.6;
+    ex.globalTime = 1.9;
+    EXPECT_NEAR(ex.phaseSpeedup(), 0.25, 1e-12);
+    EXPECT_NEAR(ex.globalSpeedup(), 0.0526, 1e-3);
+}
+
+} // namespace

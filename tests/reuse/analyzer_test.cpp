@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "reuse/analyzer.hpp"
+
+namespace {
+
+using lpp::LogHistogram;
+using lpp::reuse::ReuseAnalyzer;
+using lpp::trace::elementBytes;
+
+TEST(ReuseAnalyzer, HistogramTotalsMatchAccessCount)
+{
+    ReuseAnalyzer an;
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint64_t i = 0; i < 10; ++i)
+            an.onAccess(i * elementBytes);
+    EXPECT_EQ(an.histogram().total(), 30u);
+    EXPECT_EQ(an.histogram().infiniteCount(), 10u);
+    EXPECT_EQ(an.distinctElements(), 10u);
+    EXPECT_EQ(an.accessCount(), 30u);
+}
+
+TEST(ReuseAnalyzer, ElementGranularityMergesSameWord)
+{
+    ReuseAnalyzer an;
+    an.onAccess(0);
+    an.onAccess(4); // same 8-byte element
+    EXPECT_EQ(an.histogram().infiniteCount(), 1u);
+    EXPECT_EQ(an.distinctElements(), 1u);
+}
+
+TEST(ReuseAnalyzer, CyclicSweepMissRateSteps)
+{
+    // 64-element loop accessed repeatedly: every reuse distance is 63.
+    ReuseAnalyzer an;
+    for (int pass = 0; pass < 50; ++pass)
+        for (uint64_t i = 0; i < 64; ++i)
+            an.onAccess(i * elementBytes);
+    // Capacity 128 holds the working set: only cold misses remain.
+    EXPECT_NEAR(an.histogram().missRate(128), 64.0 / 3200.0, 1e-9);
+    // Capacity 32 cannot hold it: LRU misses every access.
+    EXPECT_DOUBLE_EQ(an.histogram().missRate(32), 1.0);
+}
+
+TEST(ReuseAnalyzer, SegmentsSplitHistogramNotHistory)
+{
+    ReuseAnalyzer an;
+    for (uint64_t i = 0; i < 8; ++i)
+        an.onAccess(i * elementBytes);
+    an.markSegment();
+    // Same elements again: reuse distances are finite because the stack
+    // keeps history across segments.
+    for (uint64_t i = 0; i < 8; ++i)
+        an.onAccess(i * elementBytes);
+    an.onEnd();
+
+    ASSERT_EQ(an.segments().size(), 2u);
+    EXPECT_EQ(an.segments()[0].infiniteCount(), 8u);
+    EXPECT_EQ(an.segments()[1].infiniteCount(), 0u);
+    EXPECT_EQ(an.segments()[1].totalFinite(), 8u);
+}
+
+TEST(ReuseAnalyzer, OnEndClosesOnlyNonEmptySegment)
+{
+    ReuseAnalyzer an;
+    an.onAccess(0);
+    an.markSegment();
+    an.onEnd(); // current segment empty: no extra segment
+    EXPECT_EQ(an.segments().size(), 1u);
+}
+
+TEST(ReuseAnalyzer, SegmentHistogramsSumToWhole)
+{
+    ReuseAnalyzer an;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (uint64_t i = 0; i < 16; ++i)
+            an.onAccess(i * elementBytes);
+        an.markSegment();
+    }
+    LogHistogram sum;
+    for (const auto &seg : an.segments())
+        sum.merge(seg);
+    EXPECT_EQ(sum.total(), an.histogram().total());
+    EXPECT_EQ(sum.infiniteCount(), an.histogram().infiniteCount());
+}
+
+} // namespace

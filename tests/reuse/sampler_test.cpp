@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "reuse/sampler.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::reuse;
+using lpp::trace::elementBytes;
+
+SamplerConfig
+fixedThresholds(uint64_t qual, uint64_t temporal, uint64_t spatial)
+{
+    SamplerConfig cfg;
+    cfg.initialQualification = qual;
+    cfg.initialTemporal = temporal;
+    cfg.initialSpatial = spatial;
+    cfg.checkInterval = 1ULL << 60; // effectively disable feedback
+    return cfg;
+}
+
+/** Sweep `n` elements starting at element index `base`, once. */
+void
+sweep(VariableDistanceSampler &s, uint64_t base, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        s.onAccess((base + i) * elementBytes);
+}
+
+TEST(Sampler, NoSamplesFromColdAccessesOnly)
+{
+    VariableDistanceSampler s(fixedThresholds(10, 10, 0));
+    sweep(s, 0, 1000); // every access is cold (infinite distance)
+    EXPECT_EQ(s.sampleCount(), 0u);
+    EXPECT_TRUE(s.samples().empty());
+}
+
+TEST(Sampler, QualifiesLongReuses)
+{
+    VariableDistanceSampler s(fixedThresholds(100, 100, 0));
+    sweep(s, 0, 200);
+    sweep(s, 0, 200); // every reuse has distance 199
+    EXPECT_GT(s.samples().size(), 0u);
+    EXPECT_GT(s.sampleCount(), 0u);
+}
+
+TEST(Sampler, ShortReusesAreIgnored)
+{
+    VariableDistanceSampler s(fixedThresholds(1000, 1000, 0));
+    for (int pass = 0; pass < 20; ++pass)
+        sweep(s, 0, 100); // reuse distance 99 < 1000
+    EXPECT_EQ(s.sampleCount(), 0u);
+}
+
+TEST(Sampler, TemporalThresholdFiltersRecordings)
+{
+    // Qualify on a long reuse once, then reuse with short distances: the
+    // datum exists but accrues no further access samples.
+    VariableDistanceSampler s(fixedThresholds(150, 150, 0));
+    sweep(s, 0, 200);
+    sweep(s, 0, 200); // qualifies many data samples at distance 199
+    EXPECT_GT(s.sampleCount(), 0u);
+
+    // Tight loop over one sampled element: the first access may still be
+    // a long reuse (distance from the last sweep), but every later one
+    // has distance 0 and must not be recorded.
+    uint64_t element = s.samples().front().element;
+    s.onAccess(element * elementBytes);
+    uint64_t after_first = s.sampleCount();
+    for (int i = 0; i < 50; ++i)
+        s.onAccess(element * elementBytes);
+    EXPECT_EQ(s.sampleCount(), after_first);
+}
+
+TEST(Sampler, SpatialThresholdSpacesDataSamples)
+{
+    VariableDistanceSampler dense(fixedThresholds(100, 100, 0));
+    VariableDistanceSampler sparse(fixedThresholds(100, 100, 64));
+    for (int pass = 0; pass < 2; ++pass) {
+        sweep(dense, 0, 512);
+        sweep(sparse, 0, 512);
+    }
+    EXPECT_GT(dense.samples().size(), sparse.samples().size());
+    // Every pair of sparse data samples is at least 64 elements apart.
+    for (size_t i = 0; i < sparse.samples().size(); ++i) {
+        for (size_t j = i + 1; j < sparse.samples().size(); ++j) {
+            uint64_t a = sparse.samples()[i].element;
+            uint64_t b = sparse.samples()[j].element;
+            EXPECT_GE(a > b ? a - b : b - a, 64u);
+        }
+    }
+}
+
+TEST(Sampler, MaxDataSamplesRespected)
+{
+    SamplerConfig cfg = fixedThresholds(50, 50, 0);
+    cfg.maxDataSamples = 5;
+    VariableDistanceSampler s(cfg);
+    for (int pass = 0; pass < 4; ++pass)
+        sweep(s, 0, 300);
+    EXPECT_LE(s.samples().size(), 5u);
+}
+
+TEST(Sampler, MergedTraceSortedAndComplete)
+{
+    VariableDistanceSampler s(fixedThresholds(100, 100, 8));
+    for (int pass = 0; pass < 5; ++pass)
+        sweep(s, 0, 400);
+    auto merged = s.mergedTrace();
+    EXPECT_EQ(merged.size(), s.sampleCount());
+    for (size_t i = 1; i < merged.size(); ++i)
+        EXPECT_LE(merged[i - 1].time, merged[i].time);
+    for (const auto &p : merged)
+        EXPECT_LT(p.datum, s.samples().size());
+}
+
+TEST(Sampler, FeedbackReducesOverCollection)
+{
+    // A workload with abundant long reuses and a tiny target: feedback
+    // must raise thresholds and keep the final count near target.
+    SamplerConfig cfg;
+    cfg.targetSamples = 200;
+    cfg.initialQualification = 64;
+    cfg.initialTemporal = 32;
+    cfg.initialSpatial = 0;
+    cfg.checkInterval = 4096;
+    cfg.expectedAccesses = 600000;
+    VariableDistanceSampler s(cfg);
+    for (int pass = 0; pass < 600; ++pass)
+        sweep(s, 0, 1000);
+    EXPECT_GT(s.adjustments(), 0u);
+    // Unthrottled, every one of ~599000 reuses would be recorded; the
+    // sampler cannot react before its first check (~checkInterval
+    // samples), but feedback must stop collection soon after.
+    EXPECT_LT(s.sampleCount(), 100u * cfg.targetSamples);
+    EXPECT_GT(s.qualificationThreshold(), cfg.initialQualification);
+}
+
+TEST(Sampler, FeedbackRaisesCollectionWhenStarved)
+{
+    // Thresholds start too high for a small working set; feedback should
+    // lower them until samples flow.
+    SamplerConfig cfg;
+    cfg.targetSamples = 500;
+    cfg.initialQualification = 1ULL << 40;
+    cfg.initialTemporal = 1ULL << 40;
+    cfg.initialSpatial = 0;
+    cfg.checkInterval = 2048;
+    cfg.expectedAccesses = 400000;
+    VariableDistanceSampler s(cfg);
+    for (int pass = 0; pass < 400; ++pass)
+        sweep(s, 0, 1000);
+    EXPECT_GT(s.adjustments(), 0u);
+    EXPECT_GT(s.sampleCount(), 0u);
+    EXPECT_LT(s.qualificationThreshold(), 1ULL << 40);
+}
+
+TEST(Sampler, AccessSamplesStoredPerDatumInTimeOrder)
+{
+    VariableDistanceSampler s(fixedThresholds(100, 100, 0));
+    for (int pass = 0; pass < 6; ++pass)
+        sweep(s, 0, 256);
+    for (const auto &d : s.samples()) {
+        for (size_t i = 1; i < d.accesses.size(); ++i)
+            EXPECT_LT(d.accesses[i - 1].time, d.accesses[i].time);
+    }
+}
+
+} // namespace

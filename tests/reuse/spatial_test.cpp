@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "reuse/spatial.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace lpp::reuse;
+
+TEST(Spatial, DenseSweepHasFullUtilization)
+{
+    SpatialAnalyzer an;
+    for (uint64_t i = 0; i < 8000; ++i)
+        an.onAccess(i * 8);
+    auto p = an.wholeRun();
+    EXPECT_EQ(p.accesses, 8000u);
+    EXPECT_EQ(p.elementsTouched, 8000u);
+    EXPECT_EQ(p.blocksTouched, 1000u);
+    EXPECT_DOUBLE_EQ(p.blockUtilization(), 1.0);
+    EXPECT_EQ(p.dominantStride, 8);
+    EXPECT_GT(p.dominantStrideShare, 0.99);
+    EXPECT_TRUE(p.isStreaming());
+}
+
+TEST(Spatial, StridedWalkHasLowUtilization)
+{
+    // Stride 8 elements = 64 bytes: one element per block.
+    SpatialAnalyzer an;
+    for (uint64_t i = 0; i < 1000; ++i)
+        an.onAccess(i * 64);
+    auto p = an.wholeRun();
+    EXPECT_DOUBLE_EQ(p.blockUtilization(), 1.0 / 8.0);
+    EXPECT_EQ(p.dominantStride, 64);
+    EXPECT_TRUE(p.isStreaming()); // 64B is still within-block advance
+}
+
+TEST(Spatial, WideStrideIsNotStreaming)
+{
+    SpatialAnalyzer an;
+    for (uint64_t i = 0; i < 1000; ++i)
+        an.onAccess(i * 512);
+    auto p = an.wholeRun();
+    EXPECT_EQ(p.dominantStride, 512);
+    EXPECT_FALSE(p.isStreaming());
+    EXPECT_DOUBLE_EQ(p.blockUtilization(), 1.0 / 8.0);
+}
+
+TEST(Spatial, RandomAccessHasNoDominantStride)
+{
+    lpp::Rng rng(101);
+    SpatialAnalyzer an;
+    for (int i = 0; i < 20000; ++i)
+        an.onAccess(rng.below(1 << 20) * 8);
+    auto p = an.wholeRun();
+    EXPECT_LT(p.dominantStrideShare, 0.05);
+    EXPECT_FALSE(p.isStreaming());
+}
+
+TEST(Spatial, PerPhaseProfilesSeparate)
+{
+    SpatialAnalyzer an;
+    an.onPhaseMarker(0); // dense phase
+    for (uint64_t i = 0; i < 4000; ++i)
+        an.onAccess(i * 8);
+    an.onPhaseMarker(1); // strided phase
+    for (uint64_t i = 0; i < 1000; ++i)
+        an.onAccess(0x400000 + i * 64);
+    an.onEnd();
+
+    auto dense = an.profile(0);
+    auto strided = an.profile(1);
+    EXPECT_DOUBLE_EQ(dense.blockUtilization(), 1.0);
+    EXPECT_DOUBLE_EQ(strided.blockUtilization(), 1.0 / 8.0);
+    EXPECT_EQ(dense.dominantStride, 8);
+    EXPECT_EQ(strided.dominantStride, 64);
+    EXPECT_EQ(an.phasesSeen().size(), 2u);
+}
+
+TEST(Spatial, StrideDoesNotBridgePhaseBoundary)
+{
+    SpatialAnalyzer an;
+    an.onPhaseMarker(0);
+    an.onAccess(0);
+    an.onPhaseMarker(1);
+    an.onAccess(1 << 30); // huge jump, must not count as a stride of 1
+    an.onAccess((1 << 30) + 8);
+    auto p = an.profile(1);
+    EXPECT_EQ(p.dominantStride, 8);
+    EXPECT_DOUBLE_EQ(p.dominantStrideShare, 1.0);
+}
+
+TEST(Spatial, RepeatedPhaseAccumulates)
+{
+    SpatialAnalyzer an;
+    for (int rep = 0; rep < 3; ++rep) {
+        an.onPhaseMarker(5);
+        for (uint64_t i = 0; i < 100; ++i)
+            an.onAccess(i * 8);
+    }
+    auto p = an.profile(5);
+    EXPECT_EQ(p.accesses, 300u);
+    EXPECT_EQ(p.elementsTouched, 100u);
+}
+
+TEST(Spatial, UnknownPhaseIsEmpty)
+{
+    SpatialAnalyzer an;
+    auto p = an.profile(42);
+    EXPECT_EQ(p.accesses, 0u);
+    EXPECT_DOUBLE_EQ(p.blockUtilization(), 0.0);
+}
+
+TEST(Spatial, BackwardSweepNegativeStride)
+{
+    SpatialAnalyzer an;
+    for (uint64_t i = 1000; i > 0; --i)
+        an.onAccess(i * 8);
+    auto p = an.wholeRun();
+    EXPECT_EQ(p.dominantStride, -8);
+    EXPECT_FALSE(p.isStreaming()) << "negative stride defeats "
+                                     "next-line prefetch";
+}
+
+} // namespace

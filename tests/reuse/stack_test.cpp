@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "reuse/stack.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using lpp::reuse::FenwickTree;
+using lpp::reuse::ReuseStack;
+
+constexpr uint64_t inf = ReuseStack::infinite;
+
+/** O(n*m) reference: count distinct elements between consecutive uses. */
+class NaiveReuse
+{
+  public:
+    uint64_t
+    access(uint64_t element)
+    {
+        uint64_t dist = inf;
+        auto it = lastIndex.find(element);
+        if (it != lastIndex.end()) {
+            std::unordered_set<uint64_t> between;
+            for (size_t i = it->second + 1; i < history.size(); ++i)
+                between.insert(history[i]);
+            dist = between.size();
+        }
+        lastIndex[element] = history.size();
+        history.push_back(element);
+        return dist;
+    }
+
+  private:
+    std::vector<uint64_t> history;
+    std::unordered_map<uint64_t, size_t> lastIndex;
+};
+
+TEST(FenwickTree, PrefixSums)
+{
+    FenwickTree t(8);
+    t.add(0, 1);
+    t.add(3, 1);
+    t.add(7, 1);
+    EXPECT_EQ(t.prefix(0), 1u);
+    EXPECT_EQ(t.prefix(2), 1u);
+    EXPECT_EQ(t.prefix(3), 2u);
+    EXPECT_EQ(t.prefix(7), 3u);
+}
+
+TEST(FenwickTree, NegativeUpdates)
+{
+    FenwickTree t(4);
+    t.add(1, 1);
+    t.add(1, -1);
+    t.add(2, 1);
+    EXPECT_EQ(t.prefix(1), 0u);
+    EXPECT_EQ(t.prefix(3), 1u);
+}
+
+TEST(ReuseStack, FirstAccessIsInfinite)
+{
+    ReuseStack s;
+    EXPECT_EQ(s.access(1), inf);
+    EXPECT_EQ(s.access(2), inf);
+    EXPECT_EQ(s.distinctCount(), 2u);
+}
+
+TEST(ReuseStack, ImmediateReuseIsZero)
+{
+    ReuseStack s;
+    s.access(1);
+    EXPECT_EQ(s.access(1), 0u);
+    EXPECT_EQ(s.access(1), 0u);
+}
+
+TEST(ReuseStack, ClassicAbaPattern)
+{
+    ReuseStack s;
+    s.access('a');
+    s.access('b');
+    EXPECT_EQ(s.access('a'), 1u);
+}
+
+TEST(ReuseStack, DuplicatesBetweenCountOnce)
+{
+    ReuseStack s;
+    s.access('a');
+    s.access('b');
+    s.access('c');
+    s.access('b');
+    EXPECT_EQ(s.access('a'), 2u); // b and c, b counted once
+}
+
+TEST(ReuseStack, CyclicSweepDistanceIsWorkingSetMinusOne)
+{
+    const uint64_t n = 100;
+    ReuseStack s;
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(s.access(i), inf);
+    for (int pass = 0; pass < 3; ++pass) {
+        for (uint64_t i = 0; i < n; ++i)
+            EXPECT_EQ(s.access(i), n - 1);
+    }
+    EXPECT_EQ(s.accessCount(), 4 * n);
+}
+
+TEST(ReuseStack, MatchesNaiveOnRandomTrace)
+{
+    lpp::Rng rng(41);
+    ReuseStack fast;
+    NaiveReuse slow;
+    for (int i = 0; i < 3000; ++i) {
+        uint64_t e = rng.below(60);
+        EXPECT_EQ(fast.access(e), slow.access(e)) << "at access " << i;
+    }
+}
+
+TEST(ReuseStack, CompactionPreservesDistances)
+{
+    // Tiny capacity hint forces many compactions.
+    lpp::Rng rng(43);
+    ReuseStack fast(64);
+    NaiveReuse slow;
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t e = rng.below(40);
+        ASSERT_EQ(fast.access(e), slow.access(e)) << "at access " << i;
+    }
+}
+
+TEST(ReuseStack, ResetForgetsHistory)
+{
+    ReuseStack s;
+    s.access(1);
+    s.reset();
+    EXPECT_EQ(s.access(1), inf);
+    EXPECT_EQ(s.accessCount(), 1u);
+    EXPECT_EQ(s.distinctCount(), 1u);
+}
+
+TEST(ReuseStack, LargeWorkingSetBeyondInitialCapacity)
+{
+    ReuseStack s(128);
+    const uint64_t n = 5000;
+    for (uint64_t i = 0; i < n; ++i)
+        s.access(i);
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(s.access(i), n - 1);
+}
+
+struct SweepParam
+{
+    uint64_t elements;
+    size_t capacityHint;
+};
+
+class ReuseStackSweep : public ::testing::TestWithParam<SweepParam>
+{};
+
+TEST_P(ReuseStackSweep, RandomTraceMatchesNaive)
+{
+    auto [elements, hint] = GetParam();
+    lpp::Rng rng(elements * 31 + hint);
+    ReuseStack fast(hint);
+    NaiveReuse slow;
+    for (int i = 0; i < 1500; ++i) {
+        uint64_t e = rng.below(elements);
+        ASSERT_EQ(fast.access(e), slow.access(e));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReuseStackSweep,
+    ::testing::Values(SweepParam{2, 64}, SweepParam{8, 64},
+                      SweepParam{64, 64}, SweepParam{64, 4096},
+                      SweepParam{512, 64}, SweepParam{512, 1u << 16}));
+
+} // namespace

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/csv.hpp"
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("lpp_csv_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir / name).string();
+    }
+
+    std::filesystem::path dir;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    std::string p = path("basic.csv");
+    {
+        lpp::CsvWriter w(p, {"a", "b"});
+        ASSERT_TRUE(w.ok());
+        w.row({"1", "2"});
+    }
+    EXPECT_EQ(slurp(p), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, EmptyHeaderSkipsHeaderRow)
+{
+    std::string p = path("nohdr.csv");
+    {
+        lpp::CsvWriter w(p, {});
+        w.row({"x"});
+    }
+    EXPECT_EQ(slurp(p), "x\n");
+}
+
+TEST_F(CsvTest, EscapesCommasQuotesNewlines)
+{
+    std::string p = path("escape.csv");
+    {
+        lpp::CsvWriter w(p, {});
+        w.row({"a,b", "say \"hi\"", "two\nlines"});
+    }
+    EXPECT_EQ(slurp(p), "\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\n");
+}
+
+TEST_F(CsvTest, NumericRowFormatting)
+{
+    std::string p = path("num.csv");
+    {
+        lpp::CsvWriter w(p, {});
+        w.rowNumeric({1.0, 0.5, 1e9});
+    }
+    EXPECT_EQ(slurp(p), "1,0.5,1e+09\n");
+}
+
+TEST_F(CsvTest, CreatesMissingParentDirectories)
+{
+    std::string p = path("deep/nested/out.csv");
+    {
+        lpp::CsvWriter w(p, {"h"});
+        ASSERT_TRUE(w.ok());
+    }
+    EXPECT_TRUE(std::filesystem::exists(p));
+}
+
+TEST_F(CsvTest, PathAccessor)
+{
+    std::string p = path("p.csv");
+    lpp::CsvWriter w(p, {});
+    EXPECT_EQ(w.path(), p);
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "support/histogram.hpp"
+
+namespace {
+
+using lpp::LogHistogram;
+
+TEST(LogHistogram, BinIndexBoundaries)
+{
+    EXPECT_EQ(LogHistogram::binIndex(0), 0u);
+    EXPECT_EQ(LogHistogram::binIndex(1), 1u);
+    EXPECT_EQ(LogHistogram::binIndex(2), 2u);
+    EXPECT_EQ(LogHistogram::binIndex(3), 2u);
+    EXPECT_EQ(LogHistogram::binIndex(4), 3u);
+    EXPECT_EQ(LogHistogram::binIndex(7), 3u);
+    EXPECT_EQ(LogHistogram::binIndex(8), 4u);
+    EXPECT_EQ(LogHistogram::binIndex(1ULL << 40), 41u);
+}
+
+TEST(LogHistogram, BinBoundsConsistentWithIndex)
+{
+    for (size_t b = 0; b < 30; ++b) {
+        uint64_t lo = LogHistogram::binLow(b);
+        uint64_t hi = LogHistogram::binHigh(b);
+        EXPECT_LT(lo, hi);
+        EXPECT_EQ(LogHistogram::binIndex(lo), b);
+        EXPECT_EQ(LogHistogram::binIndex(hi - 1), b);
+    }
+}
+
+TEST(LogHistogram, CountsAndInfinite)
+{
+    LogHistogram h;
+    h.add(0);
+    h.add(5);
+    h.add(LogHistogram::infinite);
+    h.add(LogHistogram::infinite, 2);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.totalFinite(), 2u);
+    EXPECT_EQ(h.infiniteCount(), 3u);
+}
+
+TEST(LogHistogram, AddWithZeroCountIsNoop)
+{
+    LogHistogram h;
+    h.add(5, 0);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(LogHistogram, MergeSumsBins)
+{
+    LogHistogram a, b;
+    a.add(3);
+    a.add(100);
+    b.add(3);
+    b.add(LogHistogram::infinite);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.binValue(LogHistogram::binIndex(3)), 2u);
+    EXPECT_EQ(a.infiniteCount(), 1u);
+}
+
+TEST(LogHistogram, MissRateEmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_DOUBLE_EQ(h.missRate(64), 0.0);
+}
+
+TEST(LogHistogram, MissRateMonotonicInCapacity)
+{
+    LogHistogram h;
+    for (uint64_t d = 0; d < 2000; d += 7)
+        h.add(d);
+    h.add(LogHistogram::infinite, 10);
+    double prev = 1.1;
+    for (uint64_t cap = 1; cap <= 4096; cap *= 2) {
+        double mr = h.missRate(cap);
+        EXPECT_LE(mr, prev);
+        EXPECT_GE(mr, 0.0);
+        prev = mr;
+    }
+}
+
+TEST(LogHistogram, ColdAccessesAlwaysMiss)
+{
+    LogHistogram h;
+    h.add(LogHistogram::infinite, 7);
+    EXPECT_DOUBLE_EQ(h.missRate(1ULL << 30), 1.0);
+}
+
+TEST(LogHistogram, CountAtLeastExactAtBinBoundary)
+{
+    LogHistogram h;
+    h.add(4, 10);  // bin [4,8)
+    h.add(16, 5);  // bin [16,32)
+    EXPECT_EQ(h.countAtLeast(4), 15u);
+    EXPECT_EQ(h.countAtLeast(8), 5u);
+    EXPECT_EQ(h.countAtLeast(16), 5u);
+    EXPECT_EQ(h.countAtLeast(32), 0u);
+}
+
+TEST(LogHistogram, DistanceZeroForIdentical)
+{
+    LogHistogram a;
+    a.add(5);
+    a.add(100);
+    EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(LogHistogram, DistanceSymmetricAndBounded)
+{
+    LogHistogram a, b;
+    a.add(1, 10);
+    b.add(1000, 10);
+    double dab = a.distance(b);
+    double dba = b.distance(a);
+    EXPECT_DOUBLE_EQ(dab, dba);
+    EXPECT_DOUBLE_EQ(dab, 2.0); // disjoint supports
+}
+
+TEST(LogHistogram, DistanceInvariantToScale)
+{
+    LogHistogram a, b;
+    a.add(5, 1);
+    a.add(50, 3);
+    b.add(5, 10);
+    b.add(50, 30);
+    EXPECT_NEAR(a.distance(b), 0.0, 1e-12);
+}
+
+TEST(LogHistogram, DistanceEmptyVsNonEmpty)
+{
+    LogHistogram a, b;
+    b.add(5);
+    EXPECT_DOUBLE_EQ(a.distance(b), 2.0);
+    EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(LogHistogram, MeanFiniteWithinBinRange)
+{
+    LogHistogram h;
+    h.add(100, 10);
+    double m = h.meanFinite();
+    EXPECT_GE(m, 64.0);
+    EXPECT_LT(m, 128.0);
+}
+
+TEST(LogHistogram, ClearResets)
+{
+    LogHistogram h;
+    h.add(5);
+    h.add(LogHistogram::infinite);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.binCount(), 0u);
+}
+
+class MissRateCapacitySweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(MissRateCapacitySweep, MissRateMatchesExactFractionAtPowersOfTwo)
+{
+    // All mass in one bin at a power of two: countAtLeast at bin edges is
+    // exact, so the miss rate must be exactly 0 or 1.
+    uint64_t v = GetParam();
+    LogHistogram h;
+    h.add(v, 100);
+    EXPECT_DOUBLE_EQ(h.missRate(v == 0 ? 1 : v * 2), 0.0);
+    if (v > 0) {
+        EXPECT_DOUBLE_EQ(h.missRate(LogHistogram::binLow(
+                             LogHistogram::binIndex(v))),
+                         1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, MissRateCapacitySweep,
+                         ::testing::Values(0, 1, 2, 4, 64, 1024, 1 << 20));
+
+} // namespace

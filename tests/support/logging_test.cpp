@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+
+namespace {
+
+TEST(Logging, VerboseFlagRoundTrips)
+{
+    lpp::setVerbose(true);
+    EXPECT_TRUE(lpp::isVerbose());
+    lpp::setVerbose(false);
+    EXPECT_FALSE(lpp::isVerbose());
+}
+
+TEST(Logging, InformSuppressedWhenQuietDoesNotCrash)
+{
+    lpp::setVerbose(false);
+    lpp::inform("suppressed %d", 1);
+    lpp::setVerbose(true);
+    lpp::inform("printed %d", 2);
+    lpp::setVerbose(false);
+}
+
+TEST(Logging, WarnDoesNotTerminate)
+{
+    lpp::warn("warning %s", "message");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(lpp::panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, RequireFailureAborts)
+{
+    EXPECT_DEATH(LPP_REQUIRE(1 == 2, "math broke: %d", 3), "math broke");
+}
+
+TEST(LoggingDeathTest, RequireSuccessPasses)
+{
+    LPP_REQUIRE(2 + 2 == 4, "unreachable");
+    SUCCEED();
+}
+
+} // namespace

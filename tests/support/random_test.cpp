@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/random.hpp"
+
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed)
+{
+    lpp::SplitMix64 a(123);
+    lpp::SplitMix64 b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    lpp::SplitMix64 a(1);
+    lpp::SplitMix64 b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    lpp::Rng a(99);
+    lpp::Rng b(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    lpp::Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound) << "bound=" << bound;
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    lpp::Rng rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    lpp::Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u) << "all 7 values should appear";
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    lpp::Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    lpp::Rng rng(17);
+    const int n = 50000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    double mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    lpp::Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    lpp::Rng rng(23);
+    const int n = 20000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RngBoundSweep, BelowCoversWholeRangeForSmallBounds)
+{
+    uint64_t bound = GetParam();
+    lpp::Rng rng(bound * 7919 + 1);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 4000; ++i)
+        seen.insert(rng.below(bound));
+    EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 16, 31));
+
+} // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/random.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+TEST(RunningStats, EmptyDefaults)
+{
+    lpp::RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    lpp::RunningStats s;
+    s.push(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    lpp::RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic population-variance set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass)
+{
+    lpp::Rng rng(31);
+    lpp::RunningStats whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian() * 3.0 + 1.0;
+        whole.push(x);
+        (i % 2 ? a : b).push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    lpp::RunningStats a, empty;
+    a.push(1.0);
+    a.push(3.0);
+    double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_EQ(a.count(), 2u);
+
+    lpp::RunningStats b;
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, NumericallyStableForShiftedData)
+{
+    lpp::RunningStats s;
+    const double offset = 1e9;
+    for (double x : {offset + 1, offset + 2, offset + 3})
+        s.push(x);
+    EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(VectorStats, PerComponentIndependence)
+{
+    lpp::VectorStats vs(2);
+    vs.push({1.0, 10.0});
+    vs.push({3.0, 10.0});
+    EXPECT_EQ(vs.count(), 2u);
+    auto mean = vs.mean();
+    EXPECT_DOUBLE_EQ(mean[0], 2.0);
+    EXPECT_DOUBLE_EQ(mean[1], 10.0);
+    auto sd = vs.stddev();
+    EXPECT_DOUBLE_EQ(sd[0], 1.0);
+    EXPECT_DOUBLE_EQ(sd[1], 0.0);
+    EXPECT_DOUBLE_EQ(vs.averageStddev(), 0.5);
+}
+
+TEST(VectorStatsDeathTest, DimensionMismatchPanics)
+{
+    lpp::VectorStats vs(3);
+    EXPECT_DEATH(vs.push({1.0, 2.0}), "dimension mismatch");
+}
+
+TEST(Quantile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(lpp::quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, MedianAndExtremes)
+{
+    std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeP)
+{
+    std::vector<double> v = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(lpp::quantile(v, 2.0), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/instrument.hpp"
+
+namespace {
+
+using namespace lpp::trace;
+
+class OrderLog : public TraceSink
+{
+  public:
+    void
+    onBlock(BlockId b, uint32_t) override
+    {
+        log.push_back("B" + std::to_string(b));
+    }
+
+    void
+    onPhaseMarker(PhaseId p) override
+    {
+        log.push_back("P" + std::to_string(p));
+    }
+
+    void
+    onAccess(Addr a) override
+    {
+        log.push_back("A" + std::to_string(a));
+    }
+
+    void onEnd() override { log.push_back("E"); }
+
+    std::vector<std::string> log;
+};
+
+TEST(MarkerTable, FindAndSize)
+{
+    MarkerTable t;
+    EXPECT_TRUE(t.empty());
+    t.set(5, 1);
+    t.set(9, 2);
+    EXPECT_EQ(t.size(), 2u);
+    ASSERT_NE(t.find(5), nullptr);
+    EXPECT_EQ(*t.find(5), 1u);
+    EXPECT_EQ(t.find(6), nullptr);
+}
+
+TEST(MarkerTable, LastSetWins)
+{
+    MarkerTable t;
+    t.set(5, 1);
+    t.set(5, 3);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(*t.find(5), 3u);
+}
+
+TEST(MarkerTable, EntriesRoundTrip)
+{
+    MarkerTable t;
+    t.set(1, 10);
+    t.set(2, 20);
+    auto e = t.entries();
+    EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(Instrumenter, InjectsMarkerBeforeMarkedBlock)
+{
+    MarkerTable t;
+    t.set(7, 42);
+    OrderLog log;
+    Instrumenter inst(t, log);
+
+    inst.onBlock(3, 1);
+    inst.onAccess(8);
+    inst.onBlock(7, 1);
+    inst.onBlock(7, 1);
+    inst.onEnd();
+
+    std::vector<std::string> want = {"B3", "A8", "P42", "B7", "P42", "B7",
+                                     "E"};
+    EXPECT_EQ(log.log, want);
+    EXPECT_EQ(inst.firings(), 2u);
+}
+
+TEST(Instrumenter, UnmarkedBlocksPassThrough)
+{
+    MarkerTable t;
+    OrderLog log;
+    Instrumenter inst(t, log);
+    inst.onBlock(1, 1);
+    EXPECT_EQ(log.log, std::vector<std::string>{"B1"});
+    EXPECT_EQ(inst.firings(), 0u);
+}
+
+TEST(MarkerFiringRecorder, RecordsBothClockPositions)
+{
+    MarkerFiringRecorder rec;
+    rec.onBlock(1, 10);
+    rec.onAccess(8);
+    rec.onPhaseMarker(3);
+    rec.onBlock(2, 5);
+    rec.onAccess(8);
+    rec.onAccess(8);
+    rec.onPhaseMarker(4);
+    rec.onEnd();
+
+    ASSERT_EQ(rec.firings().size(), 2u);
+    EXPECT_EQ(rec.firings()[0].phase, 3u);
+    EXPECT_EQ(rec.firings()[0].accessTime, 1u);
+    EXPECT_EQ(rec.firings()[0].instrTime, 10u);
+    EXPECT_EQ(rec.firings()[1].phase, 4u);
+    EXPECT_EQ(rec.firings()[1].accessTime, 3u);
+    EXPECT_EQ(rec.firings()[1].instrTime, 15u);
+    EXPECT_EQ(rec.totalInstructions(), 15u);
+    EXPECT_EQ(rec.totalAccesses(), 3u);
+    EXPECT_TRUE(rec.finished());
+}
+
+TEST(Instrumenter, EndToEndWithFiringRecorder)
+{
+    MarkerTable t;
+    t.set(100, 0);
+    MarkerFiringRecorder rec;
+    Instrumenter inst(t, rec);
+
+    for (int step = 0; step < 3; ++step) {
+        inst.onBlock(100, 2); // phase start
+        for (int i = 0; i < 4; ++i) {
+            inst.onBlock(101, 8);
+            inst.onAccess(static_cast<Addr>(i * 8));
+        }
+    }
+    inst.onEnd();
+
+    ASSERT_EQ(rec.firings().size(), 3u);
+    // Marker fires before its block's instructions are counted.
+    EXPECT_EQ(rec.firings()[0].instrTime, 0u);
+    EXPECT_EQ(rec.firings()[1].instrTime, 34u);
+    EXPECT_EQ(rec.firings()[2].instrTime, 68u);
+}
+
+} // namespace

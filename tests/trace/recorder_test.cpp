@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace lpp::trace;
+
+TEST(AccessRecorder, RecordsSequence)
+{
+    AccessRecorder rec;
+    rec.onAccess(8);
+    rec.onAccess(16);
+    rec.onAccess(8);
+    ASSERT_EQ(rec.accesses().size(), 3u);
+    EXPECT_EQ(rec.accesses()[0], 8u);
+    EXPECT_EQ(rec.accesses()[2], 8u);
+}
+
+TEST(AccessRecorder, TakeMovesTraceOut)
+{
+    AccessRecorder rec;
+    rec.onAccess(1);
+    auto trace = rec.take();
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_TRUE(rec.accesses().empty());
+}
+
+TEST(BlockRecorder, RecordsClockPositions)
+{
+    BlockRecorder rec;
+    rec.onBlock(10, 4);  // at access 0, instr 0
+    rec.onAccess(0x100);
+    rec.onAccess(0x108);
+    rec.onBlock(11, 6);  // at access 2, instr 4
+    rec.onAccess(0x110);
+    rec.onBlock(10, 4);  // at access 3, instr 10
+
+    ASSERT_EQ(rec.events().size(), 3u);
+    EXPECT_EQ(rec.events()[0].block, 10u);
+    EXPECT_EQ(rec.events()[0].accessTime, 0u);
+    EXPECT_EQ(rec.events()[0].instrTime, 0u);
+    EXPECT_EQ(rec.events()[1].block, 11u);
+    EXPECT_EQ(rec.events()[1].accessTime, 2u);
+    EXPECT_EQ(rec.events()[1].instrTime, 4u);
+    EXPECT_EQ(rec.events()[2].accessTime, 3u);
+    EXPECT_EQ(rec.events()[2].instrTime, 10u);
+
+    EXPECT_EQ(rec.totalInstructions(), 14u);
+    EXPECT_EQ(rec.totalAccesses(), 3u);
+}
+
+TEST(ManualMarkerRecorder, TimesInAccessClock)
+{
+    ManualMarkerRecorder rec;
+    rec.onManualMarker(0);
+    rec.onAccess(8);
+    rec.onAccess(8);
+    rec.onManualMarker(1);
+    rec.onAccess(8);
+    rec.onManualMarker(0);
+
+    ASSERT_EQ(rec.times().size(), 3u);
+    EXPECT_EQ(rec.times()[0], 0u);
+    EXPECT_EQ(rec.times()[1], 2u);
+    EXPECT_EQ(rec.times()[2], 3u);
+    ASSERT_EQ(rec.ids().size(), 3u);
+    EXPECT_EQ(rec.ids()[0], 0u);
+    EXPECT_EQ(rec.ids()[1], 1u);
+    EXPECT_EQ(rec.ids()[2], 0u);
+}
+
+} // namespace

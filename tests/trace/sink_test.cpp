@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace {
+
+using namespace lpp::trace;
+
+/** Records a readable log of every event for ordering assertions. */
+class EventLog : public TraceSink
+{
+  public:
+    void
+    onBlock(BlockId b, uint32_t n) override
+    {
+        log.push_back("B" + std::to_string(b) + ":" + std::to_string(n));
+    }
+
+    void
+    onAccess(Addr a) override
+    {
+        log.push_back("A" + std::to_string(a));
+    }
+
+    void
+    onManualMarker(uint32_t m) override
+    {
+        log.push_back("M" + std::to_string(m));
+    }
+
+    void
+    onPhaseMarker(PhaseId p) override
+    {
+        log.push_back("P" + std::to_string(p));
+    }
+
+    void onEnd() override { log.push_back("E"); }
+
+    std::vector<std::string> log;
+};
+
+TEST(ClockSink, CountsBothClocks)
+{
+    ClockSink clock;
+    clock.onBlock(1, 10);
+    clock.onAccess(0x100);
+    clock.onAccess(0x108);
+    clock.onBlock(2, 5);
+    EXPECT_EQ(clock.accesses(), 2u);
+    EXPECT_EQ(clock.instructions(), 15u);
+}
+
+TEST(ClockSink, StartsAtZero)
+{
+    ClockSink clock;
+    EXPECT_EQ(clock.accesses(), 0u);
+    EXPECT_EQ(clock.instructions(), 0u);
+}
+
+TEST(FanoutSink, ForwardsAllEventsToAllSinks)
+{
+    EventLog a, b;
+    FanoutSink fan;
+    fan.attach(&a);
+    fan.attach(&b);
+
+    fan.onBlock(3, 7);
+    fan.onAccess(0x40);
+    fan.onManualMarker(1);
+    fan.onPhaseMarker(2);
+    fan.onEnd();
+
+    std::vector<std::string> want = {"B3:7", "A64", "M1", "P2", "E"};
+    EXPECT_EQ(a.log, want);
+    EXPECT_EQ(b.log, want);
+}
+
+TEST(FanoutSink, EmptyFanoutIsSafe)
+{
+    FanoutSink fan;
+    fan.onBlock(1, 1);
+    fan.onAccess(8);
+    fan.onEnd();
+    SUCCEED();
+}
+
+TEST(TraceSink, DefaultImplementationsIgnoreEvents)
+{
+    TraceSink sink;
+    sink.onBlock(1, 2);
+    sink.onAccess(3);
+    sink.onManualMarker(4);
+    sink.onPhaseMarker(5);
+    sink.onEnd();
+    SUCCEED();
+}
+
+TEST(Types, ElementAndCacheBlockGranularity)
+{
+    EXPECT_EQ(toElement(0), 0u);
+    EXPECT_EQ(toElement(7), 0u);
+    EXPECT_EQ(toElement(8), 1u);
+    EXPECT_EQ(toCacheBlock(63), 0u);
+    EXPECT_EQ(toCacheBlock(64), 1u);
+}
+
+} // namespace

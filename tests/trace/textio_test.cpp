@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/textio.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp::trace;
+
+class TextIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir = std::filesystem::temp_directory_path() /
+              ("lpp_textio_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir / name).string();
+    }
+
+    void
+    write(const std::string &name, const std::string &content)
+    {
+        std::ofstream f(path(name));
+        f << content;
+    }
+
+    std::filesystem::path dir;
+};
+
+/** Records events as readable strings. */
+class EventLog : public TraceSink
+{
+  public:
+    void
+    onBlock(BlockId b, uint32_t n) override
+    {
+        log.push_back("B" + std::to_string(b) + ":" + std::to_string(n));
+    }
+
+    void
+    onAccess(Addr a) override
+    {
+        log.push_back("A" + std::to_string(a));
+    }
+
+    void
+    onManualMarker(uint32_t m) override
+    {
+        log.push_back("M" + std::to_string(m));
+    }
+
+    void
+    onPhaseMarker(PhaseId p) override
+    {
+        log.push_back("P" + std::to_string(p));
+    }
+
+    void onEnd() override { log.push_back("E"); }
+
+    std::vector<std::string> log;
+};
+
+TEST_F(TextIoTest, RoundTripPreservesEveryEvent)
+{
+    std::string file = path("rt.trace");
+    {
+        TraceWriter w(file);
+        ASSERT_TRUE(w.ok());
+        w.onBlock(7, 12);
+        w.onAccess(0xdeadbeef);
+        w.onManualMarker(3);
+        w.onPhaseMarker(1);
+        w.onBlock(8, 4);
+        w.onEnd();
+        EXPECT_EQ(w.eventCount(), 6u);
+    }
+
+    EventLog log;
+    auto r = replayTraceFile(file, log);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.events, 6u);
+    std::vector<std::string> want = {
+        "B7:12", "A3735928559", "M3", "P1", "B8:4", "E"};
+    EXPECT_EQ(log.log, want);
+}
+
+TEST_F(TextIoTest, WorkloadRoundTripPreservesClocks)
+{
+    auto w = lpp::workloads::create("compress");
+    auto in = w->trainInput();
+    std::string file = path("compress.trace");
+    {
+        TraceWriter writer(file);
+        w->run(in, writer);
+        ASSERT_TRUE(writer.ok());
+    }
+
+    ClockSink direct, replayed;
+    w->run(in, direct);
+    auto r = replayTraceFile(file, replayed);
+    ASSERT_TRUE(r.ok) << r.error << " at line " << r.line;
+    EXPECT_EQ(replayed.accesses(), direct.accesses());
+    EXPECT_EQ(replayed.instructions(), direct.instructions());
+}
+
+TEST_F(TextIoTest, CommentsAndBlankLinesIgnored)
+{
+    write("c.trace", "# lpp-trace 1\n# comment\n\nB 1 2\nE\n");
+    EventLog log;
+    auto r = replayTraceFile(path("c.trace"), log);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.events, 2u);
+}
+
+TEST_F(TextIoTest, DecimalAndHexAddresses)
+{
+    write("a.trace", "# lpp-trace 1\nA 0x40\nA 64\nE\n");
+    EventLog log;
+    auto r = replayTraceFile(path("a.trace"), log);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(log.log[0], log.log[1]);
+}
+
+TEST_F(TextIoTest, MissingHeaderFails)
+{
+    write("h.trace", "B 1 2\nE\n");
+    EventLog log;
+    auto r = replayTraceFile(path("h.trace"), log);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.line, 1u);
+    EXPECT_TRUE(log.log.empty());
+}
+
+TEST_F(TextIoTest, MalformedLineStopsWithPosition)
+{
+    write("m.trace", "# lpp-trace 1\nB 1 2\nA zzz\nE\n");
+    EventLog log;
+    auto r = replayTraceFile(path("m.trace"), log);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.line, 3u);
+    EXPECT_EQ(r.events, 1u) << "events before the error are delivered";
+}
+
+TEST_F(TextIoTest, UnknownRecordFails)
+{
+    write("u.trace", "# lpp-trace 1\nX 1\n");
+    EventLog log;
+    auto r = replayTraceFile(path("u.trace"), log);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(TextIoTest, TrailingGarbageOnLineFails)
+{
+    write("t.trace", "# lpp-trace 1\nB 1 2 3\n");
+    EventLog log;
+    auto r = replayTraceFile(path("t.trace"), log);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(TextIoTest, NonexistentFileFails)
+{
+    EventLog log;
+    auto r = replayTraceFile(path("missing.trace"), log);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "cannot open file");
+}
+
+} // namespace

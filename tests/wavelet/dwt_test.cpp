@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/random.hpp"
+#include "wavelet/dwt.hpp"
+
+namespace {
+
+using namespace lpp::wavelet;
+
+std::vector<double>
+randomSignal(size_t n, uint64_t seed)
+{
+    lpp::Rng rng(seed);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.gaussian() * 10.0;
+    return x;
+}
+
+class DwtFamilySweep : public ::testing::TestWithParam<Family>
+{};
+
+TEST_P(DwtFamilySweep, SingleLevelPerfectReconstructionEvenLength)
+{
+    Dwt dwt(GetParam());
+    auto x = randomSignal(64, 101);
+    auto lc = dwt.analyzeLevel(x);
+    auto y = dwt.synthesizeLevel(lc, x.size());
+    ASSERT_EQ(y.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-9) << "index " << i;
+}
+
+TEST_P(DwtFamilySweep, MultiLevelPerfectReconstruction)
+{
+    Dwt dwt(GetParam());
+    auto x = randomSignal(128, 202);
+    auto dec = dwt.decompose(x, 4);
+    EXPECT_EQ(dec.detail.size(), 4u);
+    auto y = dwt.reconstruct(dec);
+    ASSERT_EQ(y.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST_P(DwtFamilySweep, EnergyPreservedByAnalysis)
+{
+    // Orthonormal transform: ||x||^2 == ||approx||^2 + ||detail||^2.
+    Dwt dwt(GetParam());
+    auto x = randomSignal(256, 303);
+    auto lc = dwt.analyzeLevel(x);
+    double ex = 0.0, ec = 0.0;
+    for (double v : x)
+        ex += v * v;
+    for (double v : lc.approx)
+        ec += v * v;
+    for (double v : lc.detail)
+        ec += v * v;
+    EXPECT_NEAR(ec, ex, 1e-6 * ex);
+}
+
+TEST_P(DwtFamilySweep, ConstantSignalHasZeroDetail)
+{
+    Dwt dwt(GetParam());
+    std::vector<double> x(64, 5.0);
+    auto lc = dwt.analyzeLevel(x);
+    for (double d : lc.detail)
+        EXPECT_NEAR(d, 0.0, 1e-10);
+    auto stat = dwt.stationaryDetail(x);
+    for (double d : stat)
+        EXPECT_NEAR(d, 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DwtFamilySweep,
+                         ::testing::Values(Family::Haar,
+                                           Family::Daubechies4,
+                                           Family::Daubechies6));
+
+TEST(Dwt, HaarKnownValues)
+{
+    Dwt dwt(Family::Haar);
+    std::vector<double> x = {1.0, 3.0, 5.0, 5.0};
+    auto lc = dwt.analyzeLevel(x);
+    double s2 = std::sqrt(2.0);
+    ASSERT_EQ(lc.approx.size(), 2u);
+    EXPECT_NEAR(lc.approx[0], 4.0 / s2, 1e-12);
+    EXPECT_NEAR(lc.approx[1], 10.0 / s2, 1e-12);
+    EXPECT_NEAR(lc.detail[0], -2.0 / s2, 1e-12);
+    EXPECT_NEAR(lc.detail[1], 0.0, 1e-12);
+}
+
+TEST(Dwt, OddLengthPadsAndRoundTripsApproximately)
+{
+    Dwt dwt(Family::Haar);
+    std::vector<double> x = {1.0, 2.0, 3.0};
+    auto lc = dwt.analyzeLevel(x);
+    EXPECT_EQ(lc.approx.size(), 2u);
+    auto y = dwt.synthesizeLevel(lc, x.size());
+    ASSERT_EQ(y.size(), 3u);
+    // Haar with duplicate-padding reconstructs the original exactly.
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(Dwt, DecomposeClampsLevelsForShortSignals)
+{
+    Dwt dwt(Family::Daubechies6);
+    auto x = randomSignal(16, 404);
+    auto dec = dwt.decompose(x, 10);
+    // 16 -> 8 -> 4 (< 6 taps stops further levels)
+    EXPECT_LE(dec.detail.size(), 2u);
+    auto y = dwt.reconstruct(dec);
+    ASSERT_EQ(y.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-9);
+}
+
+TEST(Dwt, StationaryDetailFlagsStepEdge)
+{
+    Dwt dwt(Family::Daubechies6);
+    std::vector<double> x(100, 1.0);
+    for (size_t i = 50; i < 100; ++i)
+        x[i] = 100.0;
+    auto d = dwt.stationaryDetail(x);
+    ASSERT_EQ(d.size(), x.size());
+
+    // The largest coefficient magnitude must sit near the step at 50.
+    size_t argmax = 0;
+    for (size_t i = 1; i < d.size(); ++i)
+        if (std::abs(d[i]) > std::abs(d[argmax]))
+            argmax = i;
+    EXPECT_NEAR(static_cast<double>(argmax), 50.0, 4.0);
+
+    // Far from the edge the response is ~0.
+    EXPECT_NEAR(d[10], 0.0, 1e-8);
+    EXPECT_NEAR(d[90], 0.0, 1e-8);
+}
+
+TEST(Dwt, StationaryDetailIgnoresLinearRamp)
+{
+    // Daubechies-4/6 have >= 2 vanishing moments: a linear ramp produces
+    // (near-)zero detail away from boundaries, so gradual change is
+    // filtered out — the property the paper's filtering step relies on.
+    Dwt dwt(Family::Daubechies6);
+    std::vector<double> x(100);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = 3.0 * static_cast<double>(i);
+    auto d = dwt.stationaryDetail(x);
+    for (size_t i = 5; i + 5 < d.size(); ++i)
+        EXPECT_NEAR(d[i], 0.0, 1e-7) << "index " << i;
+}
+
+TEST(Dwt, StationaryDetailHandlesTinySignals)
+{
+    Dwt dwt(Family::Daubechies6);
+    std::vector<double> one = {7.0};
+    auto d1 = dwt.stationaryDetail(one);
+    ASSERT_EQ(d1.size(), 1u);
+    EXPECT_NEAR(d1[0], 0.0, 1e-10); // constant extension of one point
+
+    std::vector<double> two = {1.0, 2.0};
+    auto d2 = dwt.stationaryDetail(two);
+    EXPECT_EQ(d2.size(), 2u);
+}
+
+TEST(Dwt, EmptySignal)
+{
+    Dwt dwt(Family::Haar);
+    auto lc = dwt.analyzeLevel({});
+    EXPECT_TRUE(lc.approx.empty());
+    EXPECT_TRUE(lc.detail.empty());
+    EXPECT_TRUE(dwt.stationaryDetail({}).empty());
+}
+
+} // namespace

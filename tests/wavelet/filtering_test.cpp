@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reuse/sampler.hpp"
+#include "wavelet/filtering.hpp"
+
+namespace {
+
+using namespace lpp::wavelet;
+using lpp::reuse::AccessSample;
+using lpp::reuse::DataSample;
+using lpp::reuse::SamplePoint;
+
+DataSample
+makeDatum(uint64_t element, const std::vector<double> &distances,
+          uint64_t t0 = 0, uint64_t dt = 10)
+{
+    DataSample d;
+    d.element = element;
+    uint64_t t = t0;
+    for (double dist : distances) {
+        d.accesses.push_back(
+            AccessSample{t, static_cast<uint64_t>(dist)});
+        t += dt;
+    }
+    return d;
+}
+
+std::vector<double>
+stepSignal(size_t n, size_t at, double lo, double hi)
+{
+    std::vector<double> x(n, lo);
+    for (size_t i = at; i < n; ++i)
+        x[i] = hi;
+    return x;
+}
+
+TEST(SubTraceFilter, ConstantSignalKeepsNothing)
+{
+    SubTraceFilter filter;
+    std::vector<double> x(50, 1000.0);
+    EXPECT_TRUE(filter.filterSignal(x).empty());
+}
+
+TEST(SubTraceFilter, TooShortSignalDropped)
+{
+    SubTraceFilter filter;
+    EXPECT_TRUE(filter.filterSignal({1.0, 2.0, 3.0}).empty());
+}
+
+TEST(SubTraceFilter, StepKeptNearEdge)
+{
+    SubTraceFilter filter;
+    auto x = stepSignal(200, 100, 10.0, 100000.0);
+    auto kept = filter.filterSignal(x);
+    ASSERT_FALSE(kept.empty());
+    for (size_t idx : kept) {
+        EXPECT_GE(idx, 95u);
+        EXPECT_LE(idx, 105u);
+    }
+}
+
+TEST(SubTraceFilter, GradualRampFilteredOut)
+{
+    SubTraceFilter filter;
+    std::vector<double> x(200);
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = 100.0 * static_cast<double>(i);
+    auto kept = filter.filterSignal(x);
+    // A pure ramp has (near-)uniform small coefficients: the mean+3sigma
+    // rule keeps at most a couple of boundary artifacts.
+    EXPECT_LE(kept.size(), 4u);
+}
+
+TEST(SubTraceFilter, LocalSpikeRejectedStepKept)
+{
+    // A single-sample spike (local peak) and a persistent level change;
+    // the paper's example (Fig 2) keeps the level change, drops noise.
+    SubTraceFilter filter;
+    std::vector<double> x(300, 50.0);
+    x[60] = 70.0; // small local wiggle
+    for (size_t i = 150; i < x.size(); ++i)
+        x[i] = 50000.0;
+    auto kept = filter.filterSignal(x);
+    ASSERT_FALSE(kept.empty());
+    for (size_t idx : kept)
+        EXPECT_GT(idx, 100u) << "small wiggle at 60 must not survive";
+}
+
+TEST(SubTraceFilter, MultipleStepsAllKept)
+{
+    SubTraceFilter filter;
+    std::vector<double> x(400, 100.0);
+    for (size_t i = 100; i < 200; ++i)
+        x[i] = 50000.0;
+    for (size_t i = 200; i < 300; ++i)
+        x[i] = 100.0;
+    for (size_t i = 300; i < 400; ++i)
+        x[i] = 80000.0;
+    auto kept = filter.filterSignal(x);
+    auto near = [&](size_t edge) {
+        for (size_t idx : kept)
+            if (idx + 6 >= edge && idx <= edge + 6)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(near(100));
+    EXPECT_TRUE(near(200));
+    EXPECT_TRUE(near(300));
+}
+
+TEST(SubTraceFilter, ApplyDropsSparseDataAsNoise)
+{
+    FilterConfig cfg;
+    cfg.minAccesses = 4;
+    SubTraceFilter filter(cfg);
+    std::vector<DataSample> data;
+    data.push_back(makeDatum(1, {5.0, 6.0})); // too few: noise
+    data.push_back(makeDatum(2, stepSignal(100, 50, 10.0, 90000.0)));
+
+    FilterStats stats;
+    auto merged = filter.apply(data, &stats);
+    EXPECT_EQ(stats.dataSamples, 2u);
+    EXPECT_EQ(stats.dropped, 1u);
+    EXPECT_GT(stats.accessesKept, 0u);
+    for (const auto &p : merged)
+        EXPECT_EQ(p.datum, 1u) << "only datum index 1 contributes";
+}
+
+TEST(SubTraceFilter, ApplyMergesInTimeOrder)
+{
+    SubTraceFilter filter;
+    std::vector<DataSample> data;
+    // Two data with interleaved timestamps, both with a big step.
+    data.push_back(makeDatum(1, stepSignal(100, 50, 10.0, 90000.0), 0, 7));
+    data.push_back(makeDatum(2, stepSignal(100, 30, 20.0, 80000.0), 3, 11));
+
+    auto merged = filter.apply(data);
+    ASSERT_GT(merged.size(), 1u);
+    for (size_t i = 1; i < merged.size(); ++i)
+        EXPECT_LE(merged[i - 1].time, merged[i].time);
+}
+
+TEST(SubTraceFilter, StatsCountAccesses)
+{
+    SubTraceFilter filter;
+    std::vector<DataSample> data;
+    data.push_back(makeDatum(1, stepSignal(64, 32, 1.0, 100000.0)));
+    FilterStats stats;
+    filter.apply(data, &stats);
+    EXPECT_EQ(stats.accessesIn, 64u);
+    EXPECT_LE(stats.accessesKept, stats.accessesIn);
+}
+
+class FilterFamilySweep : public ::testing::TestWithParam<Family>
+{};
+
+TEST_P(FilterFamilySweep, StepDetectedByEveryFamily)
+{
+    // The paper reports that wavelet families other than Daubechies-6
+    // produce similar results; verify the step survives all of them.
+    FilterConfig cfg;
+    cfg.family = GetParam();
+    SubTraceFilter filter(cfg);
+    auto x = stepSignal(200, 100, 10.0, 100000.0);
+    auto kept = filter.filterSignal(x);
+    ASSERT_FALSE(kept.empty());
+    for (size_t idx : kept) {
+        EXPECT_GE(idx, 94u);
+        EXPECT_LE(idx, 106u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FilterFamilySweep,
+                         ::testing::Values(Family::Haar,
+                                           Family::Daubechies4,
+                                           Family::Daubechies6));
+
+} // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wavelet/wavelet.hpp"
+
+namespace {
+
+using namespace lpp::wavelet;
+
+class FamilySweep : public ::testing::TestWithParam<Family>
+{};
+
+TEST_P(FamilySweep, LowpassSumsToSqrt2)
+{
+    FilterBank bank(GetParam());
+    double sum = 0.0;
+    for (double h : bank.lowpass())
+        sum += h;
+    EXPECT_NEAR(sum, std::sqrt(2.0), 1e-12);
+}
+
+TEST_P(FamilySweep, LowpassIsUnitNorm)
+{
+    FilterBank bank(GetParam());
+    double norm2 = 0.0;
+    for (double h : bank.lowpass())
+        norm2 += h * h;
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST_P(FamilySweep, HighpassSumsToZero)
+{
+    FilterBank bank(GetParam());
+    double sum = 0.0;
+    for (double g : bank.highpass())
+        sum += g;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST_P(FamilySweep, HighpassIsUnitNorm)
+{
+    FilterBank bank(GetParam());
+    double norm2 = 0.0;
+    for (double g : bank.highpass())
+        norm2 += g * g;
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST_P(FamilySweep, LowAndHighpassOrthogonal)
+{
+    FilterBank bank(GetParam());
+    double dot = 0.0;
+    for (size_t k = 0; k < bank.length(); ++k)
+        dot += bank.lowpass()[k] * bank.highpass()[k];
+    EXPECT_NEAR(dot, 0.0, 1e-12);
+}
+
+TEST_P(FamilySweep, LowpassOrthogonalToEvenShifts)
+{
+    // <h, h(.-2m)> = delta(m): the double-shift orthogonality that makes
+    // the decimated transform orthonormal.
+    FilterBank bank(GetParam());
+    const auto &h = bank.lowpass();
+    for (size_t m = 1; 2 * m < h.size(); ++m) {
+        double dot = 0.0;
+        for (size_t k = 2 * m; k < h.size(); ++k)
+            dot += h[k] * h[k - 2 * m];
+        EXPECT_NEAR(dot, 0.0, 1e-12) << "shift " << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweep,
+                         ::testing::Values(Family::Haar,
+                                           Family::Daubechies4,
+                                           Family::Daubechies6));
+
+TEST(FilterBank, TapCounts)
+{
+    EXPECT_EQ(FilterBank(Family::Haar).length(), 2u);
+    EXPECT_EQ(FilterBank(Family::Daubechies4).length(), 4u);
+    EXPECT_EQ(FilterBank(Family::Daubechies6).length(), 6u);
+}
+
+TEST(FilterBank, Names)
+{
+    EXPECT_EQ(FilterBank::name(Family::Haar), "Haar");
+    EXPECT_EQ(FilterBank::name(Family::Daubechies6), "Daubechies-6");
+}
+
+TEST(FilterBank, Daubechies4VanishingMoment)
+{
+    // db2 has 2 vanishing moments: sum k*g[k] = 0 as well as sum g[k] = 0.
+    FilterBank bank(Family::Daubechies4);
+    double moment1 = 0.0;
+    for (size_t k = 0; k < bank.length(); ++k)
+        moment1 += static_cast<double>(k) * bank.highpass()[k];
+    EXPECT_NEAR(moment1, 0.0, 1e-10);
+}
+
+TEST(FilterBank, Daubechies6VanishingMoments)
+{
+    FilterBank bank(Family::Daubechies6);
+    for (int p = 0; p <= 2; ++p) {
+        double moment = 0.0;
+        for (size_t k = 0; k < bank.length(); ++k)
+            moment += std::pow(static_cast<double>(k), p) *
+                      bank.highpass()[k];
+        EXPECT_NEAR(moment, 0.0, 1e-7) << "moment " << p;
+    }
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp::workloads;
+using lpp::trace::ClockSink;
+
+TEST(Registry, AllNamesCreate)
+{
+    auto names = allNames();
+    EXPECT_EQ(names.size(), 9u);
+    for (const auto &n : names) {
+        auto w = create(n);
+        ASSERT_NE(w, nullptr) << n;
+        EXPECT_EQ(w->name(), n);
+        EXPECT_FALSE(w->description().empty());
+        EXPECT_FALSE(w->source().empty());
+    }
+}
+
+TEST(Registry, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(create("nope"), nullptr);
+}
+
+TEST(Registry, PredictableExcludesGccAndVortex)
+{
+    auto p = predictableNames();
+    EXPECT_EQ(p.size(), 7u);
+    std::set<std::string> set(p.begin(), p.end());
+    EXPECT_FALSE(set.count("gcc"));
+    EXPECT_FALSE(set.count("vortex"));
+    EXPECT_TRUE(create("gcc")->predictable() == false);
+    EXPECT_TRUE(create("vortex")->predictable() == false);
+    EXPECT_TRUE(create("tomcatv")->predictable());
+}
+
+class PerWorkload : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(PerWorkload, DeterministicTrainRun)
+{
+    auto w = create(GetParam());
+    lpp::trace::AccessRecorder a, b;
+    w->run(w->trainInput(), a);
+    w->run(w->trainInput(), b);
+    EXPECT_EQ(a.accesses(), b.accesses());
+}
+
+TEST_P(PerWorkload, TrainRunSizes)
+{
+    auto w = create(GetParam());
+    ClockSink clock;
+    w->run(w->trainInput(), clock);
+    // Training runs are large enough for phase analysis (the paper's
+    // smallest run had 3.5M accesses; ours are scaled down ~3x) but
+    // small enough to analyze quickly.
+    EXPECT_GT(clock.accesses(), 300000u) << GetParam();
+    EXPECT_LT(clock.accesses(), 8000000u) << GetParam();
+    EXPECT_GT(clock.instructions(), clock.accesses());
+}
+
+TEST_P(PerWorkload, RefRunIsMuchLonger)
+{
+    auto w = create(GetParam());
+    if (w->name() == "mesh")
+        GTEST_SKIP() << "mesh prediction input has the same length";
+    ClockSink train, ref;
+    w->run(w->trainInput(), train);
+    w->run(w->refInput(), ref);
+    EXPECT_GT(ref.accesses(), 3 * train.accesses()) << GetParam();
+    EXPECT_LT(ref.accesses(), 80000000u) << GetParam();
+}
+
+TEST_P(PerWorkload, AccessesFallInsideDeclaredArrays)
+{
+    auto w = create(GetParam());
+    auto arrays = w->arrays(w->trainInput());
+    ASSERT_FALSE(arrays.empty());
+
+    class Checker : public lpp::trace::TraceSink
+    {
+      public:
+        explicit Checker(const std::vector<ArrayInfo> &arr) : arrs(arr)
+        {}
+
+        void
+        onAccess(lpp::trace::Addr addr) override
+        {
+            for (const auto &a : arrs) {
+                if (a.contains(addr))
+                    return;
+            }
+            ++outside;
+        }
+
+        const std::vector<ArrayInfo> &arrs;
+        uint64_t outside = 0;
+    } checker(arrays);
+
+    w->run(w->trainInput(), checker);
+    EXPECT_EQ(checker.outside, 0u) << GetParam();
+}
+
+TEST_P(PerWorkload, EmitsManualMarkers)
+{
+    auto w = create(GetParam());
+    lpp::trace::ManualMarkerRecorder rec;
+    w->run(w->trainInput(), rec);
+    EXPECT_GT(rec.times().size(), 5u) << GetParam();
+}
+
+TEST_P(PerWorkload, BlocksAndEndsEmitted)
+{
+    auto w = create(GetParam());
+    lpp::trace::BlockRecorder rec;
+    w->run(w->trainInput(), rec);
+    EXPECT_GT(rec.events().size(), 1000u);
+    // Distinct blocks: more than one, fewer than a thousand (synthetic
+    // programs are small).
+    std::set<uint32_t> blocks;
+    for (const auto &e : rec.events())
+        blocks.insert(e.block);
+    EXPECT_GT(blocks.size(), 2u);
+    EXPECT_LT(blocks.size(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PerWorkload,
+                         ::testing::Values("fft", "applu", "compress",
+                                           "gcc", "tomcatv", "swim",
+                                           "vortex", "mesh", "moldyn"));
+
+TEST(Workloads, MeshTrainAndRefSameLengthDifferentOrder)
+{
+    auto w = create("mesh");
+    ClockSink train, ref;
+    w->run(w->trainInput(), train);
+    w->run(w->refInput(), ref);
+    EXPECT_EQ(train.accesses(), ref.accesses());
+    EXPECT_EQ(train.instructions(), ref.instructions());
+
+    lpp::trace::AccessRecorder ta, ra;
+    w->run(w->trainInput(), ta);
+    w->run(w->refInput(), ra);
+    EXPECT_NE(ta.accesses(), ra.accesses()) << "sorted edges differ";
+}
+
+TEST(Workloads, AddressSpacesDontOverlap)
+{
+    auto w = create("swim");
+    auto arrays = w->arrays(w->trainInput());
+    for (size_t i = 0; i < arrays.size(); ++i) {
+        for (size_t j = i + 1; j < arrays.size(); ++j) {
+            bool disjoint = arrays[i].end() <= arrays[j].base ||
+                            arrays[j].end() <= arrays[i].base;
+            EXPECT_TRUE(disjoint)
+                << arrays[i].name << " vs " << arrays[j].name;
+        }
+    }
+}
+
+TEST(AddressSpace, AllocatorBasics)
+{
+    AddressSpace as;
+    auto a = as.allocate("A", 100);
+    auto b = as.allocate("B", 100);
+    EXPECT_GE(b.base, a.end());
+    EXPECT_EQ(as.find(a.at(50)), &as.allArrays()[0]);
+    EXPECT_EQ(as.find(0), nullptr);
+    EXPECT_EQ(a.at(1) - a.at(0), 8u);
+}
+
+} // namespace
