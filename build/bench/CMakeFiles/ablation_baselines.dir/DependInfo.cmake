@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_baselines.cpp" "bench/CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o" "gcc" "bench/CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remap/CMakeFiles/lpp_remap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbv/CMakeFiles/lpp_bbv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/lpp_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/lpp_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/lpp_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/lpp_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_statistical.dir/ablation_statistical.cpp.o"
+  "CMakeFiles/ablation_statistical.dir/ablation_statistical.cpp.o.d"
+  "ablation_statistical"
+  "ablation_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

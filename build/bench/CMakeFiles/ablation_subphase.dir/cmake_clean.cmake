@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_subphase.dir/ablation_subphase.cpp.o"
+  "CMakeFiles/ablation_subphase.dir/ablation_subphase.cpp.o.d"
+  "ablation_subphase"
+  "ablation_subphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wavelet.dir/fig2_wavelet.cpp.o"
+  "CMakeFiles/fig2_wavelet.dir/fig2_wavelet.cpp.o.d"
+  "fig2_wavelet"
+  "fig2_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

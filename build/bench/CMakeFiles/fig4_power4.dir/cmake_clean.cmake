@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_power4.dir/fig4_power4.cpp.o"
+  "CMakeFiles/fig4_power4.dir/fig4_power4.cpp.o.d"
+  "fig4_power4"
+  "fig4_power4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_power4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

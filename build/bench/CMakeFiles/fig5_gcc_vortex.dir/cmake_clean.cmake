@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gcc_vortex.dir/fig5_gcc_vortex.cpp.o"
+  "CMakeFiles/fig5_gcc_vortex.dir/fig5_gcc_vortex.cpp.o.d"
+  "fig5_gcc_vortex"
+  "fig5_gcc_vortex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gcc_vortex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

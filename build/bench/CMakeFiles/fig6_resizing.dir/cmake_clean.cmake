@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_resizing.dir/fig6_resizing.cpp.o"
+  "CMakeFiles/fig6_resizing.dir/fig6_resizing.cpp.o.d"
+  "fig6_resizing"
+  "fig6_resizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_resizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

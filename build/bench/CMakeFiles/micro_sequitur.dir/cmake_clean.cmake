@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sequitur.dir/micro_sequitur.cpp.o"
+  "CMakeFiles/micro_sequitur.dir/micro_sequitur.cpp.o.d"
+  "micro_sequitur"
+  "micro_sequitur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sequitur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wavelet.dir/micro_wavelet.cpp.o"
+  "CMakeFiles/micro_wavelet.dir/micro_wavelet.cpp.o.d"
+  "micro_wavelet"
+  "micro_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

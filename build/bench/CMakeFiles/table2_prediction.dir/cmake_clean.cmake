@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prediction.dir/table2_prediction.cpp.o"
+  "CMakeFiles/table2_prediction.dir/table2_prediction.cpp.o.d"
+  "table2_prediction"
+  "table2_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_granularity.dir/table3_granularity.cpp.o"
+  "CMakeFiles/table3_granularity.dir/table3_granularity.cpp.o.d"
+  "table3_granularity"
+  "table3_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

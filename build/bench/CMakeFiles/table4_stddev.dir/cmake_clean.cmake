@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_stddev.dir/table4_stddev.cpp.o"
+  "CMakeFiles/table4_stddev.dir/table4_stddev.cpp.o.d"
+  "table4_stddev"
+  "table4_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

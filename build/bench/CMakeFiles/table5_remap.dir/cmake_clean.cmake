@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_remap.dir/table5_remap.cpp.o"
+  "CMakeFiles/table5_remap.dir/table5_remap.cpp.o.d"
+  "table5_remap"
+  "table5_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_manual.dir/table6_manual.cpp.o"
+  "CMakeFiles/table6_manual.dir/table6_manual.cpp.o.d"
+  "table6_manual"
+  "table6_manual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_manual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

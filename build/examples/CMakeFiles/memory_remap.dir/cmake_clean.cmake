@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_remap.dir/memory_remap.cpp.o"
+  "CMakeFiles/memory_remap.dir/memory_remap.cpp.o.d"
+  "memory_remap"
+  "memory_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bbv/bbv.cpp" "src/bbv/CMakeFiles/lpp_bbv.dir/bbv.cpp.o" "gcc" "src/bbv/CMakeFiles/lpp_bbv.dir/bbv.cpp.o.d"
+  "/root/repo/src/bbv/clustering.cpp" "src/bbv/CMakeFiles/lpp_bbv.dir/clustering.cpp.o" "gcc" "src/bbv/CMakeFiles/lpp_bbv.dir/clustering.cpp.o.d"
+  "/root/repo/src/bbv/markov.cpp" "src/bbv/CMakeFiles/lpp_bbv.dir/markov.cpp.o" "gcc" "src/bbv/CMakeFiles/lpp_bbv.dir/markov.cpp.o.d"
+  "/root/repo/src/bbv/working_set.cpp" "src/bbv/CMakeFiles/lpp_bbv.dir/working_set.cpp.o" "gcc" "src/bbv/CMakeFiles/lpp_bbv.dir/working_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_bbv.dir/bbv.cpp.o"
+  "CMakeFiles/lpp_bbv.dir/bbv.cpp.o.d"
+  "CMakeFiles/lpp_bbv.dir/clustering.cpp.o"
+  "CMakeFiles/lpp_bbv.dir/clustering.cpp.o.d"
+  "CMakeFiles/lpp_bbv.dir/markov.cpp.o"
+  "CMakeFiles/lpp_bbv.dir/markov.cpp.o.d"
+  "CMakeFiles/lpp_bbv.dir/working_set.cpp.o"
+  "CMakeFiles/lpp_bbv.dir/working_set.cpp.o.d"
+  "liblpp_bbv.a"
+  "liblpp_bbv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_bbv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

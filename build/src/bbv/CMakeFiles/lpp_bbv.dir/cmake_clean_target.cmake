@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpp_bbv.a"
+)

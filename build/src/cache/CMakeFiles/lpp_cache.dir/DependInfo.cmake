@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_cache.cpp" "src/cache/CMakeFiles/lpp_cache.dir/lru_cache.cpp.o" "gcc" "src/cache/CMakeFiles/lpp_cache.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/opt_sim.cpp" "src/cache/CMakeFiles/lpp_cache.dir/opt_sim.cpp.o" "gcc" "src/cache/CMakeFiles/lpp_cache.dir/opt_sim.cpp.o.d"
+  "/root/repo/src/cache/resizing.cpp" "src/cache/CMakeFiles/lpp_cache.dir/resizing.cpp.o" "gcc" "src/cache/CMakeFiles/lpp_cache.dir/resizing.cpp.o.d"
+  "/root/repo/src/cache/stack_sim.cpp" "src/cache/CMakeFiles/lpp_cache.dir/stack_sim.cpp.o" "gcc" "src/cache/CMakeFiles/lpp_cache.dir/stack_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/lpp_cache.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/lpp_cache.dir/opt_sim.cpp.o"
+  "CMakeFiles/lpp_cache.dir/opt_sim.cpp.o.d"
+  "CMakeFiles/lpp_cache.dir/resizing.cpp.o"
+  "CMakeFiles/lpp_cache.dir/resizing.cpp.o.d"
+  "CMakeFiles/lpp_cache.dir/stack_sim.cpp.o"
+  "CMakeFiles/lpp_cache.dir/stack_sim.cpp.o.d"
+  "liblpp_cache.a"
+  "liblpp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lpp_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_core.dir/analysis.cpp.o"
+  "CMakeFiles/lpp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/lpp_core.dir/evaluation.cpp.o"
+  "CMakeFiles/lpp_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/lpp_core.dir/persistence.cpp.o"
+  "CMakeFiles/lpp_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/lpp_core.dir/runtime.cpp.o"
+  "CMakeFiles/lpp_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/lpp_core.dir/statistical.cpp.o"
+  "CMakeFiles/lpp_core.dir/statistical.cpp.o.d"
+  "liblpp_core.a"
+  "liblpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

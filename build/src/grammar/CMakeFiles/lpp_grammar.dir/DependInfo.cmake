@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/automaton.cpp" "src/grammar/CMakeFiles/lpp_grammar.dir/automaton.cpp.o" "gcc" "src/grammar/CMakeFiles/lpp_grammar.dir/automaton.cpp.o.d"
+  "/root/repo/src/grammar/grammar.cpp" "src/grammar/CMakeFiles/lpp_grammar.dir/grammar.cpp.o" "gcc" "src/grammar/CMakeFiles/lpp_grammar.dir/grammar.cpp.o.d"
+  "/root/repo/src/grammar/hierarchy.cpp" "src/grammar/CMakeFiles/lpp_grammar.dir/hierarchy.cpp.o" "gcc" "src/grammar/CMakeFiles/lpp_grammar.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/grammar/regex.cpp" "src/grammar/CMakeFiles/lpp_grammar.dir/regex.cpp.o" "gcc" "src/grammar/CMakeFiles/lpp_grammar.dir/regex.cpp.o.d"
+  "/root/repo/src/grammar/sequitur.cpp" "src/grammar/CMakeFiles/lpp_grammar.dir/sequitur.cpp.o" "gcc" "src/grammar/CMakeFiles/lpp_grammar.dir/sequitur.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

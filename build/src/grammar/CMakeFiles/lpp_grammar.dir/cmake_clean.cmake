@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_grammar.dir/automaton.cpp.o"
+  "CMakeFiles/lpp_grammar.dir/automaton.cpp.o.d"
+  "CMakeFiles/lpp_grammar.dir/grammar.cpp.o"
+  "CMakeFiles/lpp_grammar.dir/grammar.cpp.o.d"
+  "CMakeFiles/lpp_grammar.dir/hierarchy.cpp.o"
+  "CMakeFiles/lpp_grammar.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/lpp_grammar.dir/regex.cpp.o"
+  "CMakeFiles/lpp_grammar.dir/regex.cpp.o.d"
+  "CMakeFiles/lpp_grammar.dir/sequitur.cpp.o"
+  "CMakeFiles/lpp_grammar.dir/sequitur.cpp.o.d"
+  "liblpp_grammar.a"
+  "liblpp_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

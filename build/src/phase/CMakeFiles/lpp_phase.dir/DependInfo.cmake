@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phase/detector.cpp" "src/phase/CMakeFiles/lpp_phase.dir/detector.cpp.o" "gcc" "src/phase/CMakeFiles/lpp_phase.dir/detector.cpp.o.d"
+  "/root/repo/src/phase/marker_selection.cpp" "src/phase/CMakeFiles/lpp_phase.dir/marker_selection.cpp.o" "gcc" "src/phase/CMakeFiles/lpp_phase.dir/marker_selection.cpp.o.d"
+  "/root/repo/src/phase/partition.cpp" "src/phase/CMakeFiles/lpp_phase.dir/partition.cpp.o" "gcc" "src/phase/CMakeFiles/lpp_phase.dir/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wavelet/CMakeFiles/lpp_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/lpp_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_phase.dir/detector.cpp.o"
+  "CMakeFiles/lpp_phase.dir/detector.cpp.o.d"
+  "CMakeFiles/lpp_phase.dir/marker_selection.cpp.o"
+  "CMakeFiles/lpp_phase.dir/marker_selection.cpp.o.d"
+  "CMakeFiles/lpp_phase.dir/partition.cpp.o"
+  "CMakeFiles/lpp_phase.dir/partition.cpp.o.d"
+  "liblpp_phase.a"
+  "liblpp_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

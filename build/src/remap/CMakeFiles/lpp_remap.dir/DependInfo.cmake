@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/remap/affinity.cpp" "src/remap/CMakeFiles/lpp_remap.dir/affinity.cpp.o" "gcc" "src/remap/CMakeFiles/lpp_remap.dir/affinity.cpp.o.d"
+  "/root/repo/src/remap/regroup.cpp" "src/remap/CMakeFiles/lpp_remap.dir/regroup.cpp.o" "gcc" "src/remap/CMakeFiles/lpp_remap.dir/regroup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/lpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

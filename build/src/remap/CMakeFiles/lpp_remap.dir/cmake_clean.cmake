@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_remap.dir/affinity.cpp.o"
+  "CMakeFiles/lpp_remap.dir/affinity.cpp.o.d"
+  "CMakeFiles/lpp_remap.dir/regroup.cpp.o"
+  "CMakeFiles/lpp_remap.dir/regroup.cpp.o.d"
+  "liblpp_remap.a"
+  "liblpp_remap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_remap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

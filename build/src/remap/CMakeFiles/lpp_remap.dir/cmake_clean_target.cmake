@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpp_remap.a"
+)

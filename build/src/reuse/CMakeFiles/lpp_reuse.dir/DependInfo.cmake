@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reuse/analyzer.cpp" "src/reuse/CMakeFiles/lpp_reuse.dir/analyzer.cpp.o" "gcc" "src/reuse/CMakeFiles/lpp_reuse.dir/analyzer.cpp.o.d"
+  "/root/repo/src/reuse/sampler.cpp" "src/reuse/CMakeFiles/lpp_reuse.dir/sampler.cpp.o" "gcc" "src/reuse/CMakeFiles/lpp_reuse.dir/sampler.cpp.o.d"
+  "/root/repo/src/reuse/spatial.cpp" "src/reuse/CMakeFiles/lpp_reuse.dir/spatial.cpp.o" "gcc" "src/reuse/CMakeFiles/lpp_reuse.dir/spatial.cpp.o.d"
+  "/root/repo/src/reuse/stack.cpp" "src/reuse/CMakeFiles/lpp_reuse.dir/stack.cpp.o" "gcc" "src/reuse/CMakeFiles/lpp_reuse.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_reuse.dir/analyzer.cpp.o"
+  "CMakeFiles/lpp_reuse.dir/analyzer.cpp.o.d"
+  "CMakeFiles/lpp_reuse.dir/sampler.cpp.o"
+  "CMakeFiles/lpp_reuse.dir/sampler.cpp.o.d"
+  "CMakeFiles/lpp_reuse.dir/spatial.cpp.o"
+  "CMakeFiles/lpp_reuse.dir/spatial.cpp.o.d"
+  "CMakeFiles/lpp_reuse.dir/stack.cpp.o"
+  "CMakeFiles/lpp_reuse.dir/stack.cpp.o.d"
+  "liblpp_reuse.a"
+  "liblpp_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

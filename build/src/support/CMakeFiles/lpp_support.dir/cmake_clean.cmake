@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_support.dir/csv.cpp.o"
+  "CMakeFiles/lpp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/lpp_support.dir/histogram.cpp.o"
+  "CMakeFiles/lpp_support.dir/histogram.cpp.o.d"
+  "CMakeFiles/lpp_support.dir/logging.cpp.o"
+  "CMakeFiles/lpp_support.dir/logging.cpp.o.d"
+  "CMakeFiles/lpp_support.dir/stats.cpp.o"
+  "CMakeFiles/lpp_support.dir/stats.cpp.o.d"
+  "liblpp_support.a"
+  "liblpp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/instrument.cpp" "src/trace/CMakeFiles/lpp_trace.dir/instrument.cpp.o" "gcc" "src/trace/CMakeFiles/lpp_trace.dir/instrument.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/lpp_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/lpp_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/textio.cpp" "src/trace/CMakeFiles/lpp_trace.dir/textio.cpp.o" "gcc" "src/trace/CMakeFiles/lpp_trace.dir/textio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_trace.dir/instrument.cpp.o"
+  "CMakeFiles/lpp_trace.dir/instrument.cpp.o.d"
+  "CMakeFiles/lpp_trace.dir/recorder.cpp.o"
+  "CMakeFiles/lpp_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/lpp_trace.dir/textio.cpp.o"
+  "CMakeFiles/lpp_trace.dir/textio.cpp.o.d"
+  "liblpp_trace.a"
+  "liblpp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

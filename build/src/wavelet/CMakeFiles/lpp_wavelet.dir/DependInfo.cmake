@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/dwt.cpp" "src/wavelet/CMakeFiles/lpp_wavelet.dir/dwt.cpp.o" "gcc" "src/wavelet/CMakeFiles/lpp_wavelet.dir/dwt.cpp.o.d"
+  "/root/repo/src/wavelet/filtering.cpp" "src/wavelet/CMakeFiles/lpp_wavelet.dir/filtering.cpp.o" "gcc" "src/wavelet/CMakeFiles/lpp_wavelet.dir/filtering.cpp.o.d"
+  "/root/repo/src/wavelet/wavelet.cpp" "src/wavelet/CMakeFiles/lpp_wavelet.dir/wavelet.cpp.o" "gcc" "src/wavelet/CMakeFiles/lpp_wavelet.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reuse/CMakeFiles/lpp_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

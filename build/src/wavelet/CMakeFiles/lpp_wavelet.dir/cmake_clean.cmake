@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_wavelet.dir/dwt.cpp.o"
+  "CMakeFiles/lpp_wavelet.dir/dwt.cpp.o.d"
+  "CMakeFiles/lpp_wavelet.dir/filtering.cpp.o"
+  "CMakeFiles/lpp_wavelet.dir/filtering.cpp.o.d"
+  "CMakeFiles/lpp_wavelet.dir/wavelet.cpp.o"
+  "CMakeFiles/lpp_wavelet.dir/wavelet.cpp.o.d"
+  "liblpp_wavelet.a"
+  "liblpp_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/address_space.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/address_space.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/address_space.cpp.o.d"
+  "/root/repo/src/workloads/applu.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/applu.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/applu.cpp.o.d"
+  "/root/repo/src/workloads/compress.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/compress.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/compress.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/gcc.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/gcc.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/gcc.cpp.o.d"
+  "/root/repo/src/workloads/mesh.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/mesh.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/mesh.cpp.o.d"
+  "/root/repo/src/workloads/moldyn.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/moldyn.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/moldyn.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/swim.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/swim.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/swim.cpp.o.d"
+  "/root/repo/src/workloads/tomcatv.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/tomcatv.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/tomcatv.cpp.o.d"
+  "/root/repo/src/workloads/vortex.cpp" "src/workloads/CMakeFiles/lpp_workloads.dir/vortex.cpp.o" "gcc" "src/workloads/CMakeFiles/lpp_workloads.dir/vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpp_workloads.dir/address_space.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/address_space.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/applu.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/applu.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/compress.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/compress.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/fft.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/gcc.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/gcc.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/mesh.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/mesh.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/moldyn.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/moldyn.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/registry.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/swim.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/swim.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/tomcatv.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/tomcatv.cpp.o.d"
+  "CMakeFiles/lpp_workloads.dir/vortex.cpp.o"
+  "CMakeFiles/lpp_workloads.dir/vortex.cpp.o.d"
+  "liblpp_workloads.a"
+  "liblpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bbv/bbv_test.cpp" "tests/CMakeFiles/lpp_tests.dir/bbv/bbv_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/bbv/bbv_test.cpp.o.d"
+  "/root/repo/tests/bbv/clustering_test.cpp" "tests/CMakeFiles/lpp_tests.dir/bbv/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/bbv/clustering_test.cpp.o.d"
+  "/root/repo/tests/bbv/markov_test.cpp" "tests/CMakeFiles/lpp_tests.dir/bbv/markov_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/bbv/markov_test.cpp.o.d"
+  "/root/repo/tests/bbv/working_set_test.cpp" "tests/CMakeFiles/lpp_tests.dir/bbv/working_set_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/bbv/working_set_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_cache_test.cpp" "tests/CMakeFiles/lpp_tests.dir/cache/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/cache/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/opt_sim_test.cpp" "tests/CMakeFiles/lpp_tests.dir/cache/opt_sim_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/cache/opt_sim_test.cpp.o.d"
+  "/root/repo/tests/cache/resizing_test.cpp" "tests/CMakeFiles/lpp_tests.dir/cache/resizing_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/cache/resizing_test.cpp.o.d"
+  "/root/repo/tests/cache/stack_sim_test.cpp" "tests/CMakeFiles/lpp_tests.dir/cache/stack_sim_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/cache/stack_sim_test.cpp.o.d"
+  "/root/repo/tests/core/evaluation_test.cpp" "tests/CMakeFiles/lpp_tests.dir/core/evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/core/evaluation_test.cpp.o.d"
+  "/root/repo/tests/core/persistence_test.cpp" "tests/CMakeFiles/lpp_tests.dir/core/persistence_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/core/persistence_test.cpp.o.d"
+  "/root/repo/tests/core/runtime_test.cpp" "tests/CMakeFiles/lpp_tests.dir/core/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/core/runtime_test.cpp.o.d"
+  "/root/repo/tests/core/statistical_test.cpp" "tests/CMakeFiles/lpp_tests.dir/core/statistical_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/core/statistical_test.cpp.o.d"
+  "/root/repo/tests/core/workload_integration_test.cpp" "tests/CMakeFiles/lpp_tests.dir/core/workload_integration_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/core/workload_integration_test.cpp.o.d"
+  "/root/repo/tests/grammar/automaton_test.cpp" "tests/CMakeFiles/lpp_tests.dir/grammar/automaton_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/grammar/automaton_test.cpp.o.d"
+  "/root/repo/tests/grammar/hierarchy_test.cpp" "tests/CMakeFiles/lpp_tests.dir/grammar/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/grammar/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/grammar/regex_test.cpp" "tests/CMakeFiles/lpp_tests.dir/grammar/regex_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/grammar/regex_test.cpp.o.d"
+  "/root/repo/tests/grammar/sequitur_test.cpp" "tests/CMakeFiles/lpp_tests.dir/grammar/sequitur_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/grammar/sequitur_test.cpp.o.d"
+  "/root/repo/tests/phase/detector_test.cpp" "tests/CMakeFiles/lpp_tests.dir/phase/detector_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/phase/detector_test.cpp.o.d"
+  "/root/repo/tests/phase/marker_selection_test.cpp" "tests/CMakeFiles/lpp_tests.dir/phase/marker_selection_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/phase/marker_selection_test.cpp.o.d"
+  "/root/repo/tests/phase/partition_test.cpp" "tests/CMakeFiles/lpp_tests.dir/phase/partition_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/phase/partition_test.cpp.o.d"
+  "/root/repo/tests/phase/subphase_test.cpp" "tests/CMakeFiles/lpp_tests.dir/phase/subphase_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/phase/subphase_test.cpp.o.d"
+  "/root/repo/tests/remap/affinity_test.cpp" "tests/CMakeFiles/lpp_tests.dir/remap/affinity_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/remap/affinity_test.cpp.o.d"
+  "/root/repo/tests/remap/regroup_test.cpp" "tests/CMakeFiles/lpp_tests.dir/remap/regroup_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/remap/regroup_test.cpp.o.d"
+  "/root/repo/tests/reuse/analyzer_test.cpp" "tests/CMakeFiles/lpp_tests.dir/reuse/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/reuse/analyzer_test.cpp.o.d"
+  "/root/repo/tests/reuse/sampler_test.cpp" "tests/CMakeFiles/lpp_tests.dir/reuse/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/reuse/sampler_test.cpp.o.d"
+  "/root/repo/tests/reuse/spatial_test.cpp" "tests/CMakeFiles/lpp_tests.dir/reuse/spatial_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/reuse/spatial_test.cpp.o.d"
+  "/root/repo/tests/reuse/stack_test.cpp" "tests/CMakeFiles/lpp_tests.dir/reuse/stack_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/reuse/stack_test.cpp.o.d"
+  "/root/repo/tests/support/csv_test.cpp" "tests/CMakeFiles/lpp_tests.dir/support/csv_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/support/csv_test.cpp.o.d"
+  "/root/repo/tests/support/histogram_test.cpp" "tests/CMakeFiles/lpp_tests.dir/support/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/support/histogram_test.cpp.o.d"
+  "/root/repo/tests/support/logging_test.cpp" "tests/CMakeFiles/lpp_tests.dir/support/logging_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/support/logging_test.cpp.o.d"
+  "/root/repo/tests/support/random_test.cpp" "tests/CMakeFiles/lpp_tests.dir/support/random_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/support/random_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/CMakeFiles/lpp_tests.dir/support/stats_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/support/stats_test.cpp.o.d"
+  "/root/repo/tests/trace/instrument_test.cpp" "tests/CMakeFiles/lpp_tests.dir/trace/instrument_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/trace/instrument_test.cpp.o.d"
+  "/root/repo/tests/trace/recorder_test.cpp" "tests/CMakeFiles/lpp_tests.dir/trace/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/trace/recorder_test.cpp.o.d"
+  "/root/repo/tests/trace/sink_test.cpp" "tests/CMakeFiles/lpp_tests.dir/trace/sink_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/trace/sink_test.cpp.o.d"
+  "/root/repo/tests/trace/textio_test.cpp" "tests/CMakeFiles/lpp_tests.dir/trace/textio_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/trace/textio_test.cpp.o.d"
+  "/root/repo/tests/wavelet/dwt_test.cpp" "tests/CMakeFiles/lpp_tests.dir/wavelet/dwt_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/wavelet/dwt_test.cpp.o.d"
+  "/root/repo/tests/wavelet/filtering_test.cpp" "tests/CMakeFiles/lpp_tests.dir/wavelet/filtering_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/wavelet/filtering_test.cpp.o.d"
+  "/root/repo/tests/wavelet/wavelet_test.cpp" "tests/CMakeFiles/lpp_tests.dir/wavelet/wavelet_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/wavelet/wavelet_test.cpp.o.d"
+  "/root/repo/tests/workloads/workloads_test.cpp" "tests/CMakeFiles/lpp_tests.dir/workloads/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/lpp_tests.dir/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/remap/CMakeFiles/lpp_remap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbv/CMakeFiles/lpp_bbv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/lpp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/lpp_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/lpp_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/lpp_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/lpp_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lpp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lpp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
