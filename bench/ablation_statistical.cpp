@@ -8,9 +8,11 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/analysis.hpp"
+#include "core/parallel.hpp"
 #include "core/runtime.hpp"
 #include "core/statistical.hpp"
 #include "support/csv.hpp"
@@ -32,23 +34,37 @@ main()
                   {"benchmark", "exact_accuracy", "band_hit_rate",
                    "band_coverage", "band_relative_width"});
 
-    for (const char *name : {"gcc", "vortex", "moldyn", "compress"}) {
-        auto w = workloads::create(name);
+    const std::vector<const char *> names = {"gcc", "vortex", "moldyn",
+                                             "compress"};
+
+    // Analysis + instrumented replay per workload, fanned across the
+    // pool; rows print in name order, identical to the serial loop.
+    struct Result
+    {
+        core::PredictionMetrics exact;
+        core::BandMetrics bands;
+    };
+    core::ParallelRunner runner;
+    auto results = runner.mapIndexed(names.size(), [&](size_t i) {
+        auto w = workloads::create(names[i]);
         auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
         auto ref = w->refInput();
         auto replay = core::replayInstrumented(
             analysis.detection.selection.table,
             [&](trace::TraceSink &s) { w->run(ref, s); });
+        return Result{core::evaluatePrediction(
+                          replay, analysis.consistentPhases()),
+                      core::evaluateStatisticalPrediction(replay)};
+    });
 
-        auto exact = core::evaluatePrediction(
-            replay, analysis.consistentPhases());
-        auto bands = core::evaluateStatisticalPrediction(replay);
-
-        row(name,
+    for (size_t i = 0; i < names.size(); ++i) {
+        const auto &exact = results[i].exact;
+        const auto &bands = results[i].bands;
+        row(names[i],
             {pct(exact.relaxedAccuracy), pct(bands.hitRate),
              pct(bands.coverage), num(bands.meanRelativeWidth, 3)},
             10, 11);
-        csv.row({name, num(exact.relaxedAccuracy, 4),
+        csv.row({names[i], num(exact.relaxedAccuracy, 4),
                  num(bands.hitRate, 4), num(bands.coverage, 4),
                  num(bands.meanRelativeWidth, 4)});
     }

@@ -9,8 +9,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
+#include "core/parallel.hpp"
 #include "phase/detector.hpp"
 #include "support/csv.hpp"
 #include "workloads/registry.hpp"
@@ -30,31 +32,45 @@ main()
     const wavelet::Family families[] = {wavelet::Family::Haar,
                                         wavelet::Family::Daubechies4,
                                         wavelet::Family::Daubechies6};
+    const std::vector<const char *> names = {"tomcatv", "compress",
+                                             "moldyn"};
 
-    for (const char *name : {"tomcatv", "compress", "moldyn"}) {
-        std::printf("\n%s:\n", name);
+    // The (workload x family) grid cells are independent: fan the full
+    // detection pipelines across the pool and print in grid order.
+    struct Cell
+    {
+        uint64_t kept;
+        size_t boundaries;
+        size_t phases;
+    };
+    core::ParallelRunner runner;
+    auto cells = runner.mapIndexed(names.size() * 3, [&](size_t idx) {
+        auto w = workloads::create(names[idx / 3]);
+        phase::DetectorConfig cfg;
+        cfg.filter.family = families[idx % 3];
+        cfg.sampler.targetSamples = 20000;
+        phase::PhaseDetector det(cfg);
+        auto in = w->trainInput();
+        auto result =
+            det.analyze([&](trace::TraceSink &s) { w->run(in, s); });
+        return Cell{result.filterStats.accessesKept,
+                    result.boundaryTimes.size(),
+                    result.selection.phases.size()};
+    });
+
+    for (size_t ni = 0; ni < names.size(); ++ni) {
+        std::printf("\n%s:\n", names[ni]);
         std::printf("  %-14s %10s %12s %14s\n", "family", "kept",
                     "boundaries", "marker phases");
-        for (auto family : families) {
-            auto w = workloads::create(name);
-            phase::DetectorConfig cfg;
-            cfg.filter.family = family;
-            cfg.sampler.targetSamples = 20000;
-            phase::PhaseDetector det(cfg);
-            auto in = w->trainInput();
-            auto result = det.analyze([&](trace::TraceSink &s) {
-                w->run(in, s);
-            });
-            std::string fam = wavelet::FilterBank::name(family);
+        for (size_t fi = 0; fi < 3; ++fi) {
+            const Cell &c = cells[ni * 3 + fi];
+            std::string fam = wavelet::FilterBank::name(families[fi]);
             std::printf("  %-14s %10llu %12zu %14zu\n", fam.c_str(),
-                        static_cast<unsigned long long>(
-                            result.filterStats.accessesKept),
-                        result.boundaryTimes.size(),
-                        result.selection.phases.size());
-            csv.row({name, fam,
-                     std::to_string(result.filterStats.accessesKept),
-                     std::to_string(result.boundaryTimes.size()),
-                     std::to_string(result.selection.phases.size())});
+                        static_cast<unsigned long long>(c.kept),
+                        c.boundaries, c.phases);
+            csv.row({names[ni], fam, std::to_string(c.kept),
+                     std::to_string(c.boundaries),
+                     std::to_string(c.phases)});
         }
     }
     std::printf("\nExpected: all families find the same markers; the "

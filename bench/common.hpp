@@ -8,6 +8,7 @@
 #define LPP_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -60,10 +61,19 @@ sci(double v)
     return buf;
 }
 
-/** The benchmark output directory for CSV series. */
+/**
+ * The benchmark output directory for CSV series. Creates bench_out/ on
+ * first use so drivers work from a clean checkout (opening a CSV in a
+ * missing directory would silently fail).
+ */
 inline std::string
 outPath(const std::string &file)
 {
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    if (ec)
+        std::fprintf(stderr, "warn: cannot create bench_out/: %s\n",
+                     ec.message().c_str());
     return "bench_out/" + file;
 }
 

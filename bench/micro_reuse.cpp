@@ -6,8 +6,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "reuse/analyzer.hpp"
 #include "reuse/sampler.hpp"
 #include "reuse/stack.hpp"
+#include "support/flat_map.hpp"
 #include "support/random.hpp"
 
 namespace {
@@ -55,6 +62,107 @@ BM_VariableDistanceSampler(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_VariableDistanceSampler);
+
+// --- Hot-path substrate: flat robin-hood map vs std::unordered_map ---
+
+void
+BM_FlatMapProbe(benchmark::State &state)
+{
+    uint64_t keys = static_cast<uint64_t>(state.range(0));
+    lpp::support::FlatMap<uint64_t> map(keys);
+    for (uint64_t k = 0; k < keys; ++k)
+        map.insert(k * 3, k);
+    lpp::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find(rng.below(keys * 3)));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatMapProbe)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_UnorderedMapProbe(benchmark::State &state)
+{
+    uint64_t keys = static_cast<uint64_t>(state.range(0));
+    std::unordered_map<uint64_t, uint64_t> map;
+    map.reserve(keys);
+    for (uint64_t k = 0; k < keys; ++k)
+        map.emplace(k * 3, k);
+    lpp::Rng rng(11);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find(rng.below(keys * 3)));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedMapProbe)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+// --- Batched vs per-access delivery into a ReuseAnalyzer ---
+
+void
+BM_AnalyzerPerAccess(benchmark::State &state)
+{
+    lpp::Rng rng(5);
+    std::vector<lpp::trace::Addr> addrs(1 << 16);
+    for (auto &a : addrs)
+        a = rng.below(1 << 20) * 8;
+    lpp::reuse::ReuseAnalyzer analyzer(1 << 20);
+    lpp::trace::TraceSink &sink = analyzer;
+    for (auto _ : state) {
+        for (auto a : addrs)
+            sink.onAccess(a);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * addrs.size()));
+}
+BENCHMARK(BM_AnalyzerPerAccess);
+
+void
+BM_AnalyzerBatched(benchmark::State &state)
+{
+    lpp::Rng rng(5);
+    std::vector<lpp::trace::Addr> addrs(1 << 16);
+    for (auto &a : addrs)
+        a = rng.below(1 << 20) * 8;
+    lpp::reuse::ReuseAnalyzer analyzer(1 << 20);
+    lpp::trace::TraceSink &sink = analyzer;
+    constexpr size_t batch = 4096;
+    for (auto _ : state) {
+        for (size_t i = 0; i < addrs.size(); i += batch)
+            sink.onAccessBatch(addrs.data() + i,
+                               std::min(batch, addrs.size() - i));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * addrs.size()));
+}
+BENCHMARK(BM_AnalyzerBatched);
+
+// --- Parallel fan-out of independent reuse analyses (trace shards) ---
+
+void
+BM_ParallelReuseShards(benchmark::State &state)
+{
+    size_t shards = static_cast<size_t>(state.range(0));
+    std::vector<std::vector<lpp::trace::Addr>> traces(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        lpp::Rng rng(100 + s);
+        traces[s].resize(1 << 15);
+        for (auto &a : traces[s])
+            a = rng.below(1 << 16) * 8;
+    }
+    lpp::core::ParallelRunner runner;
+    for (auto _ : state) {
+        auto counts = runner.mapIndexed(shards, [&](size_t s) {
+            lpp::reuse::ReuseAnalyzer analyzer(1 << 16);
+            analyzer.onAccessBatch(traces[s].data(), traces[s].size());
+            analyzer.onEnd();
+            return analyzer.histogram().total();
+        });
+        benchmark::DoNotOptimize(counts);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * shards * (1 << 15)));
+}
+BENCHMARK(BM_ParallelReuseShards)->Arg(1)->Arg(4)->Arg(8);
 
 } // namespace
 

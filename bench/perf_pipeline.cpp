@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Performance harness for the analysis pipeline: times the full
+ * nine-workload evaluation sweep serially and in parallel and writes
+ * BENCH_pipeline.json so the perf trajectory is machine-readable
+ * across PRs.
+ *
+ * Stage timings are measured on a separate serial pass: `analysis` is
+ * the off-line detection pipeline (sampling → wavelet → partition →
+ * markers → Sequitur), `instrument` is the two instrumented replays
+ * (train + ref), and `evaluate` is the remainder of evaluateWorkload
+ * (prediction metrics, granularity, overlap). The serial/parallel
+ * comparison then times evaluateWorkload end-to-end both ways and
+ * checks the parallel results bit-identical to serial.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+#include "core/evaluation.hpp"
+#include "core/parallel.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+using namespace lppbench;
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** One workload's serial timing decomposition. */
+struct StageTimes
+{
+    std::string name;
+    double analysisMs = 0.0;
+    double instrumentMs = 0.0;
+    double evaluateMs = 0.0;
+    double totalMs = 0.0;
+};
+
+/** Field-by-field equality of the evaluation outputs that benches print. */
+bool
+sameEvaluation(const core::WorkloadEvaluation &a,
+               const core::WorkloadEvaluation &b)
+{
+    auto sameRow = [](const core::GranularityRow &x,
+                      const core::GranularityRow &y) {
+        return x.leafExecutions == y.leafExecutions &&
+               x.execLengthM == y.execLengthM &&
+               x.avgLeafSizeM == y.avgLeafSizeM &&
+               x.avgLargestCompositeM == y.avgLargestCompositeM;
+    };
+    return a.name == b.name &&
+           a.metrics.strictAccuracy == b.metrics.strictAccuracy &&
+           a.metrics.strictCoverage == b.metrics.strictCoverage &&
+           a.metrics.relaxedAccuracy == b.metrics.relaxedAccuracy &&
+           a.metrics.relaxedCoverage == b.metrics.relaxedCoverage &&
+           sameRow(a.detectionRow, b.detectionRow) &&
+           sameRow(a.predictionRow, b.predictionRow) &&
+           a.localityStddev == b.localityStddev &&
+           a.trainOverlap.recall == b.trainOverlap.recall &&
+           a.trainOverlap.precision == b.trainOverlap.precision &&
+           a.refOverlap.recall == b.refOverlap.recall &&
+           a.refOverlap.precision == b.refOverlap.precision &&
+           a.train.replay.sequence() == b.train.replay.sequence() &&
+           a.ref.replay.sequence() == b.ref.replay.sequence();
+}
+
+} // namespace
+
+int
+main()
+{
+    title("Pipeline performance: serial vs parallel evaluation sweep");
+
+    auto names = workloads::allNames();
+    size_t threads = support::ThreadPool::shared().threadCount();
+
+    // Pass 1: serial, with stage decomposition.
+    std::vector<StageTimes> stages;
+    double serialStagesMs = 0.0;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        StageTimes st;
+        st.name = name;
+
+        auto t0 = std::chrono::steady_clock::now();
+        auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+        st.analysisMs = msSince(t0);
+
+        const auto &table = analysis.detection.selection.table;
+        auto train_in = w->trainInput();
+        auto ref_in = w->refInput();
+        t0 = std::chrono::steady_clock::now();
+        auto train = core::runInstrumented(
+            table, [&](trace::TraceSink &s) { w->run(train_in, s); });
+        auto ref = core::runInstrumented(
+            table, [&](trace::TraceSink &s) { w->run(ref_in, s); });
+        st.instrumentMs = msSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        auto full = core::evaluateWorkload(*w);
+        st.totalMs = st.analysisMs + st.instrumentMs;
+        st.evaluateMs = msSince(t0) - st.totalMs;
+        if (st.evaluateMs < 0.0)
+            st.evaluateMs = 0.0;
+        st.totalMs += st.evaluateMs;
+        serialStagesMs += st.totalMs;
+        stages.push_back(st);
+    }
+
+    // Pass 2: serial end-to-end sweep (the baseline being reported).
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::WorkloadEvaluation> serial;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        serial.push_back(core::evaluateWorkload(*w));
+    }
+    double serialMs = msSince(t0);
+
+    // Pass 3: parallel sweep over the shared pool.
+    t0 = std::chrono::steady_clock::now();
+    auto parallel = core::evaluateWorkloads(names);
+    double parallelMs = msSince(t0);
+
+    bool identical = serial.size() == parallel.size();
+    for (size_t i = 0; identical && i < serial.size(); ++i)
+        identical = sameEvaluation(serial[i], parallel[i]);
+
+    double speedup = parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
+
+    row("Workload", {"analysis", "instrum.", "evaluate", "total(ms)"},
+        10, 10);
+    rule();
+    for (const auto &st : stages)
+        row(st.name,
+            {num(st.analysisMs, 1), num(st.instrumentMs, 1),
+             num(st.evaluateMs, 1), num(st.totalMs, 1)},
+            10, 10);
+    rule();
+    std::printf("serial sweep   %10.1f ms\n", serialMs);
+    std::printf("parallel sweep %10.1f ms  (%zu threads)\n", parallelMs,
+                threads);
+    std::printf("speedup        %10.2fx\n", speedup);
+    std::printf("deterministic  %10s\n", identical ? "yes" : "NO");
+
+    // Machine-readable series, one JSON object per run.
+    std::ofstream json("BENCH_pipeline.json");
+    json << "{\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"workloads\": [\n";
+    for (size_t i = 0; i < stages.size(); ++i) {
+        const auto &st = stages[i];
+        json << "    {\"name\": \"" << st.name << "\", "
+             << "\"analysis_ms\": " << num(st.analysisMs, 3) << ", "
+             << "\"instrument_ms\": " << num(st.instrumentMs, 3) << ", "
+             << "\"evaluate_ms\": " << num(st.evaluateMs, 3) << ", "
+             << "\"total_ms\": " << num(st.totalMs, 3) << "}"
+             << (i + 1 < stages.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"serial_ms\": " << num(serialMs, 3) << ",\n"
+         << "  \"parallel_ms\": " << num(parallelMs, 3) << ",\n"
+         << "  \"speedup\": " << num(speedup, 4) << ",\n"
+         << "  \"parallel_identical_to_serial\": "
+         << (identical ? "true" : "false") << "\n"
+         << "}\n";
+    json.close();
+    std::printf("\nSeries written to BENCH_pipeline.json\n");
+
+    return identical ? 0 : 1;
+}

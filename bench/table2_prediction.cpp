@@ -41,15 +41,17 @@ main()
 
     double sa = 0, sc = 0, ra = 0, rc = 0;
     int n = 0;
-    for (const auto &name : workloads::predictableNames()) {
-        auto w = workloads::create(name);
-        auto ev = core::evaluateWorkload(*w);
+    // Per-workload evaluations fan out across the thread pool; the
+    // results come back in name order, so rows and CSV lines are
+    // identical to the serial loop this replaced.
+    auto evals = core::evaluateWorkloads(workloads::predictableNames());
+    for (const auto &ev : evals) {
         const auto &m = ev.metrics;
-        row(name,
+        row(ev.name,
             {pct(m.strictAccuracy), pct(m.strictCoverage),
              pct(m.relaxedAccuracy), pct(m.relaxedCoverage),
              std::to_string(ev.ref.replay.executions.size())});
-        csv.row({name, pct(m.strictAccuracy), pct(m.strictCoverage),
+        csv.row({ev.name, pct(m.strictAccuracy), pct(m.strictCoverage),
                  pct(m.relaxedAccuracy), pct(m.relaxedCoverage),
                  std::to_string(ev.ref.replay.executions.size())});
         sa += m.strictAccuracy;

@@ -32,9 +32,10 @@ main()
 
     core::GranularityRow dsum, psum;
     int n = 0;
-    for (const auto &name : workloads::predictableNames()) {
-        auto w = workloads::create(name);
-        auto ev = core::evaluateWorkload(*w);
+    // Evaluations run in parallel; results arrive in name order.
+    auto evals = core::evaluateWorkloads(workloads::predictableNames());
+    for (const auto &ev : evals) {
+        const auto &name = ev.name;
         const auto &d = ev.detectionRow;
         const auto &p = ev.predictionRow;
         row(name,

@@ -39,6 +39,9 @@ class BbvCollector : public trace::TraceSink
 
     void onBlock(trace::BlockId block, uint32_t instructions) override;
 
+    /** BBVs ignore data accesses; skip the per-access default loop. */
+    void onAccessBatch(const trace::Addr *, size_t) override {}
+
     /** Close the current interval and append its projected vector. */
     void finalizeInterval();
 

@@ -49,6 +49,13 @@ class LruCache : public trace::TraceSink
 
     void onAccess(trace::Addr addr) override;
 
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            access(addrs[i]);
+    }
+
     /**
      * Access the cache directly.
      * @return true on hit

@@ -37,6 +37,13 @@ StackSimulator::StackSimulator(uint32_t sets_, uint32_t block_bytes)
 }
 
 void
+StackSimulator::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        StackSimulator::onAccess(addrs[i]);
+}
+
+void
 StackSimulator::onAccess(trace::Addr addr)
 {
     uint64_t block = addr >> setShift;

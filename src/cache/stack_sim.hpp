@@ -64,6 +64,7 @@ class StackSimulator : public trace::TraceSink
                             uint32_t block_bytes = 64);
 
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
 
     /** Close the current segment and start the next. */
     void markSegment();

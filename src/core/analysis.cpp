@@ -31,11 +31,20 @@ PhaseAnalysis::analyzeWorkload(const workloads::Workload &workload,
                                const AnalysisConfig &config)
 {
     auto input = workload.trainInput();
+    AnalysisConfig cfg = config;
+    if (cfg.detector.sampler.addressSpaceElements == 0) {
+        // Reserve-ahead hint: the addressed footprint bounds the
+        // distinct-element count the sampler's reuse stack will see.
+        uint64_t elements = 0;
+        for (const auto &a : workload.arrays(input))
+            elements += a.elements;
+        cfg.detector.sampler.addressSpaceElements = elements;
+    }
     return analyze(
         [&workload, input](trace::TraceSink &sink) {
             workload.run(input, sink);
         },
-        config);
+        cfg);
 }
 
 } // namespace lpp::core

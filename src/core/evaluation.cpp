@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 #include "trace/recorder.hpp"
+#include "workloads/registry.hpp"
 
 namespace lpp::core {
 
@@ -146,6 +148,19 @@ evaluateWorkload(const workloads::Workload &workload,
     return ev;
 }
 
+std::vector<WorkloadEvaluation>
+evaluateWorkloads(const std::vector<std::string> &names,
+                  const AnalysisConfig &config)
+{
+    ParallelRunner runner;
+    return runner.mapIndexed(names.size(), [&](size_t i) {
+        auto w = workloads::create(names[i]);
+        LPP_REQUIRE(w != nullptr, "unknown workload '%s'",
+                    names[i].c_str());
+        return evaluateWorkload(*w, config);
+    });
+}
+
 namespace {
 
 /** Cuts fixed-size units, driving a stack simulator and a BBV. */
@@ -172,6 +187,27 @@ class IntervalDriver : public trace::TraceSink
             sim.markSegment();
             bbv.finalizeInterval();
             inUnit = 0;
+        }
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        // Feed the simulator whole sub-batches up to each unit
+        // boundary; boundary handling is identical to per-access
+        // delivery because unit cuts depend only on access counts.
+        while (n > 0) {
+            uint64_t room = unitAccesses - inUnit;
+            size_t take = n < room ? n : static_cast<size_t>(room);
+            sim.onAccessBatch(addrs, take);
+            inUnit += take;
+            addrs += take;
+            n -= take;
+            if (inUnit >= unitAccesses) {
+                sim.markSegment();
+                bbv.finalizeInterval();
+                inUnit = 0;
+            }
         }
     }
 
@@ -208,6 +244,21 @@ class PhaseIntervalDriver : public trace::TraceSink
         sim.onAccess(addr);
         if (++inUnit >= unitAccesses)
             closeUnit();
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        while (n > 0) {
+            uint64_t room = unitAccesses - inUnit;
+            size_t take = n < room ? n : static_cast<size_t>(room);
+            sim.onAccessBatch(addrs, take);
+            inUnit += take;
+            addrs += take;
+            n -= take;
+            if (inUnit >= unitAccesses)
+                closeUnit();
+        }
     }
 
     void

@@ -80,6 +80,17 @@ WorkloadEvaluation
 evaluateWorkload(const workloads::Workload &workload,
                  const AnalysisConfig &config = {});
 
+/**
+ * Evaluate many workloads (by registry name) with the same config,
+ * fanning the per-workload pipelines across the shared thread pool.
+ * Results come back in the order of `names`, and every field is
+ * bit-identical to calling evaluateWorkload serially on each name:
+ * the jobs share no state and are merged by submission index.
+ */
+std::vector<WorkloadEvaluation>
+evaluateWorkloads(const std::vector<std::string> &names,
+                  const AnalysisConfig &config = {});
+
 /** Aligned per-interval locality and BBV profile of one run. */
 struct IntervalProfile
 {

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic fan-out of independent analysis jobs.
+ *
+ * Every experiment driver evaluates a grid of (workload × configuration)
+ * cells whose cells share nothing; ParallelRunner runs such grids on the
+ * shared thread pool and returns results indexed by submission order.
+ * Because each job is a pure function of its inputs and merging is by
+ * index, the output is bit-identical to running the jobs serially — the
+ * determinism tests assert exactly this.
+ */
+
+#ifndef LPP_CORE_PARALLEL_HPP
+#define LPP_CORE_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace lpp::core {
+
+/** Runs batches of independent jobs, merging in submission order. */
+class ParallelRunner
+{
+  public:
+    /** @param pool_ worker pool; defaults to the process-wide pool. */
+    explicit ParallelRunner(
+        support::ThreadPool &pool_ = support::ThreadPool::shared())
+        : pool(pool_)
+    {
+    }
+
+    /** @return the parallelism of the underlying pool. */
+    size_t threadCount() const { return pool.threadCount(); }
+
+    /**
+     * Run every job on the pool and collect the results in submission
+     * order. Jobs must be independent (no shared mutable state) and
+     * must not fan out onto the same pool and wait (the workers would
+     * deadlock waiting on themselves). An exception thrown by a job is
+     * rethrown from here.
+     */
+    template <typename Job>
+    auto
+    run(std::vector<Job> jobs)
+        -> std::vector<std::invoke_result_t<Job &>>
+    {
+        using Result = std::invoke_result_t<Job &>;
+        std::vector<std::future<Result>> futures;
+        futures.reserve(jobs.size());
+        for (auto &job : jobs) {
+            auto task = std::make_shared<std::packaged_task<Result()>>(
+                std::move(job));
+            futures.push_back(task->get_future());
+            pool.submit([task] { (*task)(); });
+        }
+        std::vector<Result> results;
+        results.reserve(futures.size());
+        for (auto &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
+    /**
+     * Map `fn` over index range [0, n), in parallel, results in index
+     * order.
+     */
+    template <typename Fn>
+    auto
+    mapIndexed(size_t n, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, size_t>>
+    {
+        using Result = std::invoke_result_t<Fn &, size_t>;
+        std::vector<std::function<Result()>> jobs;
+        jobs.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            jobs.emplace_back([fn, i] { return fn(i); });
+        return run(std::move(jobs));
+    }
+
+  private:
+    support::ThreadPool &pool;
+};
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_PARALLEL_HPP

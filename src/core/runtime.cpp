@@ -30,6 +30,13 @@ ExecutionCollector::onAccess(trace::Addr addr)
 }
 
 void
+ExecutionCollector::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    accessClock += n;
+    sim.onAccessBatch(addrs, n);
+}
+
+void
 ExecutionCollector::closeExecution(uint64_t end_instr,
                                    uint64_t end_access)
 {

@@ -65,6 +65,7 @@ class ExecutionCollector : public trace::TraceSink
 
     void onBlock(trace::BlockId block, uint32_t instructions) override;
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
     void onPhaseMarker(trace::PhaseId phase) override;
     void onEnd() override;
 

@@ -1,8 +1,8 @@
 #include "phase/detector.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "support/flat_map.hpp"
 #include "support/logging.hpp"
 #include "trace/recorder.hpp"
 
@@ -18,11 +18,19 @@ class PrecountSink : public trace::TraceSink
     onAccess(trace::Addr addr) override
     {
         ++accesses;
-        elements.insert(trace::toElement(addr));
+        elements.insert(trace::toElement(addr), 0);
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        accesses += n;
+        for (size_t i = 0; i < n; ++i)
+            elements.insert(trace::toElement(addrs[i]), 0);
     }
 
     uint64_t accesses = 0;
-    std::unordered_set<uint64_t> elements;
+    support::FlatMap<uint8_t> elements; //!< used as a set
 };
 
 } // namespace
@@ -44,6 +52,8 @@ PhaseDetector::analyze(const Runner &run) const
         PrecountSink pre;
         run(pre);
         scfg.expectedAccesses = pre.accesses;
+        if (scfg.addressSpaceElements == 0)
+            scfg.addressSpaceElements = pre.elements.size();
         if (cfg.autoThresholds && !pre.elements.empty()) {
             auto threshold = std::max<uint64_t>(
                 16, static_cast<uint64_t>(

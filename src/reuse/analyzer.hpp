@@ -32,12 +32,27 @@ class ReuseAnalyzer : public trace::TraceSink
   public:
     ReuseAnalyzer() = default;
 
+    /**
+     * @param element_hint expected distinct element count (a workload's
+     *        address-space size); pre-sizes the reuse stack
+     */
+    explicit ReuseAnalyzer(uint64_t element_hint)
+    {
+        if (element_hint > 0)
+            stack.reserveElements(element_hint);
+    }
+
     void
     onAccess(trace::Addr addr) override
     {
-        uint64_t d = stack.access(trace::toElement(addr));
-        whole.add(d);
-        current.add(d);
+        step(addr);
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            step(addrs[i]);
     }
 
     /** Close the current segment and start the next. */
@@ -71,6 +86,14 @@ class ReuseAnalyzer : public trace::TraceSink
     uint64_t accessCount() const { return stack.accessCount(); }
 
   private:
+    void
+    step(trace::Addr addr)
+    {
+        uint64_t d = stack.access(trace::toElement(addr));
+        whole.add(d);
+        current.add(d);
+    }
+
     ReuseStack stack;
     LogHistogram whole;
     LogHistogram current;

@@ -13,6 +13,15 @@ VariableDistanceSampler::VariableDistanceSampler(SamplerConfig cfg)
       spatial(cfg.initialSpatial),
       nextCheck(cfg.checkInterval)
 {
+    if (cfg.addressSpaceElements > 0)
+        stack.reserveElements(cfg.addressSpaceElements);
+}
+
+void
+VariableDistanceSampler::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        VariableDistanceSampler::onAccess(addrs[i]);
 }
 
 bool

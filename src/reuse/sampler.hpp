@@ -55,6 +55,13 @@ struct SamplerConfig
     uint64_t maxDataSamples = 4096;
 
     /**
+     * Expected distinct-element count (the workload's address-space
+     * size; 0 means unknown). Pre-sizes the internal reuse stack so
+     * the hot path never rehashes or compacts during warm-up.
+     */
+    uint64_t addressSpaceElements = 0;
+
+    /**
      * Feedback never lowers the thresholds below these floors. The
      * detector sets them to the workload-derived initial values so
      * count-driven feedback cannot push the thresholds into the range
@@ -100,6 +107,7 @@ class VariableDistanceSampler : public trace::TraceSink
     explicit VariableDistanceSampler(SamplerConfig cfg = {});
 
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
 
     /** @return the per-datum samples, in promotion order. */
     const std::vector<DataSample> &samples() const { return data; }

@@ -1,6 +1,7 @@
 #include "reuse/stack.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/logging.hpp"
 
@@ -11,6 +12,15 @@ ReuseStack::ReuseStack(size_t capacity_hint)
 {
 }
 
+void
+ReuseStack::reserveElements(size_t elements)
+{
+    lastTime.reserve(elements);
+    size_t want = 2 * elements + 64;
+    if (now == 0 && liveMarks == 0 && want > tree.size())
+        tree = FenwickTree(want);
+}
+
 uint64_t
 ReuseStack::access(uint64_t element)
 {
@@ -19,17 +29,17 @@ ReuseStack::access(uint64_t element)
 
     ++accesses;
     uint64_t dist = infinite;
-    auto it = lastTime.find(element);
-    if (it != lastTime.end()) {
-        uint64_t prev = it->second;
+    uint64_t *slot = lastTime.find(element);
+    if (slot) {
+        uint64_t prev = *slot;
         // Distinct elements touched strictly after prev: marks in
         // (prev, now). The mark at prev is this element's own.
         dist = liveMarks - tree.prefix(prev);
         tree.add(prev, -1);
         --liveMarks;
-        it->second = now;
+        *slot = now;
     } else {
-        lastTime.emplace(element, now);
+        lastTime.insert(element, now);
     }
     tree.add(now, +1);
     ++liveMarks;
@@ -44,8 +54,9 @@ ReuseStack::compact()
     // tree at >= 2D so the next compaction is at least D accesses away.
     std::vector<std::pair<uint64_t, uint64_t>> order; // (time, element)
     order.reserve(lastTime.size());
-    for (const auto &kv : lastTime)
-        order.emplace_back(kv.second, kv.first);
+    lastTime.forEach([&order](uint64_t element, uint64_t time) {
+        order.emplace_back(time, element);
+    });
     std::sort(order.begin(), order.end());
 
     size_t want = std::max<size_t>(64, 2 * order.size() + 64);
@@ -53,7 +64,7 @@ ReuseStack::compact()
     liveMarks = 0;
     now = 0;
     for (auto &te : order) {
-        lastTime[te.second] = now;
+        *lastTime.find(te.second) = now;
         tree.add(now, +1);
         ++liveMarks;
         ++now;

@@ -10,6 +10,11 @@
  * Fenwick tree over time slots, with periodic slot compaction so memory
  * stays proportional to the number of distinct elements rather than the
  * trace length.
+ *
+ * The last-access table is the per-access hot probe; it uses the flat
+ * robin-hood map (support/flat_map.hpp) instead of std::unordered_map so
+ * a lookup is one array walk instead of a bucket pointer chase, and it
+ * can be reserved ahead from a workload's address-space size.
  */
 
 #ifndef LPP_REUSE_STACK_HPP
@@ -17,14 +22,20 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
+
+#include "support/flat_map.hpp"
 
 namespace lpp::reuse {
 
 /**
  * Fenwick (binary indexed) tree over {0,1} slot occupancy supporting
  * point update and prefix-sum query in O(log n).
+ *
+ * Nodes are 64-bit: a node's count is bounded by the number of live
+ * marks, which equals the number of distinct elements seen — a
+ * billion-access trace over a wide address space would overflow 32-bit
+ * node counts near the root.
  */
 class FenwickTree
 {
@@ -37,7 +48,7 @@ class FenwickTree
     add(size_t i, int delta)
     {
         for (size_t k = i + 1; k < tree.size(); k += k & (~k + 1))
-            tree[k] += static_cast<uint32_t>(delta);
+            tree[k] += static_cast<uint64_t>(static_cast<int64_t>(delta));
     }
 
     /** @return sum of slots [0, i]. */
@@ -54,7 +65,7 @@ class FenwickTree
     size_t size() const { return tree.size() - 1; }
 
   private:
-    std::vector<uint32_t> tree;
+    std::vector<uint64_t> tree;
 };
 
 /**
@@ -76,6 +87,14 @@ class ReuseStack
     explicit ReuseStack(size_t capacity_hint = 1u << 16);
 
     /**
+     * Pre-size for a trace touching about `elements` distinct elements
+     * (typically a workload's address-space size). Reserves the
+     * last-access table and, while no history exists yet, widens the
+     * time axis so the first compactions are pushed past the warm-up.
+     */
+    void reserveElements(size_t elements);
+
+    /**
      * Record an access to `element`.
      * @return its reuse distance, or `infinite` if never seen before.
      */
@@ -94,7 +113,7 @@ class ReuseStack
     void compact();
 
     FenwickTree tree;
-    std::unordered_map<uint64_t, uint64_t> lastTime;
+    support::FlatMap<uint64_t> lastTime;
     uint64_t now = 0;
     uint64_t accesses = 0;
     uint64_t liveMarks = 0;

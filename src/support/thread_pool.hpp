@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared-queue thread pool for fanning independent analysis jobs across
+ * cores.
+ *
+ * The pool is deliberately simple: one mutex-protected FIFO feeding N
+ * worker threads. Analysis jobs (one full workload evaluation, one
+ * detector configuration, one trace shard) run for milliseconds to
+ * seconds, so queue contention is irrelevant next to job cost and a
+ * work-stealing deque would buy nothing. Determinism is the caller's
+ * contract: jobs must not share mutable state, and callers collect
+ * results by submission index (see core::ParallelRunner), so the output
+ * is bit-identical to running the same jobs serially.
+ */
+
+#ifndef LPP_SUPPORT_THREAD_POOL_HPP
+#define LPP_SUPPORT_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lpp::support {
+
+/** Fixed-size worker pool over one shared FIFO queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means configuredThreads()
+     */
+    explicit ThreadPool(size_t threads = 0);
+
+    /** Drains every queued job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job. Thread-safe. */
+    void submit(std::function<void()> job);
+
+    /** @return number of worker threads. */
+    size_t threadCount() const { return workers.size(); }
+
+    /**
+     * The configured parallelism: the LPP_THREADS environment variable
+     * when set to a positive integer, otherwise the hardware
+     * concurrency (at least 1).
+     */
+    static size_t configuredThreads();
+
+    /** Process-wide pool shared by all analysis fan-outs. */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+};
+
+} // namespace lpp::support
+
+#endif // LPP_SUPPORT_THREAD_POOL_HPP

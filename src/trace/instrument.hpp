@@ -75,6 +75,12 @@ class Instrumenter : public TraceSink
     void onAccess(Addr addr) override { out.onAccess(addr); }
 
     void
+    onAccessBatch(const Addr *addrs, size_t n) override
+    {
+        out.onAccessBatch(addrs, n);
+    }
+
+    void
     onManualMarker(uint32_t marker_id) override
     {
         out.onManualMarker(marker_id);
@@ -112,6 +118,12 @@ class MarkerFiringRecorder : public TraceSink
     }
 
     void onAccess(Addr) override { ++accessClock; }
+
+    void
+    onAccessBatch(const Addr *, size_t n) override
+    {
+        accessClock += n;
+    }
 
     void
     onPhaseMarker(PhaseId phase) override

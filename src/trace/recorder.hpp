@@ -23,6 +23,12 @@ class AccessRecorder : public TraceSink
   public:
     void onAccess(Addr addr) override { addrs.push_back(addr); }
 
+    void
+    onAccessBatch(const Addr *batch, size_t n) override
+    {
+        addrs.insert(addrs.end(), batch, batch + n);
+    }
+
     /** @return the recorded address sequence. */
     const std::vector<Addr> &accesses() const { return addrs; }
 
@@ -53,6 +59,12 @@ class BlockRecorder : public TraceSink
     void onBlock(BlockId block, uint32_t instructions) override;
     void onAccess(Addr) override { ++accessClock; }
 
+    void
+    onAccessBatch(const Addr *, size_t n) override
+    {
+        accessClock += n;
+    }
+
     /** @return the recorded block event sequence. */
     const std::vector<BlockEvent> &events() const { return blockEvents; }
 
@@ -76,6 +88,12 @@ class ManualMarkerRecorder : public TraceSink
 {
   public:
     void onAccess(Addr) override { ++accessClock; }
+
+    void
+    onAccessBatch(const Addr *, size_t n) override
+    {
+        accessClock += n;
+    }
 
     void
     onManualMarker(uint32_t marker_id) override

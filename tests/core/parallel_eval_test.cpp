@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Determinism contract of the parallel evaluation sweep: for every
+ * registered workload, core::evaluateWorkloads must return results
+ * field-identical to serial core::evaluateWorkload, independent of
+ * thread count and scheduling.
+ */
+
+#include "core/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workloads/registry.hpp"
+
+namespace {
+
+using lpp::core::GranularityRow;
+using lpp::core::WorkloadEvaluation;
+
+void
+expectSameRow(const GranularityRow &a, const GranularityRow &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.leafExecutions, b.leafExecutions) << what;
+    EXPECT_EQ(a.execLengthM, b.execLengthM) << what;
+    EXPECT_EQ(a.avgLeafSizeM, b.avgLeafSizeM) << what;
+    EXPECT_EQ(a.avgLargestCompositeM, b.avgLargestCompositeM) << what;
+}
+
+void
+expectSameEvaluation(const WorkloadEvaluation &serial,
+                     const WorkloadEvaluation &parallel)
+{
+    const std::string &n = serial.name;
+    EXPECT_EQ(serial.name, parallel.name);
+    EXPECT_EQ(serial.metrics.strictAccuracy, parallel.metrics.strictAccuracy)
+        << n;
+    EXPECT_EQ(serial.metrics.strictCoverage, parallel.metrics.strictCoverage)
+        << n;
+    EXPECT_EQ(serial.metrics.relaxedAccuracy,
+              parallel.metrics.relaxedAccuracy)
+        << n;
+    EXPECT_EQ(serial.metrics.relaxedCoverage,
+              parallel.metrics.relaxedCoverage)
+        << n;
+    expectSameRow(serial.detectionRow, parallel.detectionRow,
+                  n + " detection row");
+    expectSameRow(serial.predictionRow, parallel.predictionRow,
+                  n + " prediction row");
+    EXPECT_EQ(serial.localityStddev, parallel.localityStddev) << n;
+    EXPECT_EQ(serial.trainOverlap.recall, parallel.trainOverlap.recall) << n;
+    EXPECT_EQ(serial.trainOverlap.precision, parallel.trainOverlap.precision)
+        << n;
+    EXPECT_EQ(serial.refOverlap.recall, parallel.refOverlap.recall) << n;
+    EXPECT_EQ(serial.refOverlap.precision, parallel.refOverlap.precision)
+        << n;
+    EXPECT_EQ(serial.train.replay.sequence(), parallel.train.replay.sequence())
+        << n;
+    EXPECT_EQ(serial.ref.replay.sequence(), parallel.ref.replay.sequence())
+        << n;
+    EXPECT_EQ(serial.train.manualTimes, parallel.train.manualTimes) << n;
+    EXPECT_EQ(serial.ref.manualTimes, parallel.ref.manualTimes) << n;
+}
+
+TEST(ParallelEvaluation, MatchesSerialForEveryWorkload)
+{
+    auto names = lpp::workloads::allNames();
+    ASSERT_FALSE(names.empty());
+
+    std::vector<WorkloadEvaluation> serial;
+    for (const auto &name : names) {
+        auto w = lpp::workloads::create(name);
+        ASSERT_NE(w, nullptr) << name;
+        serial.push_back(lpp::core::evaluateWorkload(*w));
+    }
+
+    auto parallel = lpp::core::evaluateWorkloads(names);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        expectSameEvaluation(serial[i], parallel[i]);
+}
+
+TEST(ParallelEvaluation, ResultOrderFollowsNameOrder)
+{
+    auto names = lpp::workloads::allNames();
+    // Reverse the request order: results must follow it exactly.
+    std::vector<std::string> reversed(names.rbegin(), names.rend());
+    auto evals = lpp::core::evaluateWorkloads(reversed);
+    ASSERT_EQ(evals.size(), reversed.size());
+    for (size_t i = 0; i < evals.size(); ++i)
+        EXPECT_EQ(evals[i].name, reversed[i]);
+}
+
+} // namespace

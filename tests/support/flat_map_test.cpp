@@ -1,0 +1,196 @@
+#include "support/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace {
+
+using lpp::support::FlatMap;
+
+TEST(FlatMap, EmptyFindsNothing)
+{
+    FlatMap<uint64_t> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.find(42), nullptr);
+    EXPECT_FALSE(map.erase(42));
+}
+
+TEST(FlatMap, InsertFindRoundTrip)
+{
+    FlatMap<uint64_t> map;
+    for (uint64_t k = 0; k < 1000; ++k)
+        map.insert(k * 7, k);
+    EXPECT_EQ(map.size(), 1000u);
+    for (uint64_t k = 0; k < 1000; ++k) {
+        auto *v = map.find(k * 7);
+        ASSERT_NE(v, nullptr) << "key " << k * 7;
+        EXPECT_EQ(*v, k);
+    }
+    EXPECT_EQ(map.find(3), nullptr);
+}
+
+TEST(FlatMap, InsertIsFirstWriterWins)
+{
+    FlatMap<uint64_t> map;
+    EXPECT_EQ(*map.insert(5, 10), 10u);
+    EXPECT_EQ(*map.insert(5, 99), 10u); // already present: kept
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(*map.assign(5, 99), 99u); // assign overwrites
+    EXPECT_EQ(*map.find(5), 99u);
+}
+
+TEST(FlatMap, SubscriptDefaultInserts)
+{
+    FlatMap<uint64_t> map;
+    map[7] = 70;
+    EXPECT_EQ(map[7], 70u);
+    EXPECT_EQ(map[8], 0u); // default constructed
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, GrowthPreservesContents)
+{
+    FlatMap<uint64_t> map; // starts at minimal capacity, grows many times
+    constexpr uint64_t n = 100000;
+    for (uint64_t k = 0; k < n; ++k)
+        map.insert(k * k + 1, k);
+    EXPECT_EQ(map.size(), n);
+    for (uint64_t k = 0; k < n; ++k) {
+        auto *v = map.find(k * k + 1);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, k);
+    }
+}
+
+TEST(FlatMap, CollidingKeysAllSurvive)
+{
+    // Keys chosen so many share low hash bits after mixing is
+    // irrelevant: use a tiny table (reserve forces capacity >= 16) and
+    // enough keys that long displaced runs must form.
+    FlatMap<uint64_t> map;
+    std::vector<uint64_t> keys;
+    for (uint64_t k = 0; k < 64; ++k)
+        keys.push_back(k << 32); // sparse keys, dense table
+    for (uint64_t k : keys)
+        map.insert(k, ~k);
+    for (uint64_t k : keys) {
+        auto *v = map.find(k);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, ~k);
+    }
+}
+
+TEST(FlatMap, EraseBackwardShiftKeepsProbes)
+{
+    FlatMap<uint64_t> map;
+    for (uint64_t k = 0; k < 500; ++k)
+        map.insert(k, k);
+    // Erase every third key; the rest must stay findable.
+    for (uint64_t k = 0; k < 500; k += 3)
+        EXPECT_TRUE(map.erase(k));
+    for (uint64_t k = 0; k < 500; ++k) {
+        if (k % 3 == 0) {
+            EXPECT_EQ(map.find(k), nullptr);
+        } else {
+            auto *v = map.find(k);
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, k);
+        }
+    }
+    EXPECT_EQ(map.size(), 500u - (500u + 2) / 3);
+}
+
+TEST(FlatMap, EraseThenReinsert)
+{
+    FlatMap<uint64_t> map;
+    map.insert(1, 10);
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_EQ(map.find(1), nullptr);
+    map.insert(1, 20);
+    EXPECT_EQ(*map.find(1), 20u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, ClearRetainsCapacity)
+{
+    FlatMap<uint64_t> map;
+    for (uint64_t k = 0; k < 100; ++k)
+        map.insert(k, k);
+    size_t cap = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(5), nullptr);
+    map.insert(5, 50);
+    EXPECT_EQ(*map.find(5), 50u);
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<uint64_t> map;
+    map.reserve(10000);
+    size_t cap = map.capacity();
+    for (uint64_t k = 0; k < 10000; ++k)
+        map.insert(k * 13 + 1, k);
+    EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatMap<uint64_t> map;
+    for (uint64_t k = 0; k < 200; ++k)
+        map.insert(k + 1000, k);
+    std::unordered_map<uint64_t, uint64_t> seen;
+    map.forEach([&seen](uint64_t k, uint64_t v) { ++seen[k]; (void)v; });
+    EXPECT_EQ(seen.size(), 200u);
+    for (const auto &kv : seen)
+        EXPECT_EQ(kv.second, 1u) << "key " << kv.first;
+}
+
+TEST(FlatMap, RandomizedAgainstUnorderedMap)
+{
+    FlatMap<uint64_t> map;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    lpp::Rng rng(321);
+    for (int op = 0; op < 200000; ++op) {
+        uint64_t key = rng.below(5000);
+        switch (rng.below(3)) {
+        case 0: {
+            uint64_t val = rng.below(1u << 30);
+            map.assign(key, val);
+            ref[key] = val;
+            break;
+        }
+        case 1: {
+            EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+            break;
+        }
+        default: {
+            auto *v = map.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr);
+            } else {
+                ASSERT_NE(v, nullptr);
+                EXPECT_EQ(*v, it->second);
+            }
+        }
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+    // Final full cross-check.
+    map.forEach([&ref](uint64_t k, uint64_t v) {
+        auto it = ref.find(k);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(v, it->second);
+    });
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/parallel.hpp"
+
+namespace {
+
+using lpp::core::ParallelRunner;
+using lpp::support::ThreadPool;
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.threadCount(), 4u);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { ++counter; });
+        // Destructor drains the queue and joins.
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&counter] { ++counter; });
+    }
+    EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ConfiguredThreadsHonorsEnv)
+{
+    ASSERT_EQ(setenv("LPP_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::configuredThreads(), 3u);
+    ASSERT_EQ(setenv("LPP_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+    ASSERT_EQ(setenv("LPP_THREADS", "0", 1), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+    ASSERT_EQ(unsetenv("LPP_THREADS"), 0);
+    EXPECT_GE(ThreadPool::configuredThreads(), 1u);
+}
+
+TEST(ParallelRunner, ResultsComeBackInSubmissionOrder)
+{
+    ThreadPool pool(4);
+    ParallelRunner runner(pool);
+    auto results = runner.mapIndexed(
+        257, [](size_t i) { return i * i; });
+    ASSERT_EQ(results.size(), 257u);
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelRunner, MatchesSerialReduction)
+{
+    ThreadPool pool(8);
+    ParallelRunner runner(pool);
+    auto results = runner.mapIndexed(1000, [](size_t i) {
+        // A little work per job so jobs overlap in flight.
+        uint64_t h = i + 1;
+        for (int r = 0; r < 1000; ++r)
+            h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        return h;
+    });
+    uint64_t serial = 0;
+    for (size_t i = 0; i < 1000; ++i) {
+        uint64_t h = i + 1;
+        for (int r = 0; r < 1000; ++r)
+            h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+        serial += h;
+    }
+    uint64_t parallel =
+        std::accumulate(results.begin(), results.end(), uint64_t{0});
+    EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelRunner, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    ParallelRunner runner(pool);
+    EXPECT_THROW(runner.mapIndexed(8,
+                                   [](size_t i) -> int {
+                                       if (i == 5)
+                                           throw std::runtime_error("job");
+                                       return 0;
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(ParallelRunner, SharedPoolWorks)
+{
+    ParallelRunner runner; // process-wide pool
+    EXPECT_GE(runner.threadCount(), 1u);
+    auto results =
+        runner.mapIndexed(16, [](size_t i) { return i + 1; });
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(results[i], i + 1);
+}
+
+} // namespace

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * onAccessBatch contract tests: batched delivery must be observably
+ * identical to per-access delivery for every sink, and the batching
+ * Emitter must preserve the exact event order around non-access events.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.hpp"
+#include "cache/stack_sim.hpp"
+#include "core/evaluation.hpp"
+#include "reuse/analyzer.hpp"
+#include "support/random.hpp"
+#include "trace/instrument.hpp"
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using lpp::trace::Addr;
+
+std::vector<Addr>
+randomTrace(size_t n, uint64_t span, uint64_t seed)
+{
+    lpp::Rng rng(seed);
+    std::vector<Addr> addrs(n);
+    for (auto &a : addrs)
+        a = rng.below(span) * 8;
+    return addrs;
+}
+
+/** Deliver `addrs` in batches of irregular sizes. */
+void
+deliverBatched(lpp::trace::TraceSink &sink, const std::vector<Addr> &addrs)
+{
+    static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+    size_t i = 0, s = 0;
+    while (i < addrs.size()) {
+        size_t take = std::min(sizes[s % 8], addrs.size() - i);
+        sink.onAccessBatch(addrs.data() + i, take);
+        i += take;
+        ++s;
+    }
+    sink.onEnd();
+}
+
+void
+deliverSingly(lpp::trace::TraceSink &sink, const std::vector<Addr> &addrs)
+{
+    for (Addr a : addrs)
+        sink.onAccess(a);
+    sink.onEnd();
+}
+
+testing::AssertionResult
+sameHistogram(const lpp::LogHistogram &a, const lpp::LogHistogram &b)
+{
+    if (a.total() != b.total() ||
+        a.infiniteCount() != b.infiniteCount() ||
+        a.binCount() != b.binCount())
+        return testing::AssertionFailure() << "histogram shape differs";
+    for (size_t i = 0; i < a.binCount(); ++i)
+        if (a.binValue(i) != b.binValue(i))
+            return testing::AssertionFailure()
+                   << "bin " << i << ": " << a.binValue(i)
+                   << " != " << b.binValue(i);
+    return testing::AssertionSuccess();
+}
+
+TEST(AccessBatch, ReuseAnalyzerEquivalence)
+{
+    auto addrs = randomTrace(50000, 4096, 1);
+    lpp::reuse::ReuseAnalyzer one, batched;
+    deliverSingly(one, addrs);
+    deliverBatched(batched, addrs);
+    EXPECT_EQ(one.accessCount(), batched.accessCount());
+    EXPECT_EQ(one.distinctElements(), batched.distinctElements());
+    EXPECT_TRUE(sameHistogram(one.histogram(), batched.histogram()));
+}
+
+TEST(AccessBatch, ReuseAnalyzerHintedEquivalence)
+{
+    auto addrs = randomTrace(50000, 4096, 2);
+    lpp::reuse::ReuseAnalyzer plain, hinted(4096);
+    deliverSingly(plain, addrs);
+    deliverBatched(hinted, addrs);
+    EXPECT_TRUE(sameHistogram(plain.histogram(), hinted.histogram()));
+}
+
+TEST(AccessBatch, StackSimulatorEquivalence)
+{
+    auto addrs = randomTrace(60000, 1 << 16, 3);
+    lpp::cache::StackSimulator one, batched;
+    deliverSingly(one, addrs);
+    deliverBatched(batched, addrs);
+    auto t1 = one.total(), t2 = batched.total();
+    EXPECT_EQ(t1.accesses, t2.accesses);
+    EXPECT_EQ(t1.misses, t2.misses);
+}
+
+TEST(AccessBatch, LruCacheEquivalence)
+{
+    auto addrs = randomTrace(60000, 1 << 16, 4);
+    lpp::cache::LruCache one, batched;
+    deliverSingly(one, addrs);
+    deliverBatched(batched, addrs);
+    EXPECT_EQ(one.accesses(), batched.accesses());
+    EXPECT_EQ(one.misses(), batched.misses());
+}
+
+TEST(AccessBatch, ClockAndRecorderEquivalence)
+{
+    auto addrs = randomTrace(10000, 256, 5);
+    lpp::trace::ClockSink clock;
+    lpp::trace::AccessRecorder rec;
+    lpp::trace::FanoutSink fan;
+    fan.attach(&clock);
+    fan.attach(&rec);
+    deliverBatched(fan, addrs);
+    EXPECT_EQ(clock.accesses(), addrs.size());
+    EXPECT_EQ(rec.accesses(), addrs);
+}
+
+TEST(AccessBatch, DefaultImplementationForwardsInOrder)
+{
+    // A sink that only overrides onAccess must see the identical
+    // per-access stream through the batch default.
+    class Collect : public lpp::trace::TraceSink
+    {
+      public:
+        void onAccess(Addr a) override { seen.push_back(a); }
+        std::vector<Addr> seen;
+    };
+    auto addrs = randomTrace(5000, 64, 6);
+    Collect c;
+    deliverBatched(c, addrs);
+    EXPECT_EQ(c.seen, addrs);
+}
+
+TEST(AccessBatch, InstrumenterForwardsBatches)
+{
+    lpp::trace::MarkerTable table;
+    table.set(42, 7);
+    lpp::trace::MarkerFiringRecorder rec;
+    lpp::trace::Instrumenter inst(table, rec);
+    auto addrs = randomTrace(1000, 64, 7);
+    inst.onAccessBatch(addrs.data(), addrs.size());
+    inst.onBlock(42, 10);
+    inst.onEnd();
+    ASSERT_EQ(rec.firings().size(), 1u);
+    EXPECT_EQ(rec.firings()[0].accessTime, addrs.size());
+    EXPECT_EQ(rec.totalAccesses(), addrs.size());
+}
+
+/** Records the full event sequence for order comparisons. */
+class EventLog : public lpp::trace::TraceSink
+{
+  public:
+    void
+    onBlock(lpp::trace::BlockId b, uint32_t instrs) override
+    {
+        log.push_back("B" + std::to_string(b) + ":" +
+                      std::to_string(instrs));
+    }
+
+    void
+    onAccess(Addr a) override
+    {
+        log.push_back("A" + std::to_string(a));
+    }
+
+    void
+    onManualMarker(uint32_t id) override
+    {
+        log.push_back("M" + std::to_string(id));
+    }
+
+    void onEnd() override { log.push_back("E"); }
+
+    std::vector<std::string> log;
+};
+
+TEST(AccessBatch, EmitterPreservesEventOrder)
+{
+    // The emitter buffers accesses but must flush before every
+    // non-access event, so the observed sequence equals unbuffered
+    // emission.
+    lpp::workloads::ArrayInfo arr{"A", 0x1000, 1 << 20, 8};
+
+    EventLog buffered;
+    {
+        lpp::workloads::Emitter e(buffered);
+        e.block(1, 10);
+        e.touch(arr, 0);
+        e.touch(arr, 1);
+        e.block(2, 20);
+        e.touch(arr, 2);
+        e.marker(9);
+        // A run long enough to force a capacity flush mid-stream.
+        for (uint64_t i = 0; i < 3 * lpp::workloads::Emitter::batchCapacity;
+             ++i)
+            e.touch(arr, i);
+        e.end();
+    }
+
+    EventLog direct;
+    direct.onBlock(1, 10);
+    direct.onAccess(arr.at(0));
+    direct.onAccess(arr.at(1));
+    direct.onBlock(2, 20);
+    direct.onAccess(arr.at(2));
+    direct.onManualMarker(9);
+    for (uint64_t i = 0; i < 3 * lpp::workloads::Emitter::batchCapacity;
+         ++i)
+        direct.onAccess(arr.at(i));
+    direct.onEnd();
+
+    EXPECT_EQ(buffered.log, direct.log);
+}
+
+TEST(AccessBatch, EmitterDestructorFlushes)
+{
+    lpp::workloads::ArrayInfo arr{"A", 0, 64, 8};
+    EventLog log;
+    {
+        lpp::workloads::Emitter e(log);
+        e.touch(arr, 5);
+        // No end(): destructor must still deliver the buffered access.
+    }
+    ASSERT_EQ(log.log.size(), 1u);
+    EXPECT_EQ(log.log[0], "A40");
+}
+
+TEST(AccessBatch, WorkloadRunsIdenticallyThroughEmitter)
+{
+    // End-to-end: a real workload driven twice must produce the same
+    // event stream (batching is internal and must not be observable).
+    auto w = lpp::workloads::create("compress");
+    ASSERT_NE(w, nullptr);
+    auto in = w->trainInput();
+    EventLog a, b;
+    w->run(in, a);
+    w->run(in, b);
+    EXPECT_EQ(a.log, b.log);
+    EXPECT_GT(a.log.size(), 1000u);
+}
+
+TEST(AccessBatch, IntervalProfileEquivalence)
+{
+    // collectIntervals cuts units on access counts; batch delivery with
+    // awkward sizes must cut at the same points.
+    auto addrs = randomTrace(25000, 1 << 12, 8);
+    auto runSingly = [&](lpp::trace::TraceSink &s) {
+        for (Addr a : addrs)
+            s.onAccess(a);
+        s.onEnd();
+    };
+    auto runBatched = [&](lpp::trace::TraceSink &s) {
+        deliverBatched(s, addrs);
+    };
+    auto p1 = lpp::core::collectIntervals(runSingly, 1000);
+    auto p2 = lpp::core::collectIntervals(runBatched, 1000);
+    ASSERT_EQ(p1.units.size(), p2.units.size());
+    for (size_t i = 0; i < p1.units.size(); ++i) {
+        EXPECT_EQ(p1.units[i].accesses, p2.units[i].accesses);
+        EXPECT_EQ(p1.units[i].misses, p2.units[i].misses);
+    }
+}
+
+} // namespace
