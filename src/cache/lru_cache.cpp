@@ -27,6 +27,8 @@ LruCache::access(trace::Addr addr)
     size_t set = static_cast<size_t>(block & setMask);
     uint64_t tag = block >> std::countr_zero(cfg.sets);
 
+    LPP_DCHECK((set + 1) * cfg.ways <= tags.size(),
+               "set %zu outside tag store of %zu lines", set, tags.size());
     uint64_t *line = &tags[set * cfg.ways];
     for (uint32_t i = 0; i < cfg.ways; ++i) {
         if (line[i] == tag) {

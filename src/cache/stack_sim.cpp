@@ -50,6 +50,9 @@ StackSimulator::onAccess(trace::Addr addr)
     size_t set = static_cast<size_t>(block & setMask);
     uint64_t tag = block >> setIndexBits;
 
+    LPP_DCHECK((set + 1) * simWays <= stacks.size(),
+               "set %zu outside stack store of %zu entries", set,
+               stacks.size());
     uint64_t *stack = &stacks[set * simWays];
     uint32_t depth = simWays; // not found: miss at every associativity
     for (uint32_t i = 0; i < simWays; ++i) {

@@ -8,19 +8,28 @@
  * Because each job is a pure function of its inputs and merging is by
  * index, the output is bit-identical to running the jobs serially — the
  * determinism tests assert exactly this.
+ *
+ * Completion tracking is a mutex-guarded counter annotated for clang's
+ * thread-safety analysis; result and error slots need no lock because
+ * each job owns exactly one slot and the completion barrier orders the
+ * slot writes before the caller's reads.
  */
 
 #ifndef LPP_CORE_PARALLEL_HPP
 #define LPP_CORE_PARALLEL_HPP
 
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <future>
-#include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "support/logging.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 
 namespace lpp::core {
@@ -41,10 +50,10 @@ class ParallelRunner
 
     /**
      * Run every job on the pool and collect the results in submission
-     * order. Jobs must be independent (no shared mutable state) and
-     * must not fan out onto the same pool and wait (the workers would
-     * deadlock waiting on themselves). An exception thrown by a job is
-     * rethrown from here.
+     * order. Jobs must be independent (no shared mutable state). An
+     * exception thrown by a job is rethrown here (first failing job in
+     * submission order). Calling from a worker of the same pool would
+     * deadlock waiting on itself and is rejected.
      */
     template <typename Job>
     auto
@@ -52,18 +61,63 @@ class ParallelRunner
         -> std::vector<std::invoke_result_t<Job &>>
     {
         using Result = std::invoke_result_t<Job &>;
-        std::vector<std::future<Result>> futures;
-        futures.reserve(jobs.size());
-        for (auto &job : jobs) {
-            auto task = std::make_shared<std::packaged_task<Result()>>(
-                std::move(job));
-            futures.push_back(task->get_future());
-            pool.submit([task] { (*task)(); });
-        }
+        const size_t n = jobs.size();
         std::vector<Result> results;
-        results.reserve(futures.size());
-        for (auto &f : futures)
-            results.push_back(f.get());
+        if (n == 0)
+            return results;
+        LPP_REQUIRE(!pool.onWorkerThread(),
+                    "ParallelRunner::run called from a worker of its own "
+                    "pool; the wait below would deadlock");
+
+        struct Slot
+        {
+            std::optional<Result> value;
+            std::exception_ptr error;
+        };
+        struct Sync
+        {
+            support::Mutex mtx;
+            std::condition_variable_any cv;
+            size_t remaining LPP_GUARDED_BY(mtx) = 0;
+        };
+        std::vector<Slot> slots(n);
+        Sync sync;
+        {
+            support::MutexLock lock(sync.mtx);
+            sync.remaining = n;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            // The job list and slots outlive the barrier below, so the
+            // submitted closures borrow rather than own.
+            Job *job = &jobs[i];
+            Slot *slot = &slots[i];
+            Sync *sy = &sync;
+            pool.submit([job, slot, sy] {
+                try {
+                    slot->value.emplace((*job)());
+                } catch (...) {
+                    slot->error = std::current_exception();
+                }
+                support::MutexLock lock(sy->mtx);
+                --sy->remaining;
+                // Notify while holding the lock: the caller may destroy
+                // Sync the instant it observes remaining == 0, so the
+                // cv must not be touched after the unlock.
+                if (sy->remaining == 0)
+                    sy->cv.notify_one();
+            });
+        }
+        {
+            support::MutexLock lock(sync.mtx);
+            while (sync.remaining > 0)
+                sync.cv.wait(sync.mtx);
+        }
+        for (auto &slot : slots)
+            if (slot.error)
+                std::rethrow_exception(slot.error);
+        results.reserve(n);
+        for (auto &slot : slots)
+            results.push_back(std::move(*slot.value));
         return results;
     }
 

@@ -196,8 +196,10 @@ Sequitur::expand(SymIdx s)
 void
 Sequitur::append(uint32_t terminal)
 {
-    LPP_REQUIRE((terminal & ruleFlag) == 0, "terminal %u too large",
-                terminal);
+    // Per-symbol hot path: debug-only. Terminals come from internal
+    // phase IDs, never from user input.
+    LPP_DCHECK((terminal & ruleFlag) == 0, "terminal %u too large",
+               terminal);
     SymIdx sym = newSymbol(terminal);
     insertAfter(last(0), sym);
     if (!isGuard(pool[sym].prev))

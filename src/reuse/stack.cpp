@@ -28,12 +28,21 @@ ReuseStack::access(uint64_t element)
         compact();
 
     ++accesses;
+    LPP_DCHECK(now < tree.size(),
+               "time %llu outside tree of %zu after compaction",
+               static_cast<unsigned long long>(now), tree.size());
     uint64_t dist = infinite;
     uint64_t *slot = lastTime.find(element);
     if (slot) {
         uint64_t prev = *slot;
+        LPP_DCHECK(prev < now, "last-access time %llu not before now %llu",
+                   static_cast<unsigned long long>(prev),
+                   static_cast<unsigned long long>(now));
         // Distinct elements touched strictly after prev: marks in
         // (prev, now). The mark at prev is this element's own.
+        LPP_DCHECK(tree.prefix(prev) <= liveMarks,
+                   "mark count underflow at time %llu",
+                   static_cast<unsigned long long>(prev));
         dist = liveMarks - tree.prefix(prev);
         tree.add(prev, -1);
         --liveMarks;

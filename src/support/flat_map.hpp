@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/logging.hpp"
+
 namespace lpp::support {
 
 /** Avalanching finalizer (splitmix64) — spreads sequential keys. */
@@ -124,6 +126,7 @@ class FlatMap
         size_t i = findIndex(key);
         if (i == kNotFound)
             return false;
+        LPP_DCHECK(count > 0, "erase from an empty table");
         size_t mask = slots.size() - 1;
         size_t next = (i + 1) & mask;
         // Shift the displaced run left by one until a home slot (or an
@@ -191,6 +194,10 @@ class FlatMap
     Value *
     place(uint64_t key, Value value, bool overwrite)
     {
+        LPP_DCHECK(!slots.empty() && (slots.size() & (slots.size() - 1)) == 0,
+                   "table size %zu not a power of two", slots.size());
+        LPP_DCHECK(count < slots.size(),
+                   "placing into a full table of %zu", slots.size());
         size_t mask = slots.size() - 1;
         size_t i = mixHash(key) & mask;
         uint8_t d = 0;

@@ -45,7 +45,10 @@ bool isVerbose();
 
 /**
  * Assert-like macro that survives NDEBUG builds. Use for invariants whose
- * violation means the analysis result would be silently wrong.
+ * violation means the analysis result would be silently wrong: validating
+ * user-supplied configuration and inputs, and cross-module contracts that
+ * are cheap relative to the work they guard. Not for per-access/per-element
+ * hot loops — use LPP_DCHECK there.
  */
 #define LPP_REQUIRE(cond, fmt, ...)                                         \
     do {                                                                    \
@@ -54,5 +57,23 @@ bool isVerbose();
                          __FILE__, __LINE__, ##__VA_ARGS__);                \
         }                                                                   \
     } while (0)
+
+/**
+ * Debug-only invariant check, compiled out under NDEBUG. Use on per-access
+ * and per-element hot paths (reuse stack, cache simulators, flat map) where
+ * an always-on LPP_REQUIRE would tax release throughput. The condition is
+ * not evaluated in release builds; it must be side-effect free. Defining
+ * LPP_FORCE_DCHECKS (CMake option LPP_DCHECKS, on in the sanitizer
+ * presets) re-enables the checks in NDEBUG builds so the sanitizer matrix
+ * exercises them.
+ */
+#if defined(NDEBUG) && !defined(LPP_FORCE_DCHECKS)
+#define LPP_DCHECK(cond, fmt, ...)                                          \
+    do {                                                                    \
+        (void)sizeof(!(cond));                                              \
+    } while (0)
+#else
+#define LPP_DCHECK(cond, fmt, ...) LPP_REQUIRE(cond, fmt, ##__VA_ARGS__)
+#endif
 
 #endif // LPP_SUPPORT_LOGGING_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Annotated mutex wrapper for the thread-safety analysis.
+ *
+ * std::mutex from libstdc++ carries no capability attribute, so clang's
+ * -Wthread-safety cannot see it being locked and would flag every
+ * access to a LPP_GUARDED_BY member as unprotected. Mutex wraps a
+ * std::mutex and declares the capability; MutexLock is the annotated
+ * scoped lock. Waiting uses std::condition_variable_any, which accepts
+ * any BasicLockable — pass the Mutex itself.
+ */
+
+#ifndef LPP_SUPPORT_MUTEX_HPP
+#define LPP_SUPPORT_MUTEX_HPP
+
+#include <mutex>
+
+#include "support/thread_annotations.hpp"
+
+namespace lpp::support {
+
+/** std::mutex with a declared thread-safety capability. */
+class LPP_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() LPP_ACQUIRE() { m.lock(); }
+    void unlock() LPP_RELEASE() { m.unlock(); }
+    bool try_lock() LPP_TRY_ACQUIRE(true) { return m.try_lock(); }
+
+  private:
+    std::mutex m;
+};
+
+/** Scoped lock over Mutex, visible to the thread-safety analysis. */
+class LPP_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) LPP_ACQUIRE(m) : mu(m) { mu.lock(); }
+    ~MutexLock() LPP_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+} // namespace lpp::support
+
+#endif // LPP_SUPPORT_MUTEX_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Clang thread-safety-analysis capability macros.
+ *
+ * These wrap the clang `-Wthread-safety` attributes so shared state can
+ * declare, in the type system, which lock protects it and which lock a
+ * function needs. Under clang the annotations are enforced at compile
+ * time (tools/check.sh builds with -Wthread-safety -Werror when clang
+ * is available); under other compilers they expand to nothing, so they
+ * are pure documentation with zero cost. Use them with the annotated
+ * support::Mutex (mutex.hpp) — a raw std::mutex carries no capability,
+ * so the analysis cannot see it being locked.
+ */
+
+#ifndef LPP_SUPPORT_THREAD_ANNOTATIONS_HPP
+#define LPP_SUPPORT_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__)
+#define LPP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LPP_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex class). */
+#define LPP_CAPABILITY(x) LPP_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define LPP_SCOPED_CAPABILITY LPP_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define LPP_GUARDED_BY(x) LPP_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is protected by `x`. */
+#define LPP_PT_GUARDED_BY(x) LPP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function callable only while holding the listed capabilities. */
+#define LPP_REQUIRES(...) \
+    LPP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function callable only while NOT holding the listed capabilities. */
+#define LPP_EXCLUDES(...) LPP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the listed capabilities and does not release them. */
+#define LPP_ACQUIRE(...) \
+    LPP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define LPP_RELEASE(...) \
+    LPP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function conditionally acquires; `b` is the success return value. */
+#define LPP_TRY_ACQUIRE(b, ...) \
+    LPP_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/** Function returns a reference to the capability guarding it. */
+#define LPP_RETURN_CAPABILITY(x) LPP_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: suppress the analysis for one function. */
+#define LPP_NO_THREAD_SAFETY_ANALYSIS \
+    LPP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // LPP_SUPPORT_THREAD_ANNOTATIONS_HPP

@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -17,7 +18,7 @@ ThreadPool::ThreadPool(size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         stopping = true;
     }
     cv.notify_all();
@@ -29,10 +30,20 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     {
-        std::lock_guard<std::mutex> lock(mtx);
+        MutexLock lock(mtx);
         queue.push_back(std::move(job));
     }
     cv.notify_one();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    auto self = std::this_thread::get_id();
+    return std::any_of(workers.begin(), workers.end(),
+                       [self](const std::thread &w) {
+                           return w.get_id() == self;
+                       });
 }
 
 void
@@ -41,8 +52,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> job;
         {
-            std::unique_lock<std::mutex> lock(mtx);
-            cv.wait(lock, [this] { return stopping || !queue.empty(); });
+            MutexLock lock(mtx);
+            while (!stopping && queue.empty())
+                cv.wait(mtx);
             if (queue.empty())
                 return; // stopping and drained
             job = std::move(queue.front());

@@ -11,6 +11,10 @@
  * contract: jobs must not share mutable state, and callers collect
  * results by submission index (see core::ParallelRunner), so the output
  * is bit-identical to running the same jobs serially.
+ *
+ * All queue state is annotated for clang's thread-safety analysis
+ * (support/thread_annotations.hpp); tools/check.sh compiles with
+ * -Wthread-safety -Werror when clang is available.
  */
 
 #ifndef LPP_SUPPORT_THREAD_POOL_HPP
@@ -20,9 +24,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace lpp::support {
 
@@ -42,10 +48,17 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue one job. Thread-safe. */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) LPP_EXCLUDES(mtx);
 
     /** @return number of worker threads. */
     size_t threadCount() const { return workers.size(); }
+
+    /**
+     * @return whether the calling thread is one of this pool's workers.
+     * Blocking on pool results from a worker of the same pool deadlocks;
+     * ParallelRunner rejects that with this predicate.
+     */
+    bool onWorkerThread() const;
 
     /**
      * The configured parallelism: the LPP_THREADS environment variable
@@ -60,11 +73,12 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::mutex mtx;
-    std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
+    Mutex mtx;
+    std::condition_variable_any cv;
+    std::deque<std::function<void()>> queue LPP_GUARDED_BY(mtx);
+    bool stopping LPP_GUARDED_BY(mtx) = false;
+    // Immutable after construction; readable without the lock.
     std::vector<std::thread> workers;
-    bool stopping = false;
 };
 
 } // namespace lpp::support

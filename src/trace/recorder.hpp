@@ -42,10 +42,10 @@ class AccessRecorder : public TraceSink
 /** One basic-block execution with its position on both logical clocks. */
 struct BlockEvent
 {
-    BlockId block;          //!< basic block identifier
-    uint32_t instructions;  //!< instructions retired by this execution
-    uint64_t accessTime;    //!< data accesses before this block ran
-    uint64_t instrTime;     //!< instructions retired before this block ran
+    BlockId block = 0;         //!< basic block identifier
+    uint32_t instructions = 0; //!< instructions retired by this execution
+    uint64_t accessTime = 0;   //!< data accesses before this block ran
+    uint64_t instrTime = 0;    //!< instructions retired before this run
 };
 
 /**

@@ -6,8 +6,14 @@
  * TraceSink::onAccessBatch, amortizing the per-access virtual dispatch
  * that dominated trace replay. Ordering is preserved exactly: the
  * buffer is flushed before any non-access event (block, marker, end),
- * so every sink observes the same event sequence as unbuffered
- * per-access delivery — batching is invisible except in cost.
+ * and the destructor flushes whatever remains, so a trace that stops
+ * mid-batch still delivers every access — batching is invisible except
+ * in cost.
+ *
+ * The emitter is a trace::BatchSource: when constructed directly over a
+ * trace::ValidatingSink it registers itself, so the validator can prove
+ * at every non-access event that nothing is still buffered (it catches
+ * producers that bypass the emitter and talk to the sink directly).
  */
 
 #ifndef LPP_WORKLOADS_EMITTER_HPP
@@ -17,12 +23,13 @@
 #include <vector>
 
 #include "trace/sink.hpp"
+#include "trace/validator.hpp"
 #include "workloads/address_space.hpp"
 
 namespace lpp::workloads {
 
 /** Thin sugar over a TraceSink for workload implementations. */
-class Emitter
+class Emitter : public trace::BatchSource
 {
   public:
     /** Addresses buffered before a forced flush. */
@@ -31,9 +38,19 @@ class Emitter
     explicit Emitter(trace::TraceSink &sink_) : sink(sink_)
     {
         buffer.reserve(batchCapacity);
+        if (auto *v = dynamic_cast<trace::ValidatingSink *>(&sink_)) {
+            v->watch(this);
+            validator = v;
+        }
     }
 
-    ~Emitter() { flush(); }
+    /** Flushes any tail accesses a workload buffered but never sent. */
+    ~Emitter() override
+    {
+        flush();
+        if (validator)
+            validator->unwatch(this);
+    }
 
     Emitter(const Emitter &) = delete;
     Emitter &operator=(const Emitter &) = delete;
@@ -89,8 +106,12 @@ class Emitter
         }
     }
 
+    /** @return accesses buffered but not yet delivered (BatchSource). */
+    size_t pendingAccesses() const override { return buffer.size(); }
+
   private:
     trace::TraceSink &sink;
+    trace::ValidatingSink *validator = nullptr;
     std::vector<trace::Addr> buffer;
 };
 

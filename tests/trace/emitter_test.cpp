@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Emitter lifetime tests: a trace that stops mid-batch must still
+ * deliver every buffered access (the destructor flushes), and the
+ * emitter's validator registration must come and go with its lifetime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/recorder.hpp"
+#include "trace/validator.hpp"
+#include "workloads/address_space.hpp"
+#include "workloads/emitter.hpp"
+
+namespace {
+
+using lpp::trace::AccessRecorder;
+using lpp::trace::ValidatingSink;
+using lpp::workloads::AddressSpace;
+using lpp::workloads::Emitter;
+
+TEST(Emitter, DestructorFlushesTailAccesses)
+{
+    AddressSpace as;
+    auto arr = as.allocate("a", 1024);
+    AccessRecorder rec;
+    {
+        Emitter e(rec);
+        // Fewer than batchCapacity accesses and no end(): the trace
+        // stops mid-batch.
+        for (uint64_t i = 0; i < 100; ++i)
+            e.touch(arr, i);
+        EXPECT_EQ(rec.accesses().size(), 0u) << "delivered too early";
+    }
+    ASSERT_EQ(rec.accesses().size(), 100u);
+    for (uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(rec.accesses()[i], arr.at(i));
+}
+
+TEST(Emitter, DestructorFlushCrossesBatchBoundary)
+{
+    AddressSpace as;
+    auto arr = as.allocate("a", 2 * Emitter::batchCapacity);
+    AccessRecorder rec;
+    {
+        Emitter e(rec);
+        // One full batch plus a partial tail.
+        for (uint64_t i = 0; i < Emitter::batchCapacity + 7; ++i)
+            e.touch(arr, i);
+    }
+    EXPECT_EQ(rec.accesses().size(), Emitter::batchCapacity + 7);
+}
+
+TEST(Emitter, EndedTraceLeavesNothingToFlush)
+{
+    AddressSpace as;
+    auto arr = as.allocate("a", 64);
+    AccessRecorder rec;
+    {
+        Emitter e(rec);
+        for (uint64_t i = 0; i < 10; ++i)
+            e.touch(arr, i);
+        e.end();
+        EXPECT_EQ(e.pendingAccesses(), 0u);
+    }
+    // The destructor added nothing after onEnd.
+    EXPECT_EQ(rec.accesses().size(), 10u);
+}
+
+TEST(Emitter, RegistersWithValidatorForItsLifetime)
+{
+    AddressSpace as;
+    auto arr = as.allocate("a", 64);
+    ValidatingSink v;
+    {
+        Emitter e(v);
+        e.touch(arr, 0);
+        EXPECT_EQ(e.pendingAccesses(), 1u);
+        // Destructor flushes the tail and unregisters.
+    }
+    // A direct event now sees no watched producer with pending data.
+    v.onBlock(1, 5);
+    v.onEnd();
+    EXPECT_TRUE(v.ok()) << v.reportText();
+}
+
+} // namespace

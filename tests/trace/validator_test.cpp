@@ -1,0 +1,245 @@
+/**
+ * @file
+ * ValidatingSink contract tests: each violation class is caught by a
+ * seeded bad stream, clean streams (including every workload end to
+ * end) report zero violations, and the decorator forwards the stream
+ * unmodified.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "trace/recorder.hpp"
+#include "trace/sink.hpp"
+#include "trace/validator.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using lpp::trace::Addr;
+using lpp::trace::BlockId;
+using lpp::trace::ValidatingSink;
+using lpp::trace::ValidatorConfig;
+using Kind = ValidatingSink::Kind;
+
+TEST(ValidatingSink, CleanStreamReportsOk)
+{
+    ValidatingSink v;
+    v.onBlock(1, 10);
+    Addr batch[] = {8, 16, 24};
+    v.onAccessBatch(batch, 3);
+    v.onAccess(32);
+    v.onManualMarker(1);
+    v.onEnd();
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(v.totalViolations(), 0u);
+    EXPECT_EQ(v.eventsSeen(), 5u);
+    EXPECT_TRUE(v.ended());
+}
+
+TEST(ValidatingSink, CatchesUnflushedBatchBeforeBlock)
+{
+    ValidatingSink v;
+    lpp::workloads::AddressSpace as;
+    auto arr = as.allocate("a", 64);
+    // The emitter registers itself with the validator it feeds.
+    lpp::workloads::Emitter e(v);
+    e.touch(arr, 0);
+    e.touch(arr, 1);
+    // Buggy producer: talks to the sink directly while the emitter
+    // still buffers two accesses.
+    v.onBlock(1, 10);
+    EXPECT_FALSE(v.ok());
+    EXPECT_EQ(v.countOf(Kind::UnflushedBatch), 1u);
+    ASSERT_EQ(v.violations().size(), 1u);
+    EXPECT_EQ(v.violations()[0].kind, Kind::UnflushedBatch);
+
+    // The emitter's own block() flushes first: no new violation.
+    e.block(2, 10);
+    EXPECT_EQ(v.countOf(Kind::UnflushedBatch), 1u);
+    e.end();
+}
+
+TEST(ValidatingSink, CatchesUnflushedBatchBeforeMarkerAndEnd)
+{
+    ValidatingSink v;
+    lpp::workloads::AddressSpace as;
+    auto arr = as.allocate("a", 64);
+    lpp::workloads::Emitter e(v);
+    e.touch(arr, 0);
+    v.onManualMarker(7);
+    EXPECT_EQ(v.countOf(Kind::UnflushedBatch), 1u);
+    v.onEnd();
+    EXPECT_EQ(v.countOf(Kind::UnflushedBatch), 2u);
+    e.flush();
+}
+
+TEST(ValidatingSink, CatchesBlockOutOfRange)
+{
+    ValidatorConfig cfg;
+    cfg.blockLimit = 100;
+    ValidatingSink v(nullptr, cfg);
+    v.onBlock(99, 5);
+    EXPECT_TRUE(v.ok());
+    v.onBlock(100, 5);
+    EXPECT_EQ(v.countOf(Kind::BlockOutOfRange), 1u);
+    v.onEnd();
+    EXPECT_EQ(v.totalViolations(), 1u);
+}
+
+TEST(ValidatingSink, CatchesInstructionsOutOfRange)
+{
+    ValidatorConfig cfg;
+    cfg.minBlockInstructions = 1;
+    cfg.maxBlockInstructions = 1000;
+    ValidatingSink v(nullptr, cfg);
+    v.onBlock(1, 0); // below the band
+    EXPECT_EQ(v.countOf(Kind::InstructionsOutOfRange), 1u);
+    v.onBlock(1, 1001); // above the band
+    EXPECT_EQ(v.countOf(Kind::InstructionsOutOfRange), 2u);
+    v.onBlock(1, 1000); // at the edge: fine
+    EXPECT_EQ(v.countOf(Kind::InstructionsOutOfRange), 2u);
+}
+
+TEST(ValidatingSink, CatchesAddressOutOfRange)
+{
+    ValidatingSink v;
+    v.allowRange(0x1000, 0x2000);
+    v.allowRange(0x8000, 0x9000);
+    v.onAccess(0x1000);
+    v.onAccess(0x1fff);
+    v.onAccess(0x8123);
+    EXPECT_TRUE(v.ok());
+    v.onAccess(0x2000); // one past the first range
+    EXPECT_EQ(v.countOf(Kind::AddressOutOfRange), 1u);
+    v.onAccess(0xfff); // one before the first range
+    EXPECT_EQ(v.countOf(Kind::AddressOutOfRange), 2u);
+    Addr batch[] = {0x8000, 0x9000, 0x1800};
+    v.onAccessBatch(batch, 3); // middle element out of range
+    EXPECT_EQ(v.countOf(Kind::AddressOutOfRange), 3u);
+}
+
+TEST(ValidatingSink, NoRangesMeansEveryAddressAllowed)
+{
+    ValidatingSink v;
+    v.onAccess(0);
+    v.onAccess(~Addr{0});
+    EXPECT_TRUE(v.ok());
+}
+
+TEST(ValidatingSink, CatchesEventsAfterEnd)
+{
+    ValidatingSink v;
+    v.onEnd();
+    v.onAccess(8);
+    EXPECT_EQ(v.countOf(Kind::EventAfterEnd), 1u);
+    v.onBlock(1, 5);
+    EXPECT_EQ(v.countOf(Kind::EventAfterEnd), 2u);
+    Addr batch[] = {8};
+    v.onAccessBatch(batch, 1);
+    EXPECT_EQ(v.countOf(Kind::EventAfterEnd), 3u);
+    v.onManualMarker(1);
+    EXPECT_EQ(v.countOf(Kind::EventAfterEnd), 4u);
+}
+
+TEST(ValidatingSink, CatchesDoubleEnd)
+{
+    ValidatingSink v;
+    v.onEnd();
+    v.onEnd();
+    EXPECT_EQ(v.countOf(Kind::DoubleEnd), 1u);
+    EXPECT_EQ(v.totalViolations(), 1u);
+}
+
+TEST(ValidatingSink, DoubleEndIsNotForwardedDownstream)
+{
+    // Downstream sinks may treat onEnd as terminal; the validator
+    // absorbs the duplicate.
+    struct EndCounter : lpp::trace::TraceSink
+    {
+        int ends = 0;
+        void onEnd() override { ++ends; }
+    } down;
+    ValidatingSink v(&down);
+    v.onEnd();
+    v.onEnd();
+    EXPECT_EQ(down.ends, 1);
+}
+
+TEST(ValidatingSink, ForwardsTheStreamUnmodified)
+{
+    lpp::trace::AccessRecorder direct;
+    lpp::trace::AccessRecorder validated;
+    ValidatingSink v(&validated);
+    std::vector<Addr> addrs = {8, 64, 8, 512, 40};
+    for (Addr a : addrs) {
+        direct.onAccess(a);
+        v.onAccess(a);
+    }
+    direct.onEnd();
+    v.onEnd();
+    EXPECT_EQ(validated.accesses(), direct.accesses());
+}
+
+TEST(ValidatingSink, RecordingIsBoundedButCountingIsNot)
+{
+    ValidatorConfig cfg;
+    cfg.maxRecorded = 4;
+    ValidatingSink v(nullptr, cfg);
+    v.onEnd();
+    for (int i = 0; i < 100; ++i)
+        v.onAccess(8);
+    EXPECT_EQ(v.totalViolations(), 100u);
+    EXPECT_EQ(v.violations().size(), 4u);
+    EXPECT_NE(v.reportText().find("96 more"), std::string::npos);
+}
+
+TEST(ValidatingSink, ReportTextNamesTheClause)
+{
+    ValidatorConfig cfg;
+    cfg.blockLimit = 10;
+    ValidatingSink v(nullptr, cfg);
+    v.onBlock(11, 5);
+    EXPECT_NE(v.reportText().find("block-out-of-range"),
+              std::string::npos);
+}
+
+/**
+ * End-to-end: every workload's training run, validated against the
+ * address space it declares and the block IDs it actually uses, must
+ * be contract-clean. Catches workloads touching undeclared memory,
+ * dropping flushes, or double-ending.
+ */
+TEST(ValidatingSink, AllWorkloadsRunContractClean)
+{
+    for (const auto &name : lpp::workloads::allNames()) {
+        auto w = lpp::workloads::create(name);
+        ASSERT_NE(w, nullptr) << name;
+        auto input = w->trainInput();
+
+        // Discovery run: the block IDs the workload actually emits.
+        lpp::trace::BlockRecorder blocks;
+        w->run(input, blocks);
+        BlockId max_block = 0;
+        for (const auto &ev : blocks.events())
+            max_block = std::max(max_block, ev.block);
+
+        ValidatorConfig cfg;
+        cfg.blockLimit = max_block + 1;
+        ValidatingSink v(nullptr, cfg);
+        for (const auto &arr : w->arrays(input))
+            v.allowRange(arr.base, arr.end());
+
+        w->run(input, v);
+        EXPECT_TRUE(v.ok()) << name << ": " << v.reportText();
+        EXPECT_TRUE(v.ended()) << name << " never called onEnd";
+        EXPECT_GT(v.eventsSeen(), 0u) << name;
+    }
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# The correctness gate. Runs, in order:
+#
+#   1. format      clang-format conformance            (skips w/o tool)
+#   2. build       -Werror build of the default preset
+#   3. tidy        clang-tidy over src/bench/tests     (skips w/o tool)
+#   4. tsa         clang -Wthread-safety -Werror build (skips w/o clang)
+#   5. tier1       tier-1 ctest suite, default preset
+#   6. asan-ubsan  build + tier-1 under Address+UBSan
+#   7. tsan        build + tier-1 under ThreadSanitizer
+#
+# Every step must pass (or be skipped for a missing optional tool) for
+# the gate to exit 0. Steps 6-7 build with LPP_DCHECKS=ON, so debug
+# invariants are exercised under the sanitizers.
+#
+#   LPP_CHECK_FAST=1   skip the sanitizer matrix (steps 6-7)
+#   LPP_CHECK_JOBS=N   build parallelism (default: nproc)
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${LPP_CHECK_JOBS:-$(nproc)}
+FAST=${LPP_CHECK_FAST:-0}
+failures=()
+skips=()
+
+note() { printf '\n=== check: %s ===\n' "$1"; }
+
+run_step() { # run_step <name> <command...>
+    local name=$1
+    shift
+    note "$name"
+    "$@"
+    local status=$?
+    if [ "$status" -eq 77 ]; then
+        skips+=("$name")
+    elif [ "$status" -ne 0 ]; then
+        failures+=("$name")
+    fi
+    return 0
+}
+
+step_format() { tools/format_check.sh; }
+
+step_build() {
+    cmake --preset default -DLPP_WERROR=ON >/dev/null &&
+        cmake --build build -j "$JOBS"
+}
+
+step_tidy() { LPP_BUILD_DIR=build tools/run_tidy.sh; }
+
+step_tsa() {
+    # Thread-safety annotations are enforced by clang only; gcc parses
+    # them to nothing (see src/support/thread_annotations.hpp).
+    if ! command -v clang++ >/dev/null 2>&1; then
+        echo "check: clang++ not found; skipping -Wthread-safety build" >&2
+        return 77
+    fi
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ -DLPP_WERROR=ON \
+        -DCMAKE_CXX_FLAGS=-Wthread-safety >/dev/null &&
+        cmake --build build-tsa -j "$JOBS"
+}
+
+step_tier1() { ctest --preset tier1 -j "$JOBS"; }
+
+step_sanitizer() { # step_sanitizer <preset>
+    local preset=$1
+    cmake --preset "$preset" >/dev/null &&
+        cmake --build --preset "$preset" -j "$JOBS" &&
+        ctest --preset "$preset" -j "$JOBS"
+}
+
+run_step format step_format
+run_step build step_build
+run_step tidy step_tidy
+run_step tsa step_tsa
+run_step tier1 step_tier1
+if [ "$FAST" != "1" ]; then
+    run_step asan-ubsan step_sanitizer asan-ubsan
+    run_step tsan step_sanitizer tsan
+else
+    skips+=("asan-ubsan" "tsan")
+fi
+
+note "summary"
+if [ "${#skips[@]}" -gt 0 ]; then
+    echo "skipped: ${skips[*]} (missing optional tooling)"
+fi
+if [ "${#failures[@]}" -gt 0 ]; then
+    echo "FAILED: ${failures[*]}"
+    exit 1
+fi
+echo "all checks passed"

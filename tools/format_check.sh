@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Verify that every tracked C++ source conforms to the committed
+# .clang-format. Exits 0 when clean, 1 on formatting differences, 77
+# ("skipped") when clang-format is unavailable — ctest and
+# tools/check.sh treat 77 as a skip, not a failure.
+#
+# Usage: tools/format_check.sh [--fix] [file...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP=77
+FIX=0
+if [ "${1:-}" = "--fix" ]; then
+    FIX=1
+    shift
+fi
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format_check: clang-format not found; skipping" >&2
+    exit "$SKIP"
+fi
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files '*.cpp' '*.hpp' '*.h')
+fi
+
+if [ "$FIX" -eq 1 ]; then
+    clang-format -i "${files[@]}"
+    echo "format_check: reformatted ${#files[@]} files"
+    exit 0
+fi
+
+if ! clang-format --dry-run -Werror "${files[@]}"; then
+    echo "format_check: formatting differences found" >&2
+    echo "format_check: run tools/format_check.sh --fix" >&2
+    exit 1
+fi
+echo "format_check: ${#files[@]} files clean"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library, bench, and test sources using the
+# compilation database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always on). Exits 0 when clean, 1 on any diagnostic (the committed
+# .clang-tidy promotes warnings to errors), 77 ("skipped") when
+# clang-tidy or the compilation database is unavailable — ctest and
+# tools/check.sh treat 77 as a skip, not a failure.
+#
+# Usage: tools/run_tidy.sh [file...]
+#   LPP_BUILD_DIR   build directory holding compile_commands.json
+#                   (default: build; configured automatically if absent)
+#   LPP_TIDY_JOBS   parallel clang-tidy processes (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP=77
+BUILD_DIR=${LPP_BUILD_DIR:-build}
+JOBS=${LPP_TIDY_JOBS:-$(nproc)}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_tidy: clang-tidy not found; skipping static analysis" >&2
+    exit "$SKIP"
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_tidy: configuring $BUILD_DIR for compile_commands.json" >&2
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "run_tidy: no compile_commands.json in $BUILD_DIR; skipping" >&2
+    exit "$SKIP"
+fi
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    # Library, bench, and test translation units; headers are covered
+    # through HeaderFilterRegex in .clang-tidy.
+    mapfile -t files < <(git ls-files 'src/**/*.cpp' 'bench/*.cpp' \
+                                      'tests/**/*.cpp')
+fi
+
+echo "run_tidy: checking ${#files[@]} files with $JOBS jobs"
+status=0
+printf '%s\n' "${files[@]}" |
+    xargs -P "$JOBS" -n 4 clang-tidy -p "$BUILD_DIR" --quiet || status=1
+
+if [ "$status" -ne 0 ]; then
+    echo "run_tidy: clang-tidy reported diagnostics" >&2
+    exit 1
+fi
+echo "run_tidy: clean"
