@@ -48,6 +48,7 @@ struct StageTimes
     double instrumentMs = 0.0;
     double evaluateMs = 0.0;
     double totalMs = 0.0;
+    uint64_t programExecutions = 0; //!< live runs the plan scheduled
 };
 
 /** Field-by-field equality of the evaluation outputs that benches print. */
@@ -74,6 +75,7 @@ sameEvaluation(const core::WorkloadEvaluation &a,
            a.trainOverlap.precision == b.trainOverlap.precision &&
            a.refOverlap.recall == b.refOverlap.recall &&
            a.refOverlap.precision == b.refOverlap.precision &&
+           a.programExecutions == b.programExecutions &&
            a.train.replay.sequence() == b.train.replay.sequence() &&
            a.ref.replay.sequence() == b.ref.replay.sequence();
 }
@@ -112,6 +114,7 @@ main()
 
         t0 = std::chrono::steady_clock::now();
         auto full = core::evaluateWorkload(*w);
+        st.programExecutions = full.programExecutions;
         st.totalMs = st.analysisMs + st.instrumentMs;
         st.evaluateMs = msSince(t0) - st.totalMs;
         if (st.evaluateMs < 0.0)
@@ -141,13 +144,15 @@ main()
 
     double speedup = parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
 
-    row("Workload", {"analysis", "instrum.", "evaluate", "total(ms)"},
-        10, 10);
+    row("Workload",
+        {"analysis", "instrum.", "evaluate", "total(ms)", "execs"}, 10,
+        10);
     rule();
     for (const auto &st : stages)
         row(st.name,
             {num(st.analysisMs, 1), num(st.instrumentMs, 1),
-             num(st.evaluateMs, 1), num(st.totalMs, 1)},
+             num(st.evaluateMs, 1), num(st.totalMs, 1),
+             std::to_string(st.programExecutions)},
             10, 10);
     rule();
     std::printf("serial sweep   %10.1f ms\n", serialMs);
@@ -167,7 +172,9 @@ main()
              << "\"analysis_ms\": " << num(st.analysisMs, 3) << ", "
              << "\"instrument_ms\": " << num(st.instrumentMs, 3) << ", "
              << "\"evaluate_ms\": " << num(st.evaluateMs, 3) << ", "
-             << "\"total_ms\": " << num(st.totalMs, 3) << "}"
+             << "\"total_ms\": " << num(st.totalMs, 3) << ", "
+             << "\"program_executions\": " << st.programExecutions
+             << "}"
              << (i + 1 < stages.size() ? "," : "") << "\n";
     }
     json << "  ],\n"

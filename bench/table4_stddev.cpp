@@ -6,8 +6,10 @@
  * RLE-Markov prediction over fixed intervals.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bbv/clustering.hpp"
@@ -71,32 +73,58 @@ main()
                   {"benchmark", "locality_phase", "bbv_clustering",
                    "bbv_markov_prediction"});
 
-    for (const auto &name : workloads::predictableNames()) {
-        auto w = workloads::create(name);
-        auto ev = core::evaluateWorkload(*w);
-
-        // BBV baseline over fixed intervals of the same prediction run
-        // (~50K accesses per interval, the scaled-down 10M-instruction
-        // window).
+    // One shared plan: each workload's evaluation plus the BBV interval
+    // baseline over the same prediction run (~50K accesses per
+    // interval, the scaled-down 10M-instruction window). The interval
+    // pass shares the evaluation's reference execution, so each
+    // workload costs three live runs instead of five.
+    auto names = workloads::predictableNames();
+    core::ExecutionPlan plan;
+    std::vector<core::WorkloadEvaluation> evals(names.size());
+    std::vector<core::IntervalProfile> profs(names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::shared_ptr<workloads::Workload> w =
+            workloads::create(names[i]);
+        auto nodes =
+            core::registerWorkloadEvaluation(plan, *w, {}, &evals[i]);
         auto ref_in = w->refInput();
-        auto prof = core::collectIntervals(
-            [&](trace::TraceSink &s) { w->run(ref_in, s); }, 50000);
+        core::registerIntervalProfile(
+            plan, core::workloadKey(*w, ref_in),
+            [wp = w.get(), ref_in](trace::TraceSink &s) {
+                wp->run(ref_in, s);
+            },
+            50000, 32, &profs[i], {nodes.analysisReady});
+        plan.retain(std::move(w));
+    }
+    plan.run();
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        evals[i].programExecutions =
+            plan.programExecutions(names[i] + "@");
 
         bbv::BbvClustering clustering(0.2);
-        auto clusters = clustering.assignAll(prof.bbvs);
-        double cluster_sd = groupedStddev(prof.units, clusters);
+        auto clusters = clustering.assignAll(profs[i].bbvs);
+        double cluster_sd = groupedStddev(profs[i].units, clusters);
 
         bbv::RleMarkovPredictor markov;
         auto predicted = markov.predictSequence(clusters);
-        double markov_sd = groupedStddev(prof.units, predicted);
+        double markov_sd = groupedStddev(profs[i].units, predicted);
 
-        row(name,
-            {sci(ev.localityStddev), sci(cluster_sd), sci(markov_sd)},
+        row(names[i],
+            {sci(evals[i].localityStddev), sci(cluster_sd),
+             sci(markov_sd)},
             10, 14);
-        csv.row({name, sci(ev.localityStddev), sci(cluster_sd),
+        csv.row({names[i], sci(evals[i].localityStddev), sci(cluster_sd),
                  sci(markov_sd)});
     }
     rule();
+    uint64_t live = plan.stats().programExecutions;
+    std::printf("\n%zu workloads in %llu live program executions "
+                "(%llu passes coalesced)\n",
+                names.size(),
+                static_cast<unsigned long long>(live),
+                static_cast<unsigned long long>(
+                    plan.stats().coalescedPasses));
     std::printf("\nPaper shape: locality-phase std-dev is orders of "
                 "magnitude below both BBV\ncolumns; Markov prediction "
                 "is worse than clustering.\n");

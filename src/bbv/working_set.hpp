@@ -73,6 +73,9 @@ class WorkingSetPhases : public trace::TraceSink
     void onBlock(trace::BlockId block, uint32_t instructions) override;
     void onEnd() override;
 
+    /** Data accesses carry no signal here; skip the per-access loop. */
+    void onAccessBatch(const trace::Addr *, size_t) override {}
+
     /** Force the current interval closed (for aligned comparisons). */
     void finalizeInterval();
 

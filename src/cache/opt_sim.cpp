@@ -24,6 +24,14 @@ OptSimulator::record(trace::Addr addr)
     blocks.push_back(addr / cfg.blockBytes);
 }
 
+void
+OptSimulator::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    blocks.reserve(blocks.size() + n);
+    for (size_t i = 0; i < n; ++i)
+        blocks.push_back(addrs[i] / cfg.blockBytes);
+}
+
 uint64_t
 OptSimulator::simulate() const
 {

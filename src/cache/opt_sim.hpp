@@ -35,6 +35,9 @@ class OptSimulator : public trace::TraceSink
     /** Record one access (sink interface). */
     void onAccess(trace::Addr addr) override { record(addr); }
 
+    /** Record a batch of accesses in one call. */
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
+
     /** Record one access. */
     void record(trace::Addr addr);
 

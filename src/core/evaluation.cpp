@@ -1,11 +1,15 @@
 #include "core/evaluation.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
-#include "core/parallel.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
+#include "trace/instrument.hpp"
+#include "trace/memory_trace.hpp"
 #include "trace/recorder.hpp"
 #include "workloads/registry.hpp"
 
@@ -102,49 +106,184 @@ granularity(const Replay &replay,
     return row;
 }
 
+namespace {
+
+/**
+ * Mutable state of one registered workload evaluation: the stage sinks
+ * live here so sink factories can build them lazily (after their
+ * dependencies completed) and steps can read them afterwards. Owned by
+ * the plan via retain().
+ */
+struct EvalJob
+{
+    const workloads::Workload *workload = nullptr;
+    phase::PhaseDetector detector;
+    workloads::WorkloadInput trainIn, refIn;
+
+    phase::PrecountSink precount;
+    bool usedPrecount = false;
+    std::optional<reuse::VariableDistanceSampler> sampler;
+    trace::BlockRecorder blocks;
+    trace::MemoryTrace trainLog;
+
+    ExecutionCollector trainCollector, refCollector;
+    trace::ManualMarkerRecorder trainManual, refManual;
+    trace::FanoutSink trainFan, refFan;
+    std::optional<trace::Instrumenter> trainInst, refInst;
+
+    WorkloadEvaluation *out = nullptr;
+};
+
+} // namespace
+
+WorkloadEvaluationNodes
+registerWorkloadEvaluation(ExecutionPlan &plan,
+                           const workloads::Workload &workload,
+                           const AnalysisConfig &config,
+                           WorkloadEvaluation *out)
+{
+    auto job = std::make_shared<EvalJob>();
+    plan.retain(job);
+    EvalJob *j = job.get();
+
+    j->workload = &workload;
+    j->trainIn = workload.trainInput();
+    j->refIn = workload.refInput();
+    j->out = out;
+    out->name = workload.name();
+
+    // Same configuration adjustment the serial path applies: the
+    // addressed footprint bounds the sampler's distinct-element count.
+    AnalysisConfig cfg = config;
+    if (cfg.detector.sampler.addressSpaceElements == 0) {
+        uint64_t elements = 0;
+        for (const auto &a : workload.arrays(j->trainIn))
+            elements += a.elements;
+        cfg.detector.sampler.addressSpaceElements = elements;
+    }
+    j->detector = phase::PhaseDetector(cfg.detector);
+
+    const std::string train_key = workloadKey(workload, j->trainIn);
+    const std::string ref_key = workloadKey(workload, j->refIn);
+    auto train_runner = [j](trace::TraceSink &sink) {
+        j->workload->run(j->trainIn, sink);
+    };
+
+    // Stage 0: precount execution (train), when configured.
+    std::vector<ExecutionPlan::NodeId> after_precount;
+    if (j->detector.needsPrecount()) {
+        j->usedPrecount = true;
+        after_precount.push_back(plan.addPass(
+            train_key, train_runner, [j] { return &j->precount; }));
+    }
+
+    // Stage 1: one coalesced training execution feeding the sampler,
+    // the block recorder, and the stream recording for the later
+    // instrumented replay.
+    auto sampler_pass = plan.addPass(
+        train_key, train_runner,
+        [j]() -> trace::TraceSink * {
+            auto stats = j->precount.stats();
+            j->sampler.emplace(j->detector.samplingConfig(
+                j->usedPrecount ? &stats : nullptr));
+            return &*j->sampler;
+        },
+        after_precount);
+    auto blocks_pass = plan.addPass(
+        train_key, train_runner, [j] { return &j->blocks; },
+        after_precount);
+    auto record_pass = plan.addPass(
+        train_key, train_runner, [j] { return &j->trainLog; },
+        after_precount);
+
+    // Stage 2: detection finish + hierarchy (pure computation).
+    auto analysis_ready = plan.addStep(
+        [j] {
+            j->out->analysis.detection =
+                j->detector.finish(*j->sampler, j->blocks);
+            j->out->analysis.hierarchy =
+                grammar::PhaseHierarchy::fromSequence(
+                    j->out->analysis.detection.selection.sequence());
+        },
+        {sampler_pass, blocks_pass, record_pass});
+
+    // Stage 3: instrumented runs. The training side replays the
+    // recorded sampling stream (no live execution); the reference side
+    // is a live run. Each wraps its own instrumenter so the raw
+    // streams stay shareable.
+    auto train_replay = plan.addPass(
+        train_key, [j](trace::TraceSink &sink) { j->trainLog.replay(sink); },
+        [j]() -> trace::TraceSink * {
+            j->trainFan.attach(&j->trainCollector);
+            j->trainFan.attach(&j->trainManual);
+            j->trainInst.emplace(j->out->analysis.detection.selection.table,
+                                 j->trainFan);
+            return &*j->trainInst;
+        },
+        {analysis_ready}, {.replay = true});
+    auto ref_run = plan.addPass(
+        ref_key, [j](trace::TraceSink &sink) {
+            j->workload->run(j->refIn, sink);
+        },
+        [j]() -> trace::TraceSink * {
+            j->refFan.attach(&j->refCollector);
+            j->refFan.attach(&j->refManual);
+            j->refInst.emplace(j->out->analysis.detection.selection.table,
+                               j->refFan);
+            return &*j->refInst;
+        },
+        {analysis_ready});
+
+    // Stage 4: assemble the evaluation; the recording is no longer
+    // needed, so release its memory.
+    auto done = plan.addStep(
+        [j] {
+            WorkloadEvaluation &ev = *j->out;
+            ev.train.replay = j->trainCollector.replay();
+            ev.train.manualTimes = j->trainManual.times();
+            ev.ref.replay = j->refCollector.replay();
+            ev.ref.manualTimes = j->refManual.times();
+
+            ev.metrics = evaluatePrediction(ev.ref.replay,
+                                            ev.analysis.consistentPhases());
+
+            auto train_hier = grammar::PhaseHierarchy::fromSequence(
+                ev.train.replay.sequence());
+            auto ref_hier = grammar::PhaseHierarchy::fromSequence(
+                ev.ref.replay.sequence());
+            ev.detectionRow = granularity(ev.train.replay, train_hier);
+            ev.predictionRow = granularity(ev.ref.replay, ref_hier);
+
+            ev.localityStddev = phaseLocalityStddev(ev.ref.replay);
+
+            auto auto_times = [](const Replay &r) {
+                std::vector<uint64_t> t;
+                t.reserve(r.executions.size());
+                for (const auto &e : r.executions)
+                    t.push_back(e.startAccess);
+                return t;
+            };
+            ev.trainOverlap = markerOverlap(ev.train.manualTimes,
+                                            auto_times(ev.train.replay));
+            ev.refOverlap = markerOverlap(ev.ref.manualTimes,
+                                          auto_times(ev.ref.replay));
+            j->trainLog.clear();
+        },
+        {train_replay, ref_run});
+
+    return WorkloadEvaluationNodes{analysis_ready, done};
+}
+
 WorkloadEvaluation
 evaluateWorkload(const workloads::Workload &workload,
                  const AnalysisConfig &config)
 {
     WorkloadEvaluation ev;
-    ev.name = workload.name();
-    ev.analysis = PhaseAnalysis::analyzeWorkload(workload, config);
-
-    const trace::MarkerTable &table =
-        ev.analysis.detection.selection.table;
-    auto train_in = workload.trainInput();
-    auto ref_in = workload.refInput();
-
-    ev.train = runInstrumented(table, [&](trace::TraceSink &s) {
-        workload.run(train_in, s);
-    });
-    ev.ref = runInstrumented(table, [&](trace::TraceSink &s) {
-        workload.run(ref_in, s);
-    });
-
-    ev.metrics = evaluatePrediction(ev.ref.replay,
-                                    ev.analysis.consistentPhases());
-
-    auto train_hier = grammar::PhaseHierarchy::fromSequence(
-        ev.train.replay.sequence());
-    auto ref_hier = grammar::PhaseHierarchy::fromSequence(
-        ev.ref.replay.sequence());
-    ev.detectionRow = granularity(ev.train.replay, train_hier);
-    ev.predictionRow = granularity(ev.ref.replay, ref_hier);
-
-    ev.localityStddev = phaseLocalityStddev(ev.ref.replay);
-
-    auto auto_times = [](const Replay &r) {
-        std::vector<uint64_t> t;
-        t.reserve(r.executions.size());
-        for (const auto &e : r.executions)
-            t.push_back(e.startAccess);
-        return t;
-    };
-    ev.trainOverlap =
-        markerOverlap(ev.train.manualTimes, auto_times(ev.train.replay));
-    ev.refOverlap =
-        markerOverlap(ev.ref.manualTimes, auto_times(ev.ref.replay));
+    ExecutionPlan plan;
+    registerWorkloadEvaluation(plan, workload, config, &ev);
+    plan.run();
+    ev.programExecutions =
+        plan.programExecutions(workload.name() + "@");
     return ev;
 }
 
@@ -152,13 +291,21 @@ std::vector<WorkloadEvaluation>
 evaluateWorkloads(const std::vector<std::string> &names,
                   const AnalysisConfig &config)
 {
-    ParallelRunner runner;
-    return runner.mapIndexed(names.size(), [&](size_t i) {
-        auto w = workloads::create(names[i]);
+    std::vector<WorkloadEvaluation> results(names.size());
+    ExecutionPlan plan;
+    for (size_t i = 0; i < names.size(); ++i) {
+        std::shared_ptr<workloads::Workload> w =
+            workloads::create(names[i]);
         LPP_REQUIRE(w != nullptr, "unknown workload '%s'",
                     names[i].c_str());
-        return evaluateWorkload(*w, config);
-    });
+        plan.retain(w);
+        registerWorkloadEvaluation(plan, *w, config, &results[i]);
+    }
+    plan.run();
+    for (size_t i = 0; i < names.size(); ++i)
+        results[i].programExecutions =
+            plan.programExecutions(results[i].name + "@");
+    return results;
 }
 
 namespace {
@@ -299,21 +446,78 @@ class PhaseIntervalDriver : public trace::TraceSink
 
 } // namespace
 
+ExecutionPlan::NodeId
+registerIntervalProfile(ExecutionPlan &plan, std::string key,
+                        std::function<void(trace::TraceSink &)> runner,
+                        uint64_t unit_accesses, size_t bbv_dims,
+                        IntervalProfile *out,
+                        std::vector<ExecutionPlan::NodeId> after)
+{
+    auto driver =
+        std::make_shared<IntervalDriver>(unit_accesses, bbv_dims);
+    plan.retain(driver);
+    IntervalDriver *d = driver.get();
+    auto pass = plan.addPass(std::move(key), std::move(runner),
+                             [d] { return d; }, std::move(after));
+    return plan.addStep(
+        [d, out] {
+            out->units = d->sim.segments();
+            out->bbvs = d->bbv.vectors();
+            // Block events after the last access can add a trailing
+            // BBV with no matching locality unit; align conservatively.
+            size_t n = std::min(out->units.size(), out->bbvs.size());
+            out->units.resize(n);
+            out->bbvs.resize(n);
+        },
+        {pass});
+}
+
 IntervalProfile
 collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
                  uint64_t unit_accesses, size_t bbv_dims)
 {
-    IntervalDriver driver(unit_accesses, bbv_dims);
-    runner(driver);
     IntervalProfile out;
-    out.units = driver.sim.segments();
-    out.bbvs = driver.bbv.vectors();
-    // Block events after the last access can add a trailing BBV with no
-    // matching locality unit; align conservatively.
-    size_t n = std::min(out.units.size(), out.bbvs.size());
-    out.units.resize(n);
-    out.bbvs.resize(n);
+    ExecutionPlan plan;
+    registerIntervalProfile(plan, "run@local", runner, unit_accesses,
+                            bbv_dims, &out);
+    plan.run();
     return out;
+}
+
+ExecutionPlan::NodeId
+registerPhaseIntervalProfile(ExecutionPlan &plan, std::string key,
+                             const trace::MarkerTable *table,
+                             std::function<void(trace::TraceSink &)> runner,
+                             uint64_t unit_accesses,
+                             PhaseIntervalProfile *out,
+                             std::vector<ExecutionPlan::NodeId> after)
+{
+    LPP_REQUIRE(table != nullptr, "marker table must be non-null");
+    struct Job
+    {
+        explicit Job(uint64_t unit) : driver(unit) {}
+        PhaseIntervalDriver driver;
+        std::optional<trace::Instrumenter> inst;
+    };
+    auto job = std::make_shared<Job>(unit_accesses);
+    plan.retain(job);
+    Job *jp = job.get();
+    auto pass = plan.addPass(
+        std::move(key), std::move(runner),
+        [jp, table]() -> trace::TraceSink * {
+            jp->inst.emplace(*table, jp->driver);
+            return &*jp->inst;
+        },
+        std::move(after));
+    return plan.addStep(
+        [jp, out] {
+            out->units = jp->driver.sim.segments();
+            out->keys = jp->driver.keys;
+            LPP_REQUIRE(out->units.size() == out->keys.size(),
+                        "unit/key mismatch: %zu vs %zu",
+                        out->units.size(), out->keys.size());
+        },
+        {pass});
 }
 
 PhaseIntervalProfile
@@ -322,15 +526,11 @@ collectPhaseIntervals(
     const std::function<void(trace::TraceSink &)> &runner,
     uint64_t unit_accesses)
 {
-    PhaseIntervalDriver driver(unit_accesses);
-    trace::Instrumenter inst(table, driver);
-    runner(inst);
     PhaseIntervalProfile out;
-    out.units = driver.sim.segments();
-    out.keys = driver.keys;
-    LPP_REQUIRE(out.units.size() == out.keys.size(),
-                "unit/key mismatch: %zu vs %zu", out.units.size(),
-                out.keys.size());
+    ExecutionPlan plan;
+    registerPhaseIntervalProfile(plan, "run@local", &table, runner,
+                                 unit_accesses, &out);
+    plan.run();
     return out;
 }
 

@@ -9,12 +9,14 @@
 #define LPP_CORE_EVALUATION_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bbv/bbv.hpp"
 #include "cache/stack_sim.hpp"
 #include "core/analysis.hpp"
+#include "core/execution_plan.hpp"
 #include "core/runtime.hpp"
 #include "workloads/workload.hpp"
 
@@ -56,6 +58,9 @@ struct WorkloadEvaluation
     double localityStddev = 0.0;     //!< Table 4, first column
     OverlapResult trainOverlap;      //!< Table 6, detection
     OverlapResult refOverlap;        //!< Table 6, prediction
+
+    /** Live program executions this evaluation cost (replays free). */
+    uint64_t programExecutions = 0;
 };
 
 /**
@@ -75,21 +80,66 @@ runInstrumented(const trace::MarkerTable &table,
 GranularityRow granularity(const Replay &replay,
                            const grammar::PhaseHierarchy &hierarchy);
 
-/** The full per-workload evaluation pipeline. */
+/**
+ * The full per-workload evaluation pipeline, driven through an
+ * execution plan: three live program executions (precount, sampling,
+ * reference) plus one replay of the recorded sampling stream for the
+ * instrumented training run. Results are bit-identical to the serial
+ * one-sink-per-run pipeline; programExecutions reports the live cost.
+ */
 WorkloadEvaluation
 evaluateWorkload(const workloads::Workload &workload,
                  const AnalysisConfig &config = {});
 
 /**
- * Evaluate many workloads (by registry name) with the same config,
- * fanning the per-workload pipelines across the shared thread pool.
- * Results come back in the order of `names`, and every field is
- * bit-identical to calling evaluateWorkload serially on each name:
- * the jobs share no state and are merged by submission index.
+ * Evaluate many workloads (by registry name) with the same config on
+ * ONE shared execution plan, scheduling independent stages of every
+ * workload across the shared thread pool. Results come back in the
+ * order of `names`, and every field is bit-identical to calling
+ * evaluateWorkload serially on each name: the stages share no state
+ * and results land in per-call slots.
  */
 std::vector<WorkloadEvaluation>
 evaluateWorkloads(const std::vector<std::string> &names,
                   const AnalysisConfig &config = {});
+
+/** Node handles of one registered workload evaluation. */
+struct WorkloadEvaluationNodes
+{
+    /**
+     * Completed once the marker table and hierarchy in out->analysis
+     * are final. Chain interval/phase-interval passes after this node
+     * (not after `done`) so they can still coalesce with the
+     * evaluation's own reference execution.
+     */
+    ExecutionPlan::NodeId analysisReady;
+
+    /** Completed once every field of *out (except the execution
+     *  counts, filled post-run) is final. */
+    ExecutionPlan::NodeId done;
+};
+
+/**
+ * Register the full per-workload evaluation pipeline on `plan`:
+ *
+ *   precount (train)  ->  sampling + block trace + stream recording
+ *   (train, one coalesced execution)  ->  detection finish (step)  ->
+ *   instrumented train REPLAY of the recording + instrumented ref
+ *   execution  ->  metrics assembly (step)
+ *
+ * Three live program executions per workload (precount, sampling,
+ * reference); the instrumented training run replays the sampling
+ * execution's recorded stream instead of running the program again.
+ * Every field of *out is bit-identical to the serial one-sink-per-run
+ * pipeline. `workload` and `out` must outlive plan.run(); the caller
+ * fills out->programExecutions from plan.programExecutions(name + "@")
+ * after the run.
+ */
+WorkloadEvaluationNodes
+registerWorkloadEvaluation(ExecutionPlan &plan,
+                           const workloads::Workload &workload,
+                           const AnalysisConfig &config,
+                           WorkloadEvaluation *out);
 
 /** Aligned per-interval locality and BBV profile of one run. */
 struct IntervalProfile
@@ -105,6 +155,19 @@ struct IntervalProfile
 IntervalProfile
 collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
                  uint64_t unit_accesses, size_t bbv_dims = 32);
+
+/**
+ * Register an interval-profile pass under `key` on `plan`. A pass with
+ * an equal key (e.g. a workload evaluation's reference execution) and
+ * no dependency path to this one shares its program execution. `out`
+ * must outlive plan.run(); its fields are final once the returned node
+ * completed.
+ */
+ExecutionPlan::NodeId registerIntervalProfile(
+    ExecutionPlan &plan, std::string key,
+    std::function<void(trace::TraceSink &)> runner,
+    uint64_t unit_accesses, size_t bbv_dims, IntervalProfile *out,
+    std::vector<ExecutionPlan::NodeId> after = {});
 
 /** Per-unit locality plus (phase, intra-phase index) keys (Fig 6). */
 struct PhaseIntervalProfile
@@ -122,6 +185,20 @@ PhaseIntervalProfile collectPhaseIntervals(
     const trace::MarkerTable &table,
     const std::function<void(trace::TraceSink &)> &runner,
     uint64_t unit_accesses);
+
+/**
+ * Register a phase-interval pass under `key` on `plan`. The pass wraps
+ * its own instrumenter over the shared raw stream, so it coalesces
+ * with plain passes of the same key. `*table` is read when the pass
+ * starts (pass `after` = the node that finalizes it, e.g.
+ * WorkloadEvaluationNodes::analysisReady); `table` and `out` must
+ * outlive plan.run().
+ */
+ExecutionPlan::NodeId registerPhaseIntervalProfile(
+    ExecutionPlan &plan, std::string key, const trace::MarkerTable *table,
+    std::function<void(trace::TraceSink &)> runner,
+    uint64_t unit_accesses, PhaseIntervalProfile *out,
+    std::vector<ExecutionPlan::NodeId> after = {});
 
 } // namespace lpp::core
 

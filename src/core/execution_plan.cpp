@@ -1,0 +1,382 @@
+#include "core/execution_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "support/mutex.hpp"
+#include "support/thread_annotations.hpp"
+#include "trace/validator.hpp"
+
+namespace lpp::core {
+
+std::string
+workloadKey(const workloads::Workload &workload,
+            const workloads::WorkloadInput &input)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "@s%llu:x%.17g",
+                  static_cast<unsigned long long>(input.seed), input.scale);
+    return workload.name() + buf;
+}
+
+ExecutionPlan::NodeId
+ExecutionPlan::addPass(std::string key, Runner runner, SinkFactory sink,
+                       std::vector<NodeId> after, PassOptions opts)
+{
+    LPP_REQUIRE(!ran, "pass added to an execution plan that already ran");
+    LPP_REQUIRE(!key.empty(), "pass key must be non-empty");
+    LPP_REQUIRE(runner != nullptr, "pass runner must be non-null");
+    LPP_REQUIRE(sink != nullptr, "pass sink factory must be non-null");
+    for (NodeId d : after)
+        LPP_REQUIRE(d < nodes.size(),
+                    "pass dependency %zu not registered yet", d);
+    Node node;
+    node.isPass = true;
+    node.key = std::move(key);
+    node.runner = std::move(runner);
+    node.sinkFactory = std::move(sink);
+    node.replay = opts.replay;
+    node.deps = std::move(after);
+    nodes.push_back(std::move(node));
+    ++counters.passes;
+    return nodes.size() - 1;
+}
+
+ExecutionPlan::NodeId
+ExecutionPlan::addStep(std::function<void()> fn, std::vector<NodeId> after)
+{
+    LPP_REQUIRE(!ran, "step added to an execution plan that already ran");
+    LPP_REQUIRE(fn != nullptr, "step function must be non-null");
+    for (NodeId d : after)
+        LPP_REQUIRE(d < nodes.size(),
+                    "step dependency %zu not registered yet", d);
+    Node node;
+    node.step = std::move(fn);
+    node.deps = std::move(after);
+    nodes.push_back(std::move(node));
+    ++counters.steps;
+    return nodes.size() - 1;
+}
+
+void
+ExecutionPlan::retain(std::shared_ptr<void> keepalive)
+{
+    keepalives.push_back(std::move(keepalive));
+}
+
+void
+ExecutionPlan::buildUnits()
+{
+    const size_t n = nodes.size();
+
+    // Start from one unit per node; merging pulls a pass into an
+    // earlier unit of the same (key, replay) group.
+    std::vector<size_t> unit_of(n);
+    std::vector<std::vector<NodeId>> work(n);
+    for (size_t i = 0; i < n; ++i) {
+        unit_of[i] = i;
+        work[i] = {i};
+    }
+
+    // Passes grouped by (key, replay), groups and members in node-id
+    // order so coalescing is deterministic.
+    std::vector<std::vector<NodeId>> groups;
+    std::vector<std::pair<std::string, bool>> group_ids;
+    for (size_t i = 0; i < n; ++i) {
+        if (!nodes[i].isPass)
+            continue;
+        std::pair<std::string, bool> id{nodes[i].key, nodes[i].replay};
+        size_t g = 0;
+        while (g < group_ids.size() && group_ids[g] != id)
+            ++g;
+        if (g == group_ids.size()) {
+            group_ids.push_back(std::move(id));
+            groups.emplace_back();
+        }
+        groups[g].push_back(i);
+    }
+
+    // Does working unit `from` transitively depend on `to`?
+    auto reaches = [&](size_t from, size_t to) {
+        std::vector<char> visited(n, 0);
+        std::vector<size_t> stack{from};
+        visited[from] = 1;
+        while (!stack.empty()) {
+            size_t u = stack.back();
+            stack.pop_back();
+            for (NodeId m : work[u]) {
+                for (NodeId d : nodes[m].deps) {
+                    size_t v = unit_of[d];
+                    if (v == u)
+                        continue;
+                    if (v == to)
+                        return true;
+                    if (!visited[v]) {
+                        visited[v] = 1;
+                        stack.push_back(v);
+                    }
+                }
+            }
+        }
+        return false;
+    };
+
+    // Greedy coalescing: each pass joins the first same-key execution
+    // it has no dependency path to or from (a path either way would
+    // make the merged unit graph cyclic); otherwise it opens a new one.
+    for (const auto &group : groups) {
+        std::vector<size_t> hosts;
+        for (NodeId m : group) {
+            size_t um = unit_of[m];
+            bool placed = false;
+            for (size_t h : hosts) {
+                if (reaches(h, um) || reaches(um, h))
+                    continue;
+                for (NodeId x : work[um]) {
+                    unit_of[x] = h;
+                    work[h].push_back(x);
+                }
+                work[um].clear();
+                placed = true;
+                break;
+            }
+            if (!placed)
+                hosts.push_back(um);
+        }
+    }
+
+    // Compact the surviving units (ordered by first member) and wire
+    // unit-level dependency edges.
+    units.clear();
+    std::vector<size_t> final_of(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (work[i].empty())
+            continue;
+        Unit unit;
+        unit.members = std::move(work[i]);
+        std::sort(unit.members.begin(), unit.members.end());
+        for (NodeId m : unit.members)
+            final_of[m] = units.size();
+        units.push_back(std::move(unit));
+    }
+    for (size_t i = 0; i < units.size(); ++i) {
+        std::vector<char> seen(units.size(), 0);
+        for (NodeId m : units[i].members) {
+            for (NodeId d : nodes[m].deps) {
+                size_t v = final_of[d];
+                if (v == i || seen[v])
+                    continue;
+                seen[v] = 1;
+                units[i].deps.push_back(v);
+                units[v].dependents.push_back(i);
+            }
+        }
+    }
+
+    for (const Unit &unit : units) {
+        const Node &first = nodes[unit.members[0]];
+        if (!first.isPass)
+            continue;
+        if (first.replay)
+            ++counters.replayExecutions;
+        else
+            ++counters.programExecutions;
+        counters.coalescedPasses += unit.members.size() - 1;
+    }
+}
+
+void
+ExecutionPlan::runUnit(const Unit &unit) const
+{
+    const Node &first = nodes[unit.members[0]];
+    if (!first.isPass) {
+        first.step();
+        return;
+    }
+    // Consumer sinks are built here, on the executing thread, after
+    // the unit's dependencies completed; attach order is node-id order.
+    trace::FanoutSink fan;
+    for (NodeId m : unit.members) {
+        trace::TraceSink *sink = nodes[m].sinkFactory();
+        LPP_REQUIRE(sink != nullptr,
+                    "sink factory for execution '%s' returned null",
+                    nodes[m].key.c_str());
+        fan.attach(sink);
+    }
+#if !defined(NDEBUG) || defined(LPP_FORCE_DCHECKS)
+    trace::ValidatingSink validator(&fan);
+    first.runner(validator);
+    LPP_DCHECK(validator.ok(),
+               "execution '%s' violated the sink protocol:\n%s",
+               first.key.c_str(), validator.reportText().c_str());
+#else
+    first.runner(fan);
+#endif
+}
+
+void
+ExecutionPlan::runSerial()
+{
+    enum State : char { Pending, Done, Failed, Aborted };
+    const size_t n = units.size();
+    std::vector<char> state(n, Pending);
+    std::vector<std::exception_ptr> errors(n);
+    size_t completed = 0;
+    while (completed < n) {
+        size_t pick = n;
+        for (size_t i = 0; i < n && pick == n; ++i) {
+            if (state[i] != Pending)
+                continue;
+            bool ready = true;
+            for (size_t d : units[i].deps)
+                ready = ready && state[d] != Pending;
+            if (ready)
+                pick = i;
+        }
+        LPP_REQUIRE(pick < n, "execution plan has no runnable unit "
+                              "(dependency cycle?)");
+        bool doomed = false;
+        for (size_t d : units[pick].deps)
+            doomed = doomed || state[d] == Failed || state[d] == Aborted;
+        if (doomed) {
+            state[pick] = Aborted;
+        } else {
+            try {
+                runUnit(units[pick]);
+                state[pick] = Done;
+            } catch (...) {
+                errors[pick] = std::current_exception();
+                state[pick] = Failed;
+            }
+        }
+        ++completed;
+    }
+    for (size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+void
+ExecutionPlan::runParallel(support::ThreadPool &pool)
+{
+    enum State : char { Pending, Done, Failed, Aborted };
+    const size_t n = units.size();
+
+    struct Sched
+    {
+        support::Mutex mtx;
+        std::condition_variable_any cv;
+        size_t remaining LPP_GUARDED_BY(mtx) = 0;
+        std::vector<char> state LPP_GUARDED_BY(mtx);
+        std::vector<size_t> pendingDeps LPP_GUARDED_BY(mtx);
+        // Written by each unit's own job before the completion barrier,
+        // read by the caller after it; no lock needed.
+        std::vector<std::exception_ptr> errors;
+    };
+    Sched sy;
+    sy.errors.resize(n);
+    std::vector<size_t> initial;
+    {
+        support::MutexLock lock(sy.mtx);
+        sy.remaining = n;
+        sy.state.assign(n, Pending);
+        sy.pendingDeps.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            sy.pendingDeps[i] = units[i].deps.size();
+            if (units[i].deps.empty())
+                initial.push_back(i);
+        }
+    }
+
+    std::function<void(size_t)> submitUnit = [&](size_t i) {
+        pool.submit([this, &sy, &submitUnit, i] {
+            std::exception_ptr err;
+            try {
+                runUnit(units[i]);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::vector<size_t> ready;
+            {
+                support::MutexLock lock(sy.mtx);
+                sy.state[i] = err ? Failed : Done;
+                sy.errors[i] = err;
+                --sy.remaining;
+                // Release dependents; a dependent of a failed or
+                // aborted unit is abandoned, which cascades.
+                std::vector<size_t> done{i};
+                while (!done.empty()) {
+                    size_t u = done.back();
+                    done.pop_back();
+                    for (size_t d : units[u].dependents) {
+                        if (--sy.pendingDeps[d] > 0)
+                            continue;
+                        bool doomed = false;
+                        for (size_t p : units[d].deps)
+                            doomed = doomed || sy.state[p] == Failed ||
+                                     sy.state[p] == Aborted;
+                        if (doomed) {
+                            sy.state[d] = Aborted;
+                            --sy.remaining;
+                            done.push_back(d);
+                        } else {
+                            ready.push_back(d);
+                        }
+                    }
+                }
+                // Notify while holding the lock: the caller may return
+                // (destroying Sched) the instant remaining hits zero.
+                if (sy.remaining == 0)
+                    sy.cv.notify_one();
+            }
+            for (size_t r : ready)
+                submitUnit(r);
+        });
+    };
+    for (size_t i : initial)
+        submitUnit(i);
+    {
+        support::MutexLock lock(sy.mtx);
+        while (sy.remaining > 0)
+            sy.cv.wait(sy.mtx);
+    }
+    for (size_t i = 0; i < n; ++i)
+        if (sy.errors[i])
+            std::rethrow_exception(sy.errors[i]);
+}
+
+void
+ExecutionPlan::run(support::ThreadPool &pool)
+{
+    LPP_REQUIRE(!ran, "execution plan already ran");
+    ran = true;
+    buildUnits();
+    if (units.empty())
+        return;
+    // A nested plan (run from a pool worker) must not block on its own
+    // pool; it runs its units inline instead.
+    if (pool.threadCount() <= 1 || pool.onWorkerThread())
+        runSerial();
+    else
+        runParallel(pool);
+}
+
+uint64_t
+ExecutionPlan::programExecutions(std::string_view key_prefix) const
+{
+    LPP_REQUIRE(ran, "programExecutions() queried before run()");
+    uint64_t count = 0;
+    for (const Unit &unit : units) {
+        const Node &first = nodes[unit.members[0]];
+        if (first.isPass && !first.replay &&
+            std::string_view(first.key).substr(0, key_prefix.size()) ==
+                key_prefix)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace lpp::core

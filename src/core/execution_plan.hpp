@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Execution plan: one program run, many consumers.
+ *
+ * The analysis stack is a set of consumers of trace event streams, and
+ * program executions are the scarce resource: re-running a workload to
+ * feed each consumer separately multiplies simulation time. The plan
+ * inverts that. Consumers register *passes* keyed by the execution they
+ * need — same key, same event stream, bit for bit — plus *steps*, plain
+ * computations over earlier results. At run() the planner coalesces
+ * passes that share a key into one execution through a batch-preserving
+ * trace::FanoutSink, orders units by their declared dependencies, and
+ * schedules independent units across the shared support::ThreadPool.
+ *
+ * Contracts:
+ *
+ *  - Same key, same stream: every pass registered under one key must be
+ *    satisfied by one execution of that key's program. The runner of
+ *    the unit's first pass (lowest node id) drives the merged run.
+ *  - Dependencies reference earlier nodes only (ids already returned),
+ *    so the node graph is acyclic by construction. Passes whose key
+ *    matches but that transitively depend on one another — or whose
+ *    merge would create a cycle between merged units — are split into
+ *    separate executions instead.
+ *  - Sink factories run lazily on the executing thread, after the
+ *    unit's dependencies completed, so a factory can read results an
+ *    earlier node produced (e.g. size a sampler from a precount).
+ *  - Merged results are bit-identical to running each pass's execution
+ *    serially on its own: FanoutSink re-delivers every event, including
+ *    access-batch boundaries, unmodified to each member sink in node-id
+ *    order.
+ *
+ * In debug builds (and sanitizer builds with LPP_DCHECKS) every
+ * execution streams through a trace::ValidatingSink placed between the
+ * producer and the fanout, and the plan asserts the stream honoured the
+ * sink protocol.
+ */
+
+#ifndef LPP_CORE_EXECUTION_PLAN_HPP
+#define LPP_CORE_EXECUTION_PLAN_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "trace/sink.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::core {
+
+/** @return the canonical execution key for a workload input. */
+std::string workloadKey(const workloads::Workload &workload,
+                        const workloads::WorkloadInput &input);
+
+/** Per-pass options (namespace scope so it can default-initialize in
+ *  ExecutionPlan's own signatures). */
+struct PassOptions
+{
+    /**
+     * The runner re-delivers a recorded stream (trace::MemoryTrace)
+     * instead of executing the program. Replays are counted separately
+     * and never coalesce with live executions of the same key.
+     */
+    bool replay = false;
+};
+
+/** Coalescing pass manager over program executions. */
+class ExecutionPlan
+{
+  public:
+    /** Handle of a registered node; also its registration order. */
+    using NodeId = size_t;
+
+    /** Streams one complete execution into the sink it is given. */
+    using Runner = std::function<void(trace::TraceSink &)>;
+
+    /**
+     * Builds the pass's consumer sink on the executing thread, after
+     * the pass's dependencies completed. The returned sink is borrowed:
+     * the factory (or state it captures, see retain()) owns it, and it
+     * must stay alive until the plan is destroyed.
+     */
+    using SinkFactory = std::function<trace::TraceSink *()>;
+
+    /** Plan-wide accounting, final once run() returns. */
+    struct Stats
+    {
+        uint64_t passes = 0;            //!< pass nodes registered
+        uint64_t steps = 0;             //!< step nodes registered
+        uint64_t programExecutions = 0; //!< live executions scheduled
+        uint64_t replayExecutions = 0;  //!< replay executions scheduled
+        uint64_t coalescedPasses = 0;   //!< passes that shared a run
+    };
+
+    ExecutionPlan() = default;
+    ExecutionPlan(const ExecutionPlan &) = delete;
+    ExecutionPlan &operator=(const ExecutionPlan &) = delete;
+
+    /**
+     * Register a consumer of one execution of `key`.
+     *
+     * @param key    execution identity; equal keys promise identical
+     *               event streams (see workloadKey())
+     * @param runner drives the execution when this pass's unit runs;
+     *               used only if this pass is the unit's first member
+     * @param sink   factory for the consumer sink (see SinkFactory)
+     * @param after  node ids that must complete before this pass runs;
+     *               every id must have been returned already
+     * @param opts   see PassOptions
+     * @return this pass's node id
+     */
+    NodeId addPass(std::string key, Runner runner, SinkFactory sink,
+                   std::vector<NodeId> after = {}, PassOptions opts = {});
+
+    /**
+     * Register a computation over earlier results (no execution).
+     *
+     * @param fn    runs on the executing thread once `after` completed
+     * @param after node ids that must complete first
+     * @return this step's node id
+     */
+    NodeId addStep(std::function<void()> fn,
+                   std::vector<NodeId> after = {});
+
+    /** Keep `keepalive` alive until the plan is destroyed. */
+    void retain(std::shared_ptr<void> keepalive);
+
+    /**
+     * Coalesce, schedule, and run every node. Independent units run
+     * concurrently on `pool` unless the pool is single-threaded or the
+     * caller is one of its workers (nested plans), in which case units
+     * run serially in deterministic order. One-shot. If a node throws,
+     * its dependents are abandoned, every unaffected unit still runs,
+     * and the first failing node's exception (lowest unit) is rethrown.
+     */
+    void run(support::ThreadPool &pool = support::ThreadPool::shared());
+
+    /** @return plan accounting (execution counts final after run()). */
+    const Stats &stats() const { return counters; }
+
+    /**
+     * @return live program executions whose key starts with
+     *         `key_prefix` (replays excluded). Valid after run().
+     */
+    uint64_t programExecutions(std::string_view key_prefix) const;
+
+  private:
+    struct Node
+    {
+        bool isPass = false;
+        std::string key;                //!< passes only
+        Runner runner;                  //!< passes only
+        SinkFactory sinkFactory;        //!< passes only
+        bool replay = false;            //!< passes only
+        std::function<void()> step;     //!< steps only
+        std::vector<NodeId> deps;
+    };
+
+    /** One schedulable piece: a merged execution or a single step. */
+    struct Unit
+    {
+        std::vector<NodeId> members;    //!< ascending node ids
+        std::vector<size_t> deps;       //!< unit indices
+        std::vector<size_t> dependents; //!< unit indices
+    };
+
+    void buildUnits();
+    void runUnit(const Unit &unit) const;
+    void runSerial();
+    void runParallel(support::ThreadPool &pool);
+
+    std::vector<Node> nodes;
+    std::vector<Unit> units;
+    std::vector<std::shared_ptr<void>> keepalives;
+    Stats counters;
+    bool ran = false;
+};
+
+} // namespace lpp::core
+
+#endif // LPP_CORE_EXECUTION_PLAN_HPP

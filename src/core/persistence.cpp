@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "support/logging.hpp"
 
@@ -59,21 +60,24 @@ loadAnalysis(const std::string &path, PersistedAnalysis *out)
     if (!(in >> word >> ver) || word != magic || ver != version)
         return false;
 
+    // Parse into a scratch result so a malformed file can never leave
+    // *out partially populated.
+    PersistedAnalysis parsed;
+
     size_t count = 0;
     if (!(in >> word >> count) || word != "markers")
         return false;
-    *out = PersistedAnalysis{};
     for (size_t i = 0; i < count; ++i) {
         trace::BlockId block;
         trace::PhaseId phase;
         if (!(in >> block >> phase))
             return false;
-        out->table.set(block, phase);
+        parsed.table.set(block, phase);
     }
 
     if (!(in >> word >> count) || word != "phases")
         return false;
-    out->phases.resize(count);
+    parsed.phases.resize(count);
     for (size_t i = 0; i < count; ++i) {
         phase::PhaseInfo p;
         if (!(in >> p.id >> p.marker >> p.executions >>
@@ -82,7 +86,7 @@ loadAnalysis(const std::string &path, PersistedAnalysis *out)
             return false;
         if (p.id >= count)
             return false;
-        out->phases[p.id] = p;
+        parsed.phases[p.id] = p;
     }
 
     if (!(in >> word) || word != "hierarchy")
@@ -92,12 +96,14 @@ loadAnalysis(const std::string &path, PersistedAnalysis *out)
     // Trim the leading separator space.
     if (!rest.empty() && rest.front() == ' ')
         rest.erase(rest.begin());
-    if (rest == "-") {
-        out->hierarchy = nullptr;
-        return true;
+    if (rest != "-") {
+        parsed.hierarchy = grammar::Regex::parse(rest);
+        if (!parsed.hierarchy)
+            return false;
     }
-    out->hierarchy = grammar::Regex::parse(rest);
-    return out->hierarchy != nullptr;
+
+    *out = std::move(parsed);
+    return true;
 }
 
 } // namespace lpp::core

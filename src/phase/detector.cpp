@@ -2,96 +2,88 @@
 
 #include <algorithm>
 
-#include "support/flat_map.hpp"
 #include "support/logging.hpp"
-#include "trace/recorder.hpp"
 
 namespace lpp::phase {
-
-namespace {
-
-/** Counts accesses and distinct elements in one precount pass. */
-class PrecountSink : public trace::TraceSink
-{
-  public:
-    void
-    onAccess(trace::Addr addr) override
-    {
-        ++accesses;
-        elements.insert(trace::toElement(addr), 0);
-    }
-
-    void
-    onAccessBatch(const trace::Addr *addrs, size_t n) override
-    {
-        accesses += n;
-        for (size_t i = 0; i < n; ++i)
-            elements.insert(trace::toElement(addrs[i]), 0);
-    }
-
-    uint64_t accesses = 0;
-    support::FlatMap<uint8_t> elements; //!< used as a set
-};
-
-} // namespace
 
 PhaseDetector::PhaseDetector(DetectorConfig cfg_) : cfg(cfg_)
 {
 }
 
+bool
+PhaseDetector::needsPrecount() const
+{
+    return cfg.precountAccesses && cfg.sampler.expectedAccesses == 0;
+}
+
+reuse::SamplerConfig
+PhaseDetector::samplingConfig(const PrecountStats *pre) const
+{
+    reuse::SamplerConfig scfg = cfg.sampler;
+    if (pre == nullptr)
+        return scfg;
+    scfg.expectedAccesses = pre->accesses;
+    if (scfg.addressSpaceElements == 0)
+        scfg.addressSpaceElements = pre->distinctElements;
+    if (cfg.autoThresholds && pre->distinctElements > 0) {
+        auto threshold = std::max<uint64_t>(
+            16, static_cast<uint64_t>(
+                    cfg.thresholdFraction *
+                    static_cast<double>(pre->distinctElements)));
+        scfg.initialQualification = threshold;
+        scfg.initialTemporal = threshold;
+        // Pin feedback: count control may only use the spatial
+        // threshold; the distance thresholds define what a
+        // cross-phase reuse is and must not drift.
+        scfg.floorQualification = threshold;
+        scfg.floorTemporal = threshold;
+        scfg.ceilQualification = threshold;
+        scfg.ceilTemporal = threshold;
+    }
+    return scfg;
+}
+
+std::vector<reuse::SamplePoint>
+PhaseDetector::filterSamples(const std::vector<reuse::DataSample> &samples,
+                             wavelet::FilterStats *stats) const
+{
+    wavelet::SubTraceFilter filter(cfg.filter);
+    return filter.apply(samples, stats);
+}
+
+Partition
+PhaseDetector::partitionFiltered(
+    const std::vector<reuse::SamplePoint> &filtered) const
+{
+    OptimalPartitioner partitioner(cfg.partition);
+    return partitioner.partition(filtered);
+}
+
+MarkerSelection
+PhaseDetector::selectMarkers(const trace::BlockRecorder &blocks,
+                             uint64_t detected_executions) const
+{
+    MarkerSelector selector(cfg.marker);
+    return selector.select(blocks.events(), blocks.totalInstructions(),
+                           detected_executions);
+}
+
 DetectionResult
-PhaseDetector::analyze(const Runner &run) const
+PhaseDetector::finish(const reuse::VariableDistanceSampler &sampler,
+                      const trace::BlockRecorder &blocks) const
 {
     DetectionResult result;
-
-    // Step 0: learn the trace length (and working-set size, for the
-    // automatic thresholds) so sampling feedback can project its final
-    // sample count.
-    reuse::SamplerConfig scfg = cfg.sampler;
-    if (cfg.precountAccesses && scfg.expectedAccesses == 0) {
-        PrecountSink pre;
-        run(pre);
-        scfg.expectedAccesses = pre.accesses;
-        if (scfg.addressSpaceElements == 0)
-            scfg.addressSpaceElements = pre.elements.size();
-        if (cfg.autoThresholds && !pre.elements.empty()) {
-            auto threshold = std::max<uint64_t>(
-                16, static_cast<uint64_t>(
-                        cfg.thresholdFraction *
-                        static_cast<double>(pre.elements.size())));
-            scfg.initialQualification = threshold;
-            scfg.initialTemporal = threshold;
-            // Pin feedback: count control may only use the spatial
-            // threshold; the distance thresholds define what a
-            // cross-phase reuse is and must not drift.
-            scfg.floorQualification = threshold;
-            scfg.floorTemporal = threshold;
-            scfg.ceilQualification = threshold;
-            scfg.ceilTemporal = threshold;
-        }
-    }
-
-    // Step 1: variable-distance sampling + block trace, in one pass.
-    reuse::VariableDistanceSampler sampler(scfg);
-    trace::BlockRecorder blocks;
-    trace::FanoutSink fan;
-    fan.attach(&sampler);
-    fan.attach(&blocks);
-    run(fan);
-
     result.dataSamples = sampler.samples().size();
     result.accessSamples = sampler.sampleCount();
     result.samplerAdjustments = sampler.adjustments();
     result.trainAccesses = blocks.totalAccesses();
     result.trainInstructions = blocks.totalInstructions();
 
-    // Step 2: wavelet filtering of each datum's sub-trace.
-    wavelet::SubTraceFilter filter(cfg.filter);
-    auto filtered = filter.apply(sampler.samples(), &result.filterStats);
+    // Wavelet filtering of each datum's sub-trace.
+    auto filtered = filterSamples(sampler.samples(), &result.filterStats);
 
-    // Step 3: optimal phase partitioning of the filtered trace.
-    OptimalPartitioner partitioner(cfg.partition);
-    result.partitionResult = partitioner.partition(filtered);
+    // Optimal phase partitioning of the filtered trace.
+    result.partitionResult = partitionFiltered(filtered);
     for (size_t b : result.partitionResult.boundaries)
         result.boundaryTimes.push_back(filtered[b].time);
 
@@ -101,14 +93,38 @@ PhaseDetector::analyze(const Runner &run) const
            static_cast<unsigned long long>(result.accessSamples),
            filtered.size(), result.boundaryTimes.size());
 
-    // Step 4: marker selection against the block trace, driven by the
-    // detected phase-execution count.
-    MarkerSelector selector(cfg.marker);
+    // Marker selection against the block trace, driven by the detected
+    // phase-execution count.
     result.selection =
-        selector.select(blocks.events(), blocks.totalInstructions(),
-                        result.partitionResult.phaseCount());
-
+        selectMarkers(blocks, result.partitionResult.phaseCount());
     return result;
+}
+
+DetectionResult
+PhaseDetector::analyze(const Runner &run) const
+{
+    // Stage 0: learn the trace length (and working-set size, for the
+    // automatic thresholds) so sampling feedback can project its final
+    // sample count.
+    PrecountStats pre;
+    bool have_pre = needsPrecount();
+    if (have_pre) {
+        PrecountSink sink;
+        run(sink);
+        pre = sink.stats();
+    }
+
+    // Stage 1: variable-distance sampling + block trace, in one pass.
+    reuse::VariableDistanceSampler sampler(
+        samplingConfig(have_pre ? &pre : nullptr));
+    trace::BlockRecorder blocks;
+    trace::FanoutSink fan;
+    fan.attach(&sampler);
+    fan.attach(&blocks);
+    run(fan);
+
+    // Stages 2-4: filtering, partitioning, marker selection.
+    return finish(sampler, blocks);
 }
 
 } // namespace lpp::phase

@@ -3,6 +3,21 @@
  * Off-line phase detection driver: variable-distance sampling, wavelet
  * filtering, optimal phase partitioning, and marker selection chained
  * over a training execution (paper Sections 2.2-2.3).
+ *
+ * The pipeline is exposed as named stages with explicit data handoffs
+ * so callers that manage program executions themselves (the execution
+ * plan in core/) can drive each stage against a shared execution:
+ *
+ *   precount          PrecountSink            -> PrecountStats
+ *   sampling planning samplingConfig()        -> reuse::SamplerConfig
+ *   sampling pass     VariableDistanceSampler + trace::BlockRecorder
+ *   wavelet filtering filterSamples()         -> filtered trace
+ *   partitioning      partitionFiltered()     -> Partition
+ *   marker selection  selectMarkers()         -> MarkerSelection
+ *
+ * analyze() composes the stages over a runner callback and is the
+ * serial reference: one precount execution (when configured) plus one
+ * sampling execution.
  */
 
 #ifndef LPP_PHASE_DETECTOR_HPP
@@ -15,6 +30,8 @@
 #include "phase/marker_selection.hpp"
 #include "phase/partition.hpp"
 #include "reuse/sampler.hpp"
+#include "support/flat_map.hpp"
+#include "trace/recorder.hpp"
 #include "trace/sink.hpp"
 #include "wavelet/filtering.hpp"
 
@@ -51,6 +68,44 @@ struct DetectorConfig
     double thresholdFraction = 0.05;
 };
 
+/** What one precount pass learns (stage handoff to sampling). */
+struct PrecountStats
+{
+    uint64_t accesses = 0;         //!< trace length in accesses
+    uint64_t distinctElements = 0; //!< working-set size in elements
+};
+
+/** Precount stage sink: counts accesses and distinct elements. */
+class PrecountSink : public trace::TraceSink
+{
+  public:
+    void
+    onAccess(trace::Addr addr) override
+    {
+        ++accesses;
+        elements.insert(trace::toElement(addr), 0);
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        accesses += n;
+        for (size_t i = 0; i < n; ++i)
+            elements.insert(trace::toElement(addrs[i]), 0);
+    }
+
+    /** @return the stage output (valid any time). */
+    PrecountStats
+    stats() const
+    {
+        return PrecountStats{accesses, elements.size()};
+    }
+
+  private:
+    uint64_t accesses = 0;
+    support::FlatMap<uint8_t> elements; //!< used as a set
+};
+
 /** Everything the off-line analysis learned from the training run. */
 struct DetectionResult
 {
@@ -74,8 +129,8 @@ struct DetectionResult
 };
 
 /**
- * Drives the three off-line steps over a training execution provided as
- * a runner callback (the callback streams one full execution into the
+ * Drives the off-line stages over a training execution provided as a
+ * runner callback (the callback streams one full execution into the
  * sink it is given; it must be repeatable).
  */
 class PhaseDetector
@@ -86,8 +141,42 @@ class PhaseDetector
 
     explicit PhaseDetector(DetectorConfig cfg = {});
 
-    /** Run the full detection pipeline. */
+    /** Run the full detection pipeline (composes every stage). */
     DetectionResult analyze(const Runner &run) const;
+
+    // Named stages ---------------------------------------------------
+
+    /** @return whether the configuration calls for a precount pass. */
+    bool needsPrecount() const;
+
+    /**
+     * Stage handoff precount -> sampling: the effective sampler
+     * configuration. Pass the precount output, or nullptr when no
+     * precount ran (the configured sampler settings are used as-is).
+     */
+    reuse::SamplerConfig samplingConfig(const PrecountStats *pre) const;
+
+    /** Wavelet-filtering stage over the sampling pass's output. */
+    std::vector<reuse::SamplePoint>
+    filterSamples(const std::vector<reuse::DataSample> &samples,
+                  wavelet::FilterStats *stats) const;
+
+    /** Partitioning stage over the filtered merged trace. */
+    Partition
+    partitionFiltered(const std::vector<reuse::SamplePoint> &filtered) const;
+
+    /** Marker-selection stage against the recorded block trace. */
+    MarkerSelection
+    selectMarkers(const trace::BlockRecorder &blocks,
+                  uint64_t detected_executions) const;
+
+    /**
+     * Compose the post-execution stages (filtering, partitioning,
+     * marker selection) over a completed sampling pass, producing the
+     * same DetectionResult analyze() would.
+     */
+    DetectionResult finish(const reuse::VariableDistanceSampler &sampler,
+                           const trace::BlockRecorder &blocks) const;
 
     /** @return the configuration in use. */
     const DetectorConfig &config() const { return cfg; }

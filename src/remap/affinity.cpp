@@ -61,6 +61,24 @@ AffinityAnalyzer::onAccess(trace::Addr addr)
 }
 
 void
+AffinityAnalyzer::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    // No marker can land inside a batch, so the per-phase stats slot
+    // is fixed for the whole loop (perPhase is a node-based map, the
+    // reference stays valid while `global` grows).
+    Stats &phase_stats = perPhase[current];
+    for (size_t i = 0; i < n; ++i) {
+        int32_t a = arrayOf(addrs[i]);
+        if (a < 0)
+            continue;
+        record(phase_stats, static_cast<uint32_t>(a));
+        record(global, static_cast<uint32_t>(a));
+        ring[ringPos] = a;
+        ringPos = (ringPos + 1) % ring.size();
+    }
+}
+
+void
 AffinityAnalyzer::onPhaseMarker(trace::PhaseId phase)
 {
     current = phase;

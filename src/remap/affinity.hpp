@@ -56,6 +56,7 @@ class AffinityAnalyzer : public trace::TraceSink
                      AffinityConfig cfg = {});
 
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
     void onPhaseMarker(trace::PhaseId phase) override;
 
     /** @return affinity groups for one phase. */

@@ -59,8 +59,8 @@ Remapper::arrayOf(trace::Addr addr) const
     return -1;
 }
 
-void
-Remapper::onAccess(trace::Addr addr)
+trace::Addr
+Remapper::translate(trace::Addr addr)
 {
     int32_t a = arrayOf(addr);
     if (a >= 0) {
@@ -74,7 +74,22 @@ Remapper::onAccess(trace::Addr addr)
             ++remapped;
         }
     }
-    out.onAccess(addr);
+    return addr;
+}
+
+void
+Remapper::onAccess(trace::Addr addr)
+{
+    out.onAccess(translate(addr));
+}
+
+void
+Remapper::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    scratch.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        scratch[i] = translate(addrs[i]);
+    out.onAccessBatch(scratch.data(), n);
 }
 
 void

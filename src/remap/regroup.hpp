@@ -49,6 +49,7 @@ class Remapper : public trace::TraceSink
                         const AffinityGroups &groups);
 
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
     void onPhaseMarker(trace::PhaseId phase) override;
 
     void
@@ -81,6 +82,7 @@ class Remapper : public trace::TraceSink
 
     Mapping buildMapping(const AffinityGroups &groups);
     int32_t arrayOf(trace::Addr addr) const;
+    trace::Addr translate(trace::Addr addr);
 
     std::vector<workloads::ArrayInfo> arrays;
     trace::TraceSink &out;
@@ -89,6 +91,7 @@ class Remapper : public trace::TraceSink
     const Mapping *active;
     trace::Addr nextShadow = 1ULL << 40;
     uint64_t remapped = 0;
+    std::vector<trace::Addr> scratch; //!< translated batch buffer
 };
 
 /** Simple timing model: time = (instr * cpi + misses * penalty) / f. */

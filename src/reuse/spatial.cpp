@@ -25,6 +25,18 @@ SpatialAnalyzer::onAccess(trace::Addr addr)
 }
 
 void
+SpatialAnalyzer::onAccessBatch(const trace::Addr *addrs, size_t n)
+{
+    // The phase cannot change inside a batch; look the accumulator up
+    // once (unordered_map references are stable across later inserts).
+    Accum &phase_accum = perPhase[current];
+    for (size_t i = 0; i < n; ++i) {
+        record(phase_accum, addrs[i]);
+        record(whole, addrs[i]);
+    }
+}
+
+void
 SpatialAnalyzer::onPhaseMarker(trace::PhaseId phase)
 {
     current = phase;

@@ -75,6 +75,7 @@ class SpatialAnalyzer : public trace::TraceSink
     SpatialAnalyzer() = default;
 
     void onAccess(trace::Addr addr) override;
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override;
     void onPhaseMarker(trace::PhaseId phase) override;
     void onEnd() override;
 

@@ -1,0 +1,55 @@
+#include "trace/memory_trace.hpp"
+
+namespace lpp::trace {
+
+void
+MemoryTrace::replay(TraceSink &sink) const
+{
+    for (const Event &e : events) {
+        switch (e.kind) {
+          case Kind::Block:
+            sink.onBlock(static_cast<BlockId>(e.a),
+                         static_cast<uint32_t>(e.b));
+            break;
+          case Kind::Access:
+            sink.onAccess(addrs[e.b]);
+            break;
+          case Kind::Batch:
+            sink.onAccessBatch(addrs.data() + e.b,
+                               static_cast<size_t>(e.a));
+            break;
+          case Kind::Manual:
+            sink.onManualMarker(static_cast<uint32_t>(e.a));
+            break;
+          case Kind::Phase:
+            sink.onPhaseMarker(static_cast<PhaseId>(e.a));
+            break;
+          case Kind::End:
+            sink.onEnd();
+            break;
+        }
+    }
+}
+
+size_t
+MemoryTrace::memoryBytes() const
+{
+    return events.capacity() * sizeof(Event) +
+           addrs.capacity() * sizeof(Addr);
+}
+
+void
+MemoryTrace::reserve(size_t event_hint, size_t access_hint)
+{
+    events.reserve(event_hint);
+    addrs.reserve(access_hint);
+}
+
+void
+MemoryTrace::clear()
+{
+    events = {};
+    addrs = {};
+}
+
+} // namespace lpp::trace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * In-memory recording and exact replay of a trace event stream.
+ *
+ * The execution plan (core::ExecutionPlan) treats program executions as
+ * the scarce resource: when a consumer needs the training stream *after*
+ * the marker table exists (the instrumented training replay), re-running
+ * the program would cost a third training execution. Instead the
+ * sampling execution records its stream into a MemoryTrace, and the
+ * later consumer replays the recording. Replay is exact: every event is
+ * re-delivered in order, and access batches are re-delivered with their
+ * original boundaries, so a replayed stream is indistinguishable from
+ * the live one — bit for bit, including batching granularity.
+ */
+
+#ifndef LPP_TRACE_MEMORY_TRACE_HPP
+#define LPP_TRACE_MEMORY_TRACE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+/** Sink that records the full event stream for later exact replay. */
+class MemoryTrace : public TraceSink
+{
+  public:
+    MemoryTrace() = default;
+
+    // Recording (sink interface) -------------------------------------
+
+    void
+    onBlock(BlockId block, uint32_t instructions) override
+    {
+        events.push_back({Kind::Block, block, instructions});
+    }
+
+    void
+    onAccess(Addr addr) override
+    {
+        events.push_back({Kind::Access, 0, addrs.size()});
+        addrs.push_back(addr);
+    }
+
+    void
+    onAccessBatch(const Addr *batch, size_t n) override
+    {
+        events.push_back({Kind::Batch, static_cast<uint64_t>(n),
+                          addrs.size()});
+        addrs.insert(addrs.end(), batch, batch + n);
+    }
+
+    void
+    onManualMarker(uint32_t marker_id) override
+    {
+        events.push_back({Kind::Manual, marker_id, 0});
+    }
+
+    void
+    onPhaseMarker(PhaseId phase) override
+    {
+        events.push_back({Kind::Phase, phase, 0});
+    }
+
+    void onEnd() override { events.push_back({Kind::End, 0, 0}); }
+
+    // Replay ---------------------------------------------------------
+
+    /**
+     * Re-deliver the recorded stream into `sink`, preserving event
+     * order and the original access-batch boundaries exactly.
+     */
+    void replay(TraceSink &sink) const;
+
+    // Introspection --------------------------------------------------
+
+    /** @return recorded events (a batch counts as one event). */
+    uint64_t eventCount() const { return events.size(); }
+
+    /** @return recorded data accesses. */
+    uint64_t accessCount() const { return addrs.size(); }
+
+    /** @return whether nothing has been recorded. */
+    bool empty() const { return events.empty(); }
+
+    /** @return approximate heap footprint of the recording, in bytes. */
+    size_t memoryBytes() const;
+
+    /** Pre-size the recording buffers (reserve-ahead hint). */
+    void reserve(size_t event_hint, size_t access_hint);
+
+    /** Drop the recording and release its memory. */
+    void clear();
+
+  private:
+    enum class Kind : uint8_t
+    {
+        Block,  //!< a = block id, b = instructions
+        Access, //!< b = index into addrs (single-access delivery)
+        Batch,  //!< a = length, b = start index into addrs
+        Manual, //!< a = marker id
+        Phase,  //!< a = phase id
+        End,
+    };
+
+    struct Event
+    {
+        Kind kind;
+        uint64_t a;
+        uint64_t b;
+    };
+
+    std::vector<Event> events;
+    std::vector<Addr> addrs;
+};
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_MEMORY_TRACE_HPP

@@ -31,6 +31,16 @@ TraceWriter::onAccess(Addr addr)
 }
 
 void
+TraceWriter::onAccessBatch(const Addr *addrs, size_t n)
+{
+    out << std::hex;
+    for (size_t i = 0; i < n; ++i)
+        out << "A 0x" << addrs[i] << "\n";
+    out << std::dec;
+    events += n;
+}
+
+void
 TraceWriter::onManualMarker(uint32_t marker_id)
 {
     out << "M " << marker_id << "\n";

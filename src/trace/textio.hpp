@@ -38,6 +38,7 @@ class TraceWriter : public TraceSink
 
     void onBlock(BlockId block, uint32_t instructions) override;
     void onAccess(Addr addr) override;
+    void onAccessBatch(const Addr *addrs, size_t n) override;
     void onManualMarker(uint32_t marker_id) override;
     void onPhaseMarker(PhaseId phase) override;
     void onEnd() override;

@@ -117,3 +117,27 @@ TEST(WorkingSetPhases, ThresholdControlsSensitivity)
 }
 
 } // namespace
+
+TEST(WorkingSetPhases, BatchedAccessesMatchScalar)
+{
+    // Data accesses carry no signal for working-set phases; batched
+    // delivery must leave the interval classification untouched.
+    WorkingSetPhases one(1000, 0.5, 256), batched(1000, 0.5, 256);
+    lpp::Rng rng(21);
+    std::vector<lpp::trace::Addr> addrs(200);
+    for (int round = 0; round < 120; ++round) {
+        uint32_t block = round < 60 ? round % 4 : 100 + round % 4;
+        one.onBlock(block, 100);
+        batched.onBlock(block, 100);
+        for (auto &a : addrs)
+            a = rng.below(1 << 16) * 8;
+        for (auto a : addrs)
+            one.onAccess(a);
+        batched.onAccessBatch(addrs.data(), addrs.size());
+    }
+    one.onEnd();
+    batched.onEnd();
+    EXPECT_EQ(one.intervalPhases(), batched.intervalPhases());
+    EXPECT_EQ(one.phaseCount(), batched.phaseCount());
+    EXPECT_EQ(one.transitions(), batched.transitions());
+}

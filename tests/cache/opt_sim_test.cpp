@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/lru_cache.hpp"
@@ -105,3 +106,26 @@ TEST(OptSimulatorDeathTest, RejectsBadGeometry)
 }
 
 } // namespace
+
+TEST(OptSimulator, BatchedRecordingMatchesScalar)
+{
+    lpp::Rng rng(11);
+    std::vector<Addr> trace;
+    for (int i = 0; i < 30000; ++i)
+        trace.push_back(rng.below(1 << 18));
+
+    CacheConfig cfg{16, 2, 64};
+    OptSimulator one(cfg), batched(cfg);
+    for (Addr a : trace)
+        one.onAccess(a);
+    static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+    size_t i = 0, s = 0;
+    while (i < trace.size()) {
+        size_t take = std::min(sizes[s++ % 8], trace.size() - i);
+        batched.onAccessBatch(trace.data() + i, take);
+        i += take;
+    }
+
+    EXPECT_EQ(one.accesses(), batched.accesses());
+    EXPECT_EQ(one.simulate(), batched.simulate());
+}

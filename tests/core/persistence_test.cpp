@@ -126,4 +126,72 @@ TEST_F(PersistenceTest, EmptyHierarchyRoundTrips)
     EXPECT_EQ(out.hierarchy, nullptr);
 }
 
+
+TEST_F(PersistenceTest, FailedLoadLeavesOutputUntouched)
+{
+    core::PersistedAnalysis out;
+    out.table.set(42, 7);
+    out.phases.resize(1);
+    out.phases[0].id = 0;
+    out.phases[0].marker = 42;
+    out.phases[0].executions = 9;
+
+    auto untouched = [&out]() {
+        if (out.table.size() != 1 || out.table.find(42) == nullptr ||
+            *out.table.find(42) != 7u)
+            return testing::AssertionFailure() << "table changed";
+        if (out.phases.size() != 1 || out.phases[0].marker != 42u ||
+            out.phases[0].executions != 9u)
+            return testing::AssertionFailure() << "phases changed";
+        if (out.hierarchy != nullptr)
+            return testing::AssertionFailure() << "hierarchy changed";
+        return testing::AssertionSuccess();
+    };
+
+    struct Case
+    {
+        const char *name;
+        const char *content;
+    };
+    const Case cases[] = {
+        {"trunc.lpp", "lpp-analysis 1\nmarkers 2\n1 0\n"},
+        {"badphase.lpp",
+         "lpp-analysis 1\nmarkers 0\nphases 1\n5 1 1 1 1 0.5\n"},
+        {"nophases.lpp", "lpp-analysis 1\nmarkers 1\n9 0\n"},
+        {"badregex.lpp",
+         "lpp-analysis 1\nmarkers 1\n3 0\nphases 0\nhierarchy ((\n"},
+    };
+    for (const auto &c : cases) {
+        std::string file = path(c.name);
+        {
+            std::ofstream f(file);
+            f << c.content;
+        }
+        EXPECT_FALSE(core::loadAnalysis(file, &out)) << c.name;
+        EXPECT_TRUE(untouched()) << c.name;
+    }
+}
+
+TEST_F(PersistenceTest, SuccessfulLoadReplacesPreviousContent)
+{
+    // A load into a previously-populated output must replace it
+    // wholesale; no stale markers or phases may survive.
+    auto w = workloads::create("fft");
+    auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+    std::string full = path("full.lpp");
+    ASSERT_TRUE(core::saveAnalysis(analysis, full));
+
+    core::AnalysisResult empty;
+    std::string blank = path("blank.lpp");
+    ASSERT_TRUE(core::saveAnalysis(empty, blank));
+
+    core::PersistedAnalysis out;
+    ASSERT_TRUE(core::loadAnalysis(full, &out));
+    ASSERT_GT(out.table.size(), 0u);
+    ASSERT_TRUE(core::loadAnalysis(blank, &out));
+    EXPECT_TRUE(out.table.empty());
+    EXPECT_TRUE(out.phases.empty());
+    EXPECT_EQ(out.hierarchy, nullptr);
+}
+
 } // namespace

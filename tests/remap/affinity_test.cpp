@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "remap/affinity.hpp"
 #include "workloads/address_space.hpp"
 
@@ -146,3 +149,44 @@ TEST(Affinity, UnknownAddressesIgnored)
 }
 
 } // namespace
+
+TEST(Affinity, BatchedDeliveryMatchesScalar)
+{
+    Fixture f;
+    std::vector<lpp::trace::Addr> prologue, phase3;
+    for (uint64_t i = 0; i < 1500; ++i) {
+        prologue.push_back(f.arrays[0].at(i % 512));
+        prologue.push_back(f.arrays[1].at(i % 512));
+        prologue.push_back(0x4); // outside every array
+    }
+    for (uint64_t i = 0; i < 1500; ++i) {
+        phase3.push_back(f.arrays[2].at(i % 512));
+        phase3.push_back(f.arrays[3].at(i % 512));
+    }
+
+    AffinityAnalyzer one(f.arrays, cfg()), batched(f.arrays, cfg());
+    for (auto a : prologue)
+        one.onAccess(a);
+    one.onPhaseMarker(3);
+    for (auto a : phase3)
+        one.onAccess(a);
+
+    static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+    auto deliver = [&](const std::vector<lpp::trace::Addr> &addrs) {
+        size_t i = 0, s = 0;
+        while (i < addrs.size()) {
+            size_t take = std::min(sizes[s++ % 8], addrs.size() - i);
+            batched.onAccessBatch(addrs.data() + i, take);
+            i += take;
+        }
+    };
+    deliver(prologue);
+    batched.onPhaseMarker(3);
+    deliver(phase3);
+
+    EXPECT_EQ(one.phasesSeen(), batched.phasesSeen());
+    EXPECT_EQ(one.globalGroups(), batched.globalGroups());
+    EXPECT_EQ(one.groupsForPhase(3), batched.groupsForPhase(3));
+    EXPECT_EQ(one.groupsForPhase(0xFFFFFFFFu),
+              batched.groupsForPhase(0xFFFFFFFFu));
+}

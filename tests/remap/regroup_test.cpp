@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cache/lru_cache.hpp"
 #include "remap/regroup.hpp"
 #include "trace/recorder.hpp"
@@ -132,3 +135,54 @@ TEST(RemapExperimentResult, SpeedupMath)
 }
 
 } // namespace
+
+/** Downstream sink that keeps addresses and counts batch calls. */
+class BatchLog : public lpp::trace::TraceSink
+{
+  public:
+    void onAccess(lpp::trace::Addr a) override { addrs.push_back(a); }
+
+    void
+    onAccessBatch(const lpp::trace::Addr *batch, size_t n) override
+    {
+        ++batchCalls;
+        addrs.insert(addrs.end(), batch, batch + n);
+    }
+
+    std::vector<lpp::trace::Addr> addrs;
+    uint64_t batchCalls = 0;
+};
+
+TEST(Remapper, BatchedDeliveryMatchesScalar)
+{
+    Fixture f;
+    std::vector<lpp::trace::Addr> trace;
+    for (uint64_t i = 0; i < 3000; ++i) {
+        trace.push_back(f.arrays[0].at(i % 512));
+        trace.push_back(f.arrays[1].at(i % 512));
+        trace.push_back(0x4); // outside every array
+    }
+
+    AccessRecorder rec;
+    Remapper one(f.arrays, rec);
+    one.setGlobalGroups({{0, 1}});
+    for (auto a : trace)
+        one.onAccess(a);
+
+    BatchLog log;
+    Remapper batched(f.arrays, log);
+    batched.setGlobalGroups({{0, 1}});
+    static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+    size_t i = 0, s = 0, batches = 0;
+    while (i < trace.size()) {
+        size_t take = std::min(sizes[s++ % 8], trace.size() - i);
+        batched.onAccessBatch(trace.data() + i, take);
+        i += take;
+        ++batches;
+    }
+
+    EXPECT_EQ(rec.accesses(), log.addrs);
+    EXPECT_EQ(one.remappedCount(), batched.remappedCount());
+    // Each input batch reaches downstream as exactly one batch.
+    EXPECT_EQ(log.batchCalls, batches);
+}

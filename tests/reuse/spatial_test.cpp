@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "reuse/spatial.hpp"
 #include "support/random.hpp"
 
@@ -122,3 +125,52 @@ TEST(Spatial, BackwardSweepNegativeStride)
 }
 
 } // namespace
+
+testing::AssertionResult
+sameProfile(const SpatialProfile &a, const SpatialProfile &b)
+{
+    if (a.accesses != b.accesses || a.blocksTouched != b.blocksTouched ||
+        a.elementsTouched != b.elementsTouched ||
+        a.dominantStride != b.dominantStride ||
+        a.dominantStrideShare != b.dominantStrideShare)
+        return testing::AssertionFailure() << "profiles differ";
+    return testing::AssertionSuccess();
+}
+
+TEST(Spatial, BatchedDeliveryMatchesScalar)
+{
+    lpp::Rng rng(33);
+    std::vector<lpp::trace::Addr> prologue, phase5;
+    for (int i = 0; i < 6000; ++i)
+        prologue.push_back(rng.below(1 << 16) * 8);
+    for (uint64_t i = 0; i < 6000; ++i)
+        phase5.push_back(i * 8);
+
+    SpatialAnalyzer one, batched;
+    for (auto a : prologue)
+        one.onAccess(a);
+    one.onPhaseMarker(5);
+    for (auto a : phase5)
+        one.onAccess(a);
+    one.onEnd();
+
+    static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+    auto deliver = [&](const std::vector<lpp::trace::Addr> &addrs) {
+        size_t i = 0, s = 0;
+        while (i < addrs.size()) {
+            size_t take = std::min(sizes[s++ % 8], addrs.size() - i);
+            batched.onAccessBatch(addrs.data() + i, take);
+            i += take;
+        }
+    };
+    deliver(prologue);
+    batched.onPhaseMarker(5);
+    deliver(phase5);
+    batched.onEnd();
+
+    EXPECT_TRUE(sameProfile(one.wholeRun(), batched.wholeRun()));
+    EXPECT_TRUE(sameProfile(one.profile(5), batched.profile(5)));
+    EXPECT_TRUE(sameProfile(one.profile(0xFFFFFFFFu),
+                            batched.profile(0xFFFFFFFFu)));
+    EXPECT_EQ(one.phasesSeen(), batched.phasesSeen());
+}

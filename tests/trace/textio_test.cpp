@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -182,3 +184,41 @@ TEST_F(TextIoTest, NonexistentFileFails)
 }
 
 } // namespace
+
+TEST_F(TextIoTest, BatchedWritesMatchScalar)
+{
+    std::vector<Addr> addrs;
+    for (uint64_t i = 0; i < 9000; ++i)
+        addrs.push_back(0x1000 + i * 24);
+
+    {
+        TraceWriter one(path("one.trace"));
+        one.onBlock(3, 40);
+        for (Addr a : addrs)
+            one.onAccess(a);
+        one.onPhaseMarker(2);
+        one.onEnd();
+        ASSERT_TRUE(one.ok());
+
+        TraceWriter batched(path("batched.trace"));
+        batched.onBlock(3, 40);
+        static const size_t sizes[] = {1, 7, 64, 3, 1000, 2, 4096, 13};
+        size_t i = 0, s = 0;
+        while (i < addrs.size()) {
+            size_t take = std::min(sizes[s++ % 8], addrs.size() - i);
+            batched.onAccessBatch(addrs.data() + i, take);
+            i += take;
+        }
+        batched.onPhaseMarker(2);
+        batched.onEnd();
+        ASSERT_TRUE(batched.ok());
+        EXPECT_EQ(one.eventCount(), batched.eventCount());
+    }
+
+    auto slurp = [this](const std::string &name) {
+        std::ifstream f(path(name));
+        return std::string(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+    };
+    EXPECT_EQ(slurp("one.trace"), slurp("batched.trace"));
+}
