@@ -1,21 +1,36 @@
 /**
  * @file
  * Performance harness for the analysis pipeline: times the full
- * nine-workload evaluation sweep serially and in parallel and writes
- * BENCH_pipeline.json so the perf trajectory is machine-readable
- * across PRs.
+ * evaluation sweep serially and in parallel, then cold and warm
+ * against the on-disk trace store, and writes BENCH_pipeline.json so
+ * the perf trajectory is machine-readable across PRs.
  *
- * Stage timings are measured on a separate serial pass: `analysis` is
- * the off-line detection pipeline (sampling → wavelet → partition →
- * markers → Sequitur), `instrument` is the two instrumented replays
- * (train + ref), and `evaluate` is the remainder of evaluateWorkload
- * (prediction metrics, granularity, overlap). The serial/parallel
- * comparison then times evaluateWorkload end-to-end both ways and
- * checks the parallel results bit-identical to serial.
+ * Stage timings are measured directly, one stage per timer — the old
+ * harness derived `evaluate` by subtracting the other stages from an
+ * end-to-end run, which underflowed to 0.000 on workloads whose
+ * repeat run was faster than the first (vortex). Each stage is the
+ * real consumer path against the shared trace cache:
+ *   `analysis`   — core::analyzeWorkload, records the training run
+ *                  once and publishes it to the store,
+ *   `instrument` — the two instrumented replays (train + ref),
+ *   `evaluate`   — core::evaluateWorkload, reusing the training
+ *                  recording (one live reference execution cold).
+ * A zero-cost stage is a measurement bug, not a fast stage: the
+ * harness fails loudly if any stage measures below MIN_STAGE_MS.
+ *
+ * Environment knobs:
+ *   LPP_PERF_WORKLOADS  comma-separated subset of registry names
+ *                       (default: every workload),
+ *   LPP_PERF_KEEP_CACHE keep bench_out/trace_cache from a previous
+ *                       run, so the staged pass starts warm.
  */
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -31,6 +46,9 @@ using namespace lpp;
 using namespace lppbench;
 
 namespace {
+
+/** Below this, a stage "timing" is a harness bug (nothing ran). */
+constexpr double MIN_STAGE_MS = 0.0005;
 
 double
 msSince(std::chrono::steady_clock::time_point start)
@@ -48,13 +66,23 @@ struct StageTimes
     double instrumentMs = 0.0;
     double evaluateMs = 0.0;
     double totalMs = 0.0;
-    uint64_t programExecutions = 0; //!< live runs the plan scheduled
+    uint64_t programExecutions = 0;     //!< live runs, staged cold pass
+    uint64_t programExecutionsWarm = 0; //!< live runs, warm sweep
+    uint64_t cacheHits = 0;             //!< staged pass, both stages
+    uint64_t cacheMisses = 0;
+    uint64_t traceBytes = 0; //!< bytes read from / written to store
 };
 
-/** Field-by-field equality of the evaluation outputs that benches print. */
+/**
+ * Field-by-field equality of the evaluation outputs that benches
+ * print. With `compare_cost` the execution/cache counters must match
+ * too (serial vs parallel, same config); without it only the analysis
+ * results are compared (cached vs uncached runs differ in cost by
+ * design but must agree bit-exactly on every output).
+ */
 bool
 sameEvaluation(const core::WorkloadEvaluation &a,
-               const core::WorkloadEvaluation &b)
+               const core::WorkloadEvaluation &b, bool compare_cost)
 {
     auto sameRow = [](const core::GranularityRow &x,
                       const core::GranularityRow &y) {
@@ -63,6 +91,11 @@ sameEvaluation(const core::WorkloadEvaluation &a,
                x.avgLeafSizeM == y.avgLeafSizeM &&
                x.avgLargestCompositeM == y.avgLargestCompositeM;
     };
+    if (compare_cost &&
+        (a.programExecutions != b.programExecutions ||
+         a.traceCacheHits != b.traceCacheHits ||
+         a.traceCacheMisses != b.traceCacheMisses))
+        return false;
     return a.name == b.name &&
            a.metrics.strictAccuracy == b.metrics.strictAccuracy &&
            a.metrics.strictCoverage == b.metrics.strictCoverage &&
@@ -75,9 +108,56 @@ sameEvaluation(const core::WorkloadEvaluation &a,
            a.trainOverlap.precision == b.trainOverlap.precision &&
            a.refOverlap.recall == b.refOverlap.recall &&
            a.refOverlap.precision == b.refOverlap.precision &&
-           a.programExecutions == b.programExecutions &&
            a.train.replay.sequence() == b.train.replay.sequence() &&
            a.ref.replay.sequence() == b.ref.replay.sequence();
+}
+
+/** Workload subset from LPP_PERF_WORKLOADS, or the full registry. */
+std::vector<std::string>
+selectedWorkloads()
+{
+    auto all = workloads::allNames();
+    const char *env = std::getenv("LPP_PERF_WORKLOADS");
+    if (!env || !*env)
+        return all;
+    std::vector<std::string> picked;
+    std::string spec(env);
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        if (!name.empty()) {
+            bool known = false;
+            for (const auto &n : all)
+                known = known || n == name;
+            if (!known) {
+                std::fprintf(stderr,
+                             "error: LPP_PERF_WORKLOADS names unknown "
+                             "workload '%s'\n",
+                             name.c_str());
+                std::exit(1);
+            }
+            picked.push_back(name);
+        }
+        pos = comma + 1;
+    }
+    if (picked.empty()) {
+        std::fprintf(stderr, "error: LPP_PERF_WORKLOADS is empty\n");
+        std::exit(1);
+    }
+    return picked;
+}
+
+/** Peak resident set size of this process, in KiB. */
+long
+peakRssKb()
+{
+    struct rusage ru = {};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss; // Linux reports KiB
 }
 
 } // namespace
@@ -85,24 +165,36 @@ sameEvaluation(const core::WorkloadEvaluation &a,
 int
 main()
 {
-    title("Pipeline performance: serial vs parallel evaluation sweep");
+    title("Pipeline performance: record-once/replay-many evaluation");
 
-    auto names = workloads::allNames();
+    auto names = selectedWorkloads();
     size_t threads = support::ThreadPool::shared().threadCount();
 
-    // Pass 1: serial, with stage decomposition.
+    core::AnalysisConfig cached;
+    cached.traceCache.enabled = true;
+    const std::string cache_dir = cached.traceCache.dir;
+
+    bool keep_cache = std::getenv("LPP_PERF_KEEP_CACHE") != nullptr;
+    if (!keep_cache)
+        std::filesystem::remove_all(cache_dir);
+
+    // Pass 1: staged decomposition against the shared cache. The
+    // analysis stage records the one training execution; the evaluate
+    // stage reuses it (train hit) and records the reference run —
+    // one live execution per workload on a cold cache, zero warm.
     std::vector<StageTimes> stages;
-    double serialStagesMs = 0.0;
+    bool stage_cost_ok = true;
     for (const auto &name : names) {
         auto w = workloads::create(name);
         StageTimes st;
         st.name = name;
 
         auto t0 = std::chrono::steady_clock::now();
-        auto analysis = core::PhaseAnalysis::analyzeWorkload(*w);
+        auto analysis = core::analyzeWorkload(*w, cached);
         st.analysisMs = msSince(t0);
 
-        const auto &table = analysis.detection.selection.table;
+        const auto &table =
+            analysis.analysis.detection.selection.table;
         auto train_in = w->trainInput();
         auto ref_in = w->refInput();
         t0 = std::chrono::steady_clock::now();
@@ -113,18 +205,35 @@ main()
         st.instrumentMs = msSince(t0);
 
         t0 = std::chrono::steady_clock::now();
-        auto full = core::evaluateWorkload(*w);
+        auto full = core::evaluateWorkload(*w, cached);
+        st.evaluateMs = msSince(t0);
+
+        st.totalMs = st.analysisMs + st.instrumentMs + st.evaluateMs;
+        // Same metric the pre-store harness reported: live executions
+        // the evaluate stage scheduled (was 3; now 1 — the analysis
+        // stage's recording covers the training run, leaving only the
+        // live reference execution on a cold cache).
         st.programExecutions = full.programExecutions;
-        st.totalMs = st.analysisMs + st.instrumentMs;
-        st.evaluateMs = msSince(t0) - st.totalMs;
-        if (st.evaluateMs < 0.0)
-            st.evaluateMs = 0.0;
-        st.totalMs += st.evaluateMs;
-        serialStagesMs += st.totalMs;
+        st.cacheHits = analysis.traceCacheHits + full.traceCacheHits;
+        st.cacheMisses =
+            analysis.traceCacheMisses + full.traceCacheMisses;
+        st.traceBytes = analysis.traceBytes + full.traceBytes;
+
+        for (double ms :
+             {st.analysisMs, st.instrumentMs, st.evaluateMs}) {
+            if (ms < MIN_STAGE_MS) {
+                std::fprintf(stderr,
+                             "error: %s: stage measured %.6f ms — a "
+                             "stage that costs nothing was not "
+                             "measured at all\n",
+                             name.c_str(), ms);
+                stage_cost_ok = false;
+            }
+        }
         stages.push_back(st);
     }
 
-    // Pass 2: serial end-to-end sweep (the baseline being reported).
+    // Pass 2: serial end-to-end sweep, no cache (the live baseline).
     auto t0 = std::chrono::steady_clock::now();
     std::vector<core::WorkloadEvaluation> serial;
     for (const auto &name : names) {
@@ -133,33 +242,78 @@ main()
     }
     double serialMs = msSince(t0);
 
-    // Pass 3: parallel sweep over the shared pool.
+    // Pass 3: parallel sweep over the shared pool, no cache.
     t0 = std::chrono::steady_clock::now();
     auto parallel = core::evaluateWorkloads(names);
     double parallelMs = msSince(t0);
 
     bool identical = serial.size() == parallel.size();
     for (size_t i = 0; identical && i < serial.size(); ++i)
-        identical = sameEvaluation(serial[i], parallel[i]);
+        identical = sameEvaluation(serial[i], parallel[i], true);
+
+    // Pass 4: cold cached sweep — cleared store, every workload
+    // records and publishes its two executions.
+    std::filesystem::remove_all(cache_dir);
+    t0 = std::chrono::steady_clock::now();
+    std::vector<core::WorkloadEvaluation> cold;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        cold.push_back(core::evaluateWorkload(*w, cached));
+    }
+    double coldMs = msSince(t0);
+
+    // Pass 5: warm cached sweep — zero live executions, replay only.
+    t0 = std::chrono::steady_clock::now();
+    std::vector<core::WorkloadEvaluation> warm;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        warm.push_back(core::evaluateWorkload(*w, cached));
+    }
+    double warmMs = msSince(t0);
+
+    bool warm_identical = warm.size() == serial.size();
+    bool warm_no_live = true;
+    for (size_t i = 0; i < warm.size(); ++i) {
+        if (warm_identical)
+            warm_identical =
+                sameEvaluation(serial[i], warm[i], false) &&
+                sameEvaluation(cold[i], warm[i], false);
+        warm_no_live = warm_no_live && warm[i].programExecutions == 0;
+        if (i < stages.size())
+            stages[i].programExecutionsWarm =
+                warm[i].programExecutions;
+    }
 
     double speedup = parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
+    double warmSpeedup = warmMs > 0.0 ? coldMs / warmMs : 0.0;
 
     row("Workload",
-        {"analysis", "instrum.", "evaluate", "total(ms)", "execs"}, 10,
-        10);
+        {"analysis", "instrum.", "evaluate", "total(ms)", "execs",
+         "hit/miss", "KiB"},
+        10, 9);
     rule();
     for (const auto &st : stages)
         row(st.name,
             {num(st.analysisMs, 1), num(st.instrumentMs, 1),
              num(st.evaluateMs, 1), num(st.totalMs, 1),
-             std::to_string(st.programExecutions)},
-            10, 10);
+             std::to_string(st.programExecutions),
+             std::to_string(st.cacheHits) + "/" +
+                 std::to_string(st.cacheMisses),
+             std::to_string(st.traceBytes / 1024)},
+            10, 9);
     rule();
-    std::printf("serial sweep   %10.1f ms\n", serialMs);
+    std::printf("serial sweep   %10.1f ms  (no cache)\n", serialMs);
     std::printf("parallel sweep %10.1f ms  (%zu threads)\n", parallelMs,
                 threads);
     std::printf("speedup        %10.2fx\n", speedup);
-    std::printf("deterministic  %10s\n", identical ? "yes" : "NO");
+    std::printf("cold cached    %10.1f ms  (record + publish)\n",
+                coldMs);
+    std::printf("warm cached    %10.1f ms  (replay only)\n", warmMs);
+    std::printf("warm speedup   %10.2fx\n", warmSpeedup);
+    std::printf("deterministic  %10s\n",
+                identical && warm_identical ? "yes" : "NO");
+    std::printf("warm live runs %10s\n", warm_no_live ? "0" : "NONZERO");
+    std::printf("peak rss       %10ld KiB\n", peakRssKb());
 
     // Machine-readable series, one JSON object per run.
     std::ofstream json("BENCH_pipeline.json");
@@ -174,7 +328,12 @@ main()
              << "\"evaluate_ms\": " << num(st.evaluateMs, 3) << ", "
              << "\"total_ms\": " << num(st.totalMs, 3) << ", "
              << "\"program_executions\": " << st.programExecutions
-             << "}"
+             << ", "
+             << "\"program_executions_warm\": "
+             << st.programExecutionsWarm << ", "
+             << "\"trace_cache\": {\"hits\": " << st.cacheHits
+             << ", \"misses\": " << st.cacheMisses << "}, "
+             << "\"trace_bytes\": " << st.traceBytes << "}"
              << (i + 1 < stages.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
@@ -182,10 +341,20 @@ main()
          << "  \"parallel_ms\": " << num(parallelMs, 3) << ",\n"
          << "  \"speedup\": " << num(speedup, 4) << ",\n"
          << "  \"parallel_identical_to_serial\": "
-         << (identical ? "true" : "false") << "\n"
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"pipeline_cold_ms\": " << num(coldMs, 3) << ",\n"
+         << "  \"pipeline_warm_ms\": " << num(warmMs, 3) << ",\n"
+         << "  \"warm_speedup\": " << num(warmSpeedup, 4) << ",\n"
+         << "  \"warm_identical_to_serial\": "
+         << (warm_identical ? "true" : "false") << ",\n"
+         << "  \"warm_live_executions\": "
+         << (warm_no_live ? 0 : 1) << ",\n"
+         << "  \"peak_rss_kb\": " << peakRssKb() << "\n"
          << "}\n";
     json.close();
     std::printf("\nSeries written to BENCH_pipeline.json\n");
 
-    return identical ? 0 : 1;
+    bool ok = identical && warm_identical && warm_no_live &&
+              stage_cost_ok;
+    return ok ? 0 : 1;
 }

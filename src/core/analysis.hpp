@@ -22,10 +22,24 @@
 
 namespace lpp::core {
 
+/**
+ * On-disk trace-cache settings (trace::TraceStore). Disabled by
+ * default: benches and sweeps that want record-once/replay-many opt in
+ * explicitly, and one-shot consumers keep the live pipeline.
+ */
+struct TraceCacheConfig
+{
+    bool enabled = false;                     //!< opt-in
+    std::string dir = "bench_out/trace_cache"; //!< cache directory
+};
+
 /** Configuration of the full off-line analysis. */
 struct AnalysisConfig
 {
     phase::DetectorConfig detector;
+
+    /** Cross-process reuse of recorded executions (evaluation only). */
+    TraceCacheConfig traceCache;
 
     AnalysisConfig()
     {

@@ -6,11 +6,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include <bit>
+
 #include "support/logging.hpp"
 #include "support/stats.hpp"
 #include "trace/instrument.hpp"
+#include "trace/codec.hpp"
 #include "trace/memory_trace.hpp"
 #include "trace/recorder.hpp"
+#include "trace/trace_store.hpp"
 #include "workloads/registry.hpp"
 
 namespace lpp::core {
@@ -109,28 +113,238 @@ granularity(const Replay &replay,
 namespace {
 
 /**
- * Mutable state of one registered workload evaluation: the stage sinks
+ * Content hash of everything that determines a workload input's event
+ * stream: the codec format, the workload's identity, the input, and
+ * the array layout a run with that input allocates. Any change to the
+ * generator invalidates that workload's cache entries.
+ */
+uint64_t
+workloadParamsHash(const workloads::Workload &workload,
+                   const workloads::WorkloadInput &input)
+{
+    std::vector<uint8_t> buf;
+    auto put64 = [&buf](uint64_t v) {
+        for (int b = 0; b < 8; ++b)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    };
+    auto putStr = [&buf, &put64](const std::string &s) {
+        put64(s.size());
+        buf.insert(buf.end(), s.begin(), s.end());
+    };
+    put64(1); // hash layout version
+    putStr(workload.name());
+    putStr(workload.description());
+    put64(input.seed);
+    put64(std::bit_cast<uint64_t>(input.scale));
+    for (const auto &a : workload.arrays(input)) {
+        putStr(a.name);
+        put64(a.base);
+        put64(a.elements);
+        put64(a.elemBytes);
+    }
+    return trace::contentHash64(buf.data(), buf.size());
+}
+
+/**
+ * Mutable state of the training-side analysis (shared by
+ * analyzeWorkload and registerWorkloadEvaluation): the stage sinks
  * live here so sink factories can build them lazily (after their
  * dependencies completed) and steps can read them afterwards. Owned by
  * the plan via retain().
  */
-struct EvalJob
+struct AnalysisJob
 {
     const workloads::Workload *workload = nullptr;
     phase::PhaseDetector detector;
-    workloads::WorkloadInput trainIn, refIn;
+    workloads::WorkloadInput trainIn;
 
-    phase::PrecountSink precount;
+    std::shared_ptr<trace::TraceStore> store; //!< null: caching off
+    uint64_t trainHash = 0;
+    bool trainHit = false;
+    bool headerStatsValid = false;
+    phase::PrecountStats headerPre; //!< from the stored header, on hit
+
+    trace::MemoryTrace trainLog;
+    phase::PrecountStats pre;
     bool usedPrecount = false;
     std::optional<reuse::VariableDistanceSampler> sampler;
     trace::BlockRecorder blocks;
-    trace::MemoryTrace trainLog;
+
+    AnalysisResult *analysisOut = nullptr;
+    uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
+};
+
+/** Node handles of one registered training-side analysis. */
+struct AnalysisNodes
+{
+    ExecutionPlan::NodeId acquired; //!< trainLog holds the stream
+    ExecutionPlan::NodeId ready;    //!< *analysisOut final
+};
+
+std::shared_ptr<AnalysisJob>
+makeAnalysisJob(const workloads::Workload &workload,
+                const AnalysisConfig &config, AnalysisResult *out)
+{
+    auto job = std::make_shared<AnalysisJob>();
+    job->workload = &workload;
+    job->trainIn = workload.trainInput();
+    job->analysisOut = out;
+
+    // Same configuration adjustment the serial path applies: the
+    // addressed footprint bounds the sampler's distinct-element count.
+    AnalysisConfig cfg = config;
+    if (cfg.detector.sampler.addressSpaceElements == 0) {
+        uint64_t elements = 0;
+        for (const auto &a : workload.arrays(job->trainIn))
+            elements += a.elements;
+        cfg.detector.sampler.addressSpaceElements = elements;
+    }
+    job->detector = phase::PhaseDetector(cfg.detector);
+
+    if (config.traceCache.enabled) {
+        job->store =
+            std::make_shared<trace::TraceStore>(config.traceCache.dir);
+        job->trainHash = workloadParamsHash(workload, job->trainIn);
+        auto info = job->store->lookup(
+            workloadKey(workload, job->trainIn), job->trainHash);
+        if (info) {
+            job->trainHit = true;
+            job->cacheHits = 1;
+            job->traceBytes += info->fileBytes;
+            if (info->stats.valid) {
+                job->headerStatsValid = true;
+                job->headerPre = phase::PrecountStats{
+                    info->accesses, info->stats.distinctElements};
+            }
+        } else {
+            job->cacheMisses = 1;
+        }
+    }
+    return job;
+}
+
+/**
+ * Register the training-side analysis:
+ *
+ *   acquire the training stream (ONE live recording execution, or a
+ *   trace-store load on a hit)  ->  precount from the recording (step;
+ *   skipped entirely when the stored header carries the stats)  ->
+ *   sampling + block trace as one coalesced replay of the recording
+ *   ->  publish to the store (miss only)  ->  detection finish.
+ */
+AnalysisNodes
+registerTrainAnalysis(ExecutionPlan &plan,
+                      const std::shared_ptr<AnalysisJob> &job)
+{
+    plan.retain(job);
+    AnalysisJob *j = job.get();
+    const std::string train_key = workloadKey(*j->workload, j->trainIn);
+
+    // Acquire: the one (at most) live training execution records its
+    // raw stream; a cache hit decodes the stored stream instead. A
+    // corrupt entry falls back to a live run inside the step (not
+    // plan-counted — rare, and the result is still exact).
+    ExecutionPlan::NodeId acquired;
+    if (j->trainHit) {
+        acquired = plan.addStep([j, train_key] {
+            if (!j->store->load(train_key, j->trainHash, j->trainLog)) {
+                j->headerStatsValid = false;
+                j->workload->run(j->trainIn, j->trainLog);
+            }
+        });
+    } else {
+        acquired = plan.addPass(
+            train_key,
+            [j](trace::TraceSink &sink) {
+                j->workload->run(j->trainIn, sink);
+            },
+            [j] { return &j->trainLog; });
+    }
+
+    // Precount from the recording: same statistics a dedicated
+    // precount execution would produce (the replay is exact), without
+    // the execution. A stored header supplies them for free.
+    auto precounted = plan.addStep(
+        [j] {
+            if (!j->detector.needsPrecount())
+                return;
+            j->usedPrecount = true;
+            j->pre = j->headerStatsValid
+                         ? j->headerPre
+                         : phase::PhaseDetector::precountFromTrace(
+                               j->trainLog);
+        },
+        {acquired});
+
+    // Sampling + block trace: one coalesced replay of the recording.
+    auto replay_runner = [j](trace::TraceSink &sink) {
+        j->trainLog.replay(sink);
+    };
+    auto sampler_pass = plan.addPass(
+        train_key, replay_runner,
+        [j]() -> trace::TraceSink * {
+            j->sampler.emplace(j->detector.samplingConfig(
+                j->usedPrecount ? &j->pre : nullptr));
+            return &*j->sampler;
+        },
+        {precounted}, {.replay = true});
+    auto blocks_pass = plan.addPass(
+        train_key, replay_runner, [j] { return &j->blocks; },
+        {precounted}, {.replay = true});
+
+    std::vector<ExecutionPlan::NodeId> ready_deps{sampler_pass,
+                                                  blocks_pass};
+
+    // Publish the recording for the next process (cache miss only).
+    // Best-effort: a failed store leaves the pipeline untouched.
+    if (j->store && !j->trainHit) {
+        ready_deps.push_back(plan.addStep(
+            [j, train_key] {
+                trace::StoredTraceStats stats;
+                if (j->usedPrecount) {
+                    stats.valid = true;
+                    stats.distinctElements = j->pre.distinctElements;
+                }
+                j->traceBytes += j->store->store(train_key, j->trainHash,
+                                                 j->trainLog, stats);
+            },
+            {precounted}));
+    }
+
+    // Detection finish + hierarchy (pure computation).
+    auto ready = plan.addStep(
+        [j] {
+            j->analysisOut->detection =
+                j->detector.finish(*j->sampler, j->blocks);
+            j->analysisOut->hierarchy =
+                grammar::PhaseHierarchy::fromSequence(
+                    j->analysisOut->detection.selection.sequence());
+        },
+        std::move(ready_deps));
+
+    return AnalysisNodes{acquired, ready};
+}
+
+/**
+ * Reference-side and instrumented-run state of one registered workload
+ * evaluation. Owned by the plan via retain().
+ */
+struct EvalJob
+{
+    const workloads::Workload *workload = nullptr;
+    workloads::WorkloadInput refIn;
+
+    std::shared_ptr<trace::TraceStore> store; //!< null: caching off
+    uint64_t refHash = 0;
+    bool refHit = false;
+    trace::MemoryTrace refLog; //!< decoded on a hit, recorded on a miss
 
     ExecutionCollector trainCollector, refCollector;
     trace::ManualMarkerRecorder trainManual, refManual;
     trace::FanoutSink trainFan, refFan;
     std::optional<trace::Instrumenter> trainInst, refInst;
 
+    uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
     WorkloadEvaluation *out = nullptr;
 };
 
@@ -142,77 +356,41 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
                            const AnalysisConfig &config,
                            WorkloadEvaluation *out)
 {
+    auto ajob = makeAnalysisJob(workload, config, &out->analysis);
+    auto anodes = registerTrainAnalysis(plan, ajob);
+    AnalysisJob *a = ajob.get();
+
     auto job = std::make_shared<EvalJob>();
     plan.retain(job);
     EvalJob *j = job.get();
 
     j->workload = &workload;
-    j->trainIn = workload.trainInput();
     j->refIn = workload.refInput();
     j->out = out;
     out->name = workload.name();
 
-    // Same configuration adjustment the serial path applies: the
-    // addressed footprint bounds the sampler's distinct-element count.
-    AnalysisConfig cfg = config;
-    if (cfg.detector.sampler.addressSpaceElements == 0) {
-        uint64_t elements = 0;
-        for (const auto &a : workload.arrays(j->trainIn))
-            elements += a.elements;
-        cfg.detector.sampler.addressSpaceElements = elements;
-    }
-    j->detector = phase::PhaseDetector(cfg.detector);
-
-    const std::string train_key = workloadKey(workload, j->trainIn);
+    const std::string train_key = workloadKey(workload, a->trainIn);
     const std::string ref_key = workloadKey(workload, j->refIn);
-    auto train_runner = [j](trace::TraceSink &sink) {
-        j->workload->run(j->trainIn, sink);
-    };
 
-    // Stage 0: precount execution (train), when configured.
-    std::vector<ExecutionPlan::NodeId> after_precount;
-    if (j->detector.needsPrecount()) {
-        j->usedPrecount = true;
-        after_precount.push_back(plan.addPass(
-            train_key, train_runner, [j] { return &j->precount; }));
+    if (a->store) {
+        j->store = a->store;
+        j->refHash = workloadParamsHash(workload, j->refIn);
+        if (j->store->lookup(ref_key, j->refHash)) {
+            j->refHit = true;
+            j->cacheHits = 1;
+        } else {
+            j->cacheMisses = 1;
+        }
     }
 
-    // Stage 1: one coalesced training execution feeding the sampler,
-    // the block recorder, and the stream recording for the later
-    // instrumented replay.
-    auto sampler_pass = plan.addPass(
-        train_key, train_runner,
-        [j]() -> trace::TraceSink * {
-            auto stats = j->precount.stats();
-            j->sampler.emplace(j->detector.samplingConfig(
-                j->usedPrecount ? &stats : nullptr));
-            return &*j->sampler;
-        },
-        after_precount);
-    auto blocks_pass = plan.addPass(
-        train_key, train_runner, [j] { return &j->blocks; },
-        after_precount);
-    auto record_pass = plan.addPass(
-        train_key, train_runner, [j] { return &j->trainLog; },
-        after_precount);
+    auto analysis_ready = anodes.ready;
 
-    // Stage 2: detection finish + hierarchy (pure computation).
-    auto analysis_ready = plan.addStep(
-        [j] {
-            j->out->analysis.detection =
-                j->detector.finish(*j->sampler, j->blocks);
-            j->out->analysis.hierarchy =
-                grammar::PhaseHierarchy::fromSequence(
-                    j->out->analysis.detection.selection.sequence());
-        },
-        {sampler_pass, blocks_pass, record_pass});
-
-    // Stage 3: instrumented runs. The training side replays the
-    // recorded sampling stream (no live execution); the reference side
-    // is a live run. Each wraps its own instrumenter so the raw
-    // streams stay shareable.
+    // Instrumented training run: a replay of the training recording
+    // (never a live execution). Wraps its own instrumenter so the raw
+    // stream stays shareable.
     auto train_replay = plan.addPass(
-        train_key, [j](trace::TraceSink &sink) { j->trainLog.replay(sink); },
+        train_key,
+        [a](trace::TraceSink &sink) { a->trainLog.replay(sink); },
         [j]() -> trace::TraceSink * {
             j->trainFan.attach(&j->trainCollector);
             j->trainFan.attach(&j->trainManual);
@@ -221,23 +399,56 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
             return &*j->trainInst;
         },
         {analysis_ready}, {.replay = true});
-    auto ref_run = plan.addPass(
-        ref_key, [j](trace::TraceSink &sink) {
-            j->workload->run(j->refIn, sink);
-        },
-        [j]() -> trace::TraceSink * {
-            j->refFan.attach(&j->refCollector);
-            j->refFan.attach(&j->refManual);
-            j->refInst.emplace(j->out->analysis.detection.selection.table,
-                               j->refFan);
-            return &*j->refInst;
-        },
-        {analysis_ready});
 
-    // Stage 4: assemble the evaluation; the recording is no longer
-    // needed, so release its memory.
+    // Instrumented reference run: live on a cold cache (recording the
+    // raw stream for the store when caching), a replay of the stored
+    // stream on a hit.
+    auto ref_sink_factory = [j]() -> trace::TraceSink * {
+        j->refFan.attach(&j->refCollector);
+        j->refFan.attach(&j->refManual);
+        j->refInst.emplace(j->out->analysis.detection.selection.table,
+                           j->refFan);
+        return &*j->refInst;
+    };
+    std::vector<ExecutionPlan::NodeId> done_deps{train_replay};
+    if (j->refHit) {
+        auto acquired = plan.addStep([j, ref_key] {
+            if (!j->store->load(ref_key, j->refHash, j->refLog))
+                j->workload->run(j->refIn, j->refLog);
+        });
+        done_deps.push_back(plan.addPass(
+            ref_key,
+            [j](trace::TraceSink &sink) { j->refLog.replay(sink); },
+            ref_sink_factory, {analysis_ready, acquired},
+            {.replay = true}));
+    } else {
+        auto live_runner = [j](trace::TraceSink &sink) {
+            j->workload->run(j->refIn, sink);
+        };
+        done_deps.push_back(plan.addPass(ref_key, live_runner,
+                                         ref_sink_factory,
+                                         {analysis_ready}));
+        if (j->store) {
+            // Record the raw reference stream in the same coalesced
+            // execution and publish it; no precount stats — the
+            // reference side never sizes a sampler.
+            auto record = plan.addPass(ref_key, live_runner,
+                                       [j] { return &j->refLog; },
+                                       {analysis_ready});
+            done_deps.push_back(plan.addStep(
+                [j, ref_key] {
+                    j->traceBytes += j->store->store(
+                        ref_key, j->refHash, j->refLog,
+                        trace::StoredTraceStats{});
+                },
+                {record}));
+        }
+    }
+
+    // Assemble the evaluation; the recordings are no longer needed, so
+    // release their memory.
     auto done = plan.addStep(
-        [j] {
+        [j, a] {
             WorkloadEvaluation &ev = *j->out;
             ev.train.replay = j->trainCollector.replay();
             ev.train.manualTimes = j->trainManual.times();
@@ -267,11 +478,34 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
                                             auto_times(ev.train.replay));
             ev.refOverlap = markerOverlap(ev.ref.manualTimes,
                                           auto_times(ev.ref.replay));
-            j->trainLog.clear();
+
+            ev.traceCacheHits = a->cacheHits + j->cacheHits;
+            ev.traceCacheMisses = a->cacheMisses + j->cacheMisses;
+            ev.traceBytes = a->traceBytes + j->traceBytes;
+
+            a->trainLog.clear();
+            j->refLog.clear();
         },
-        {train_replay, ref_run});
+        std::move(done_deps));
 
     return WorkloadEvaluationNodes{analysis_ready, done};
+}
+
+WorkloadAnalysisRun
+analyzeWorkload(const workloads::Workload &workload,
+                const AnalysisConfig &config)
+{
+    WorkloadAnalysisRun out;
+    ExecutionPlan plan;
+    auto job = makeAnalysisJob(workload, config, &out.analysis);
+    registerTrainAnalysis(plan, job);
+    plan.run();
+    out.programExecutions =
+        plan.programExecutions(workload.name() + "@");
+    out.traceCacheHits = job->cacheHits;
+    out.traceCacheMisses = job->cacheMisses;
+    out.traceBytes = job->traceBytes;
+    return out;
 }
 
 WorkloadEvaluation

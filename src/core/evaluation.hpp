@@ -61,6 +61,15 @@ struct WorkloadEvaluation
 
     /** Live program executions this evaluation cost (replays free). */
     uint64_t programExecutions = 0;
+
+    /** Executions served from the trace cache (0 when caching is off). */
+    uint64_t traceCacheHits = 0;
+
+    /** Cache probes that missed and ran (and recorded) live. */
+    uint64_t traceCacheMisses = 0;
+
+    /** Compressed trace bytes written to or reused from the cache. */
+    uint64_t traceBytes = 0;
 };
 
 /**
@@ -82,14 +91,41 @@ GranularityRow granularity(const Replay &replay,
 
 /**
  * The full per-workload evaluation pipeline, driven through an
- * execution plan: three live program executions (precount, sampling,
- * reference) plus one replay of the recorded sampling stream for the
- * instrumented training run. Results are bit-identical to the serial
- * one-sink-per-run pipeline; programExecutions reports the live cost.
+ * execution plan: at most two live program executions (one recording
+ * training run, one reference run) — every other consumer replays the
+ * recorded streams, and precount statistics are derived from the
+ * training recording instead of a dedicated precount execution. With
+ * config.traceCache enabled, each live execution first probes the
+ * on-disk trace store: a hit replaces it with a replay of the stored
+ * stream (0 live executions on a fully warm cache) and a miss records
+ * and publishes the stream for the next process. Results are
+ * bit-identical to the serial one-sink-per-run pipeline on every path
+ * (cold-live, cold-recorded, warm-cache); programExecutions reports
+ * the live cost.
  */
 WorkloadEvaluation
 evaluateWorkload(const workloads::Workload &workload,
                  const AnalysisConfig &config = {});
+
+/** Analysis-only result of analyzeWorkload(), with its cache costs. */
+struct WorkloadAnalysisRun
+{
+    AnalysisResult analysis;
+    uint64_t programExecutions = 0; //!< live executions (0 or 1)
+    uint64_t traceCacheHits = 0;
+    uint64_t traceCacheMisses = 0;
+    uint64_t traceBytes = 0;
+};
+
+/**
+ * The training-side analysis alone (detection, markers, hierarchy),
+ * driven through an execution plan with the same trace-cache semantics
+ * as evaluateWorkload: at most one live training execution, 0 on a
+ * warm cache. Bit-identical to PhaseAnalysis::analyzeWorkload.
+ */
+WorkloadAnalysisRun
+analyzeWorkload(const workloads::Workload &workload,
+                const AnalysisConfig &config = {});
 
 /**
  * Evaluate many workloads (by registry name) with the same config on
@@ -122,17 +158,21 @@ struct WorkloadEvaluationNodes
 /**
  * Register the full per-workload evaluation pipeline on `plan`:
  *
- *   precount (train)  ->  sampling + block trace + stream recording
- *   (train, one coalesced execution)  ->  detection finish (step)  ->
- *   instrumented train REPLAY of the recording + instrumented ref
- *   execution  ->  metrics assembly (step)
+ *   acquire train stream (ONE live recording execution, or a trace-
+ *   cache load)  ->  precount from the recording (step)  ->  sampling
+ *   + block trace as one coalesced REPLAY of the recording  ->
+ *   detection finish (step)  ->  instrumented train REPLAY +
+ *   instrumented ref execution (live or cache replay)  ->  metrics
+ *   assembly (step)
  *
- * Three live program executions per workload (precount, sampling,
- * reference); the instrumented training run replays the sampling
- * execution's recorded stream instead of running the program again.
- * Every field of *out is bit-identical to the serial one-sink-per-run
- * pipeline. `workload` and `out` must outlive plan.run(); the caller
- * fills out->programExecutions from plan.programExecutions(name + "@")
+ * At most two live program executions per workload (training,
+ * reference); precount statistics come from the recorded stream, and
+ * every other consumer replays a recording. With config.traceCache
+ * enabled each live execution is replaced by a store replay on a hit
+ * and recorded + published on a miss. Every field of *out is
+ * bit-identical to the serial one-sink-per-run pipeline. `workload`
+ * and `out` must outlive plan.run(); the caller fills
+ * out->programExecutions from plan.programExecutions(name + "@")
  * after the run.
  */
 WorkloadEvaluationNodes

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "trace/memory_trace.hpp"
 
 namespace lpp::phase {
 
@@ -41,6 +42,14 @@ PhaseDetector::samplingConfig(const PrecountStats *pre) const
         scfg.ceilTemporal = threshold;
     }
     return scfg;
+}
+
+PrecountStats
+PhaseDetector::precountFromTrace(const trace::MemoryTrace &t)
+{
+    PrecountSink sink;
+    t.replay(sink);
+    return sink.stats();
 }
 
 std::vector<reuse::SamplePoint>

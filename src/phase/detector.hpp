@@ -35,6 +35,10 @@
 #include "trace/sink.hpp"
 #include "wavelet/filtering.hpp"
 
+namespace lpp::trace {
+class MemoryTrace;
+}
+
 namespace lpp::phase {
 
 /** Configuration of the whole detection pipeline. */
@@ -148,6 +152,15 @@ class PhaseDetector
 
     /** @return whether the configuration calls for a precount pass. */
     bool needsPrecount() const;
+
+    /**
+     * Precount stage over a recording instead of a live execution:
+     * replays the recorded stream into a PrecountSink. With a recorded
+     * (or cached) training trace this replaces the dedicated precount
+     * program execution — the trace-derived-counts handoff of the
+     * single-execution pipeline.
+     */
+    static PrecountStats precountFromTrace(const trace::MemoryTrace &t);
 
     /**
      * Stage handoff precount -> sampling: the effective sampler

@@ -1,0 +1,269 @@
+#include "trace/codec.hpp"
+
+#include <algorithm>
+
+#include "trace/memory_trace.hpp"
+
+namespace lpp::trace {
+
+namespace {
+
+/** Map a signed delta onto small unsigned values (zig-zag). */
+inline uint64_t
+zigzag(uint64_t value, uint64_t prev)
+{
+    int64_t d = static_cast<int64_t>(value - prev);
+    return (static_cast<uint64_t>(d) << 1) ^
+           static_cast<uint64_t>(d >> 63);
+}
+
+/** Inverse of zigzag(): recover the value from the coded delta. */
+inline uint64_t
+unzigzag(uint64_t coded, uint64_t prev)
+{
+    int64_t d = static_cast<int64_t>((coded >> 1) ^
+                                     (~(coded & 1) + 1));
+    return prev + static_cast<uint64_t>(d);
+}
+
+/**
+ * Decode one varint from [*p, end). Returns false on truncation. The
+ * caller's cursor advances past the consumed bytes on success.
+ */
+inline bool
+readVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    uint64_t out = 0;
+    unsigned shift = 0;
+    while (p < end && shift < 64) {
+        uint8_t byte = *p++;
+        out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            v = out;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+TraceEncoder::putVarint(uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+void
+TraceEncoder::putDelta(uint64_t value, uint64_t &prev)
+{
+    putVarint(zigzag(value, prev));
+    prev = value;
+}
+
+void
+TraceEncoder::onBlock(BlockId block, uint32_t instructions)
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::Block));
+    putDelta(block, prevBlock);
+    putVarint(instructions);
+    ++events;
+}
+
+void
+TraceEncoder::onAccess(Addr addr)
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::Access));
+    putDelta(addr, prevAddr);
+    ++events;
+    ++accesses;
+}
+
+void
+TraceEncoder::onAccessBatch(const Addr *addrs, size_t n)
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::Batch));
+    putVarint(n);
+    // Worst case ten bytes per delta. Grow geometrically: reserving
+    // just past size() per batch would force a full copy of the
+    // payload on every batch — quadratic over the whole stream.
+    if (out.capacity() - out.size() < 10 * n)
+        out.reserve(std::max(out.capacity() * 2, out.size() + 10 * n));
+    for (size_t i = 0; i < n; ++i)
+        putDelta(addrs[i], prevAddr);
+    ++events;
+    accesses += n;
+}
+
+void
+TraceEncoder::onManualMarker(uint32_t marker_id)
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::Manual));
+    putVarint(marker_id);
+    ++events;
+}
+
+void
+TraceEncoder::onPhaseMarker(PhaseId phase)
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::Phase));
+    putVarint(phase);
+    ++events;
+}
+
+void
+TraceEncoder::onEnd()
+{
+    out.push_back(static_cast<uint8_t>(TraceOp::End));
+    ++events;
+}
+
+bool
+decodeTrace(const uint8_t *data, size_t size, TraceSink &sink,
+            uint64_t *events_out, uint64_t *accesses_out)
+{
+    const uint8_t *p = data;
+    const uint8_t *end = data + size;
+    uint64_t prevAddr = 0;
+    uint64_t prevBlock = 0;
+    uint64_t events = 0;
+    uint64_t accesses = 0;
+    std::vector<Addr> batch;
+
+    while (p < end) {
+        uint8_t op = *p++;
+        switch (static_cast<TraceOp>(op)) {
+          case TraceOp::Block: {
+            uint64_t d = 0, instrs = 0;
+            if (!readVarint(p, end, d) || !readVarint(p, end, instrs))
+                return false;
+            prevBlock = unzigzag(d, prevBlock);
+            sink.onBlock(static_cast<BlockId>(prevBlock),
+                         static_cast<uint32_t>(instrs));
+            break;
+          }
+          case TraceOp::Access: {
+            uint64_t d = 0;
+            if (!readVarint(p, end, d))
+                return false;
+            prevAddr = unzigzag(d, prevAddr);
+            sink.onAccess(prevAddr);
+            ++accesses;
+            break;
+          }
+          case TraceOp::Batch: {
+            uint64_t n = 0;
+            if (!readVarint(p, end, n))
+                return false;
+            // A batch cannot have more deltas than remaining bytes;
+            // reject early so a corrupt length cannot force a huge
+            // allocation.
+            if (n > static_cast<uint64_t>(end - p))
+                return false;
+            batch.resize(static_cast<size_t>(n));
+            Addr *dst = batch.data();
+            size_t i = 0;
+            // Unrolled fast path: while at least four worst-case
+            // varints remain, decode four deltas without per-byte
+            // bounds checks in readVarint's loop condition.
+            while (i + 4 <= n &&
+                   end - p >= 4 * 10) {
+                for (int k = 0; k < 4; ++k) {
+                    uint64_t coded = 0;
+                    unsigned shift = 0;
+                    uint8_t byte = 0x80;
+                    while (byte & 0x80) {
+                        // Ten bytes bound a 64-bit varint; a longer
+                        // run is corruption, not data.
+                        if (shift >= 70)
+                            return false;
+                        byte = *p++;
+                        coded |=
+                            static_cast<uint64_t>(byte & 0x7F) << shift;
+                        shift += 7;
+                    }
+                    prevAddr = unzigzag(coded, prevAddr);
+                    dst[i + static_cast<size_t>(k)] = prevAddr;
+                }
+                i += 4;
+            }
+            for (; i < n; ++i) {
+                uint64_t coded = 0;
+                if (!readVarint(p, end, coded))
+                    return false;
+                prevAddr = unzigzag(coded, prevAddr);
+                dst[i] = prevAddr;
+            }
+            sink.onAccessBatch(dst, static_cast<size_t>(n));
+            accesses += n;
+            break;
+          }
+          case TraceOp::Manual: {
+            uint64_t id = 0;
+            if (!readVarint(p, end, id))
+                return false;
+            sink.onManualMarker(static_cast<uint32_t>(id));
+            break;
+          }
+          case TraceOp::Phase: {
+            uint64_t id = 0;
+            if (!readVarint(p, end, id))
+                return false;
+            sink.onPhaseMarker(static_cast<PhaseId>(id));
+            break;
+          }
+          case TraceOp::End:
+            sink.onEnd();
+            break;
+          default:
+            return false;
+        }
+        ++events;
+    }
+    if (events_out)
+        *events_out = events;
+    if (accesses_out)
+        *accesses_out = accesses;
+    return true;
+}
+
+std::vector<uint8_t>
+encodeTrace(const MemoryTrace &trace)
+{
+    TraceEncoder enc;
+    trace.replay(enc);
+    return enc.take();
+}
+
+uint64_t
+contentHash64(const uint8_t *data, size_t size)
+{
+    // FNV-1a over 8-byte lanes (tail bytes zero-padded), then a
+    // mix64 finalizer so nearby payloads land far apart.
+    uint64_t h = 0xcbf29ce484222325ULL ^ (size * 0x9E3779B97F4A7C15ULL);
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t lane = 0;
+        for (int b = 0; b < 8; ++b)
+            lane |= static_cast<uint64_t>(data[i + static_cast<size_t>(b)])
+                    << (8 * b);
+        h = (h ^ lane) * 0x100000001b3ULL;
+    }
+    uint64_t tail = 0;
+    for (int b = 0; i < size; ++i, ++b)
+        tail |= static_cast<uint64_t>(data[i]) << (8 * b);
+    h = (h ^ tail) * 0x100000001b3ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+} // namespace lpp::trace

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compact binary codec for trace event streams.
+ *
+ * A recorded execution (trace::MemoryTrace) stores eight raw bytes per
+ * address, but workload address streams are strongly local: consecutive
+ * accesses usually differ by one element or one row. The codec
+ * therefore delta-codes the address stream (one running predecessor
+ * across single accesses and batches alike), zig-zags the signed
+ * deltas, and varint-packs the result, which shrinks a typical workload
+ * trace to two or three bytes per access. Block ids are delta-coded the
+ * same way against the previous block id.
+ *
+ * The encoding preserves the stream *exactly*, including access-batch
+ * boundaries: a Batch event re-emerges as one onAccessBatch call of the
+ * original length, a single Access as one onAccess call. Encoding via
+ * TraceEncoder (a TraceSink) and decoding via decodeTrace() are exact
+ * inverses, so record → encode → decode → replay is bit-identical to
+ * the live stream — the property the execution plan's equivalence
+ * tests pin down.
+ *
+ * decodeTrace() is the replay hot path: it decodes each batch into a
+ * reused buffer with an unrolled varint loop and hands it straight to
+ * TraceSink::onAccessBatch, so a cached trace replays at close to
+ * memory bandwidth instead of at workload-simulation speed.
+ */
+
+#ifndef LPP_TRACE_CODEC_HPP
+#define LPP_TRACE_CODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::trace {
+
+class MemoryTrace;
+
+/** Event opcodes of the encoded stream (one byte each). */
+enum class TraceOp : uint8_t
+{
+    Block = 0,  //!< zigzag(blockId delta), varint(instructions)
+    Access = 1, //!< zigzag(address delta)
+    Batch = 2,  //!< varint(n), n * zigzag(address delta)
+    Manual = 3, //!< varint(marker id)
+    Phase = 4,  //!< varint(phase id)
+    End = 5,    //!< no operands
+};
+
+/**
+ * Sink that delta + varint encodes the stream it observes. Feed it a
+ * live execution (or MemoryTrace::replay) and take() the bytes.
+ */
+class TraceEncoder : public TraceSink
+{
+  public:
+    void onBlock(BlockId block, uint32_t instructions) override;
+    void onAccess(Addr addr) override;
+    void onAccessBatch(const Addr *addrs, size_t n) override;
+    void onManualMarker(uint32_t marker_id) override;
+    void onPhaseMarker(PhaseId phase) override;
+    void onEnd() override;
+
+    /** @return the encoded payload so far. */
+    const std::vector<uint8_t> &bytes() const { return out; }
+
+    /** @return the encoded payload (moves it out). */
+    std::vector<uint8_t> take() { return std::move(out); }
+
+    /** @return events encoded (a batch counts as one event). */
+    uint64_t eventCount() const { return events; }
+
+    /** @return data accesses encoded. */
+    uint64_t accessCount() const { return accesses; }
+
+  private:
+    void putVarint(uint64_t v);
+    void putDelta(uint64_t value, uint64_t &prev);
+
+    std::vector<uint8_t> out;
+    uint64_t prevAddr = 0;
+    uint64_t prevBlock = 0;
+    uint64_t events = 0;
+    uint64_t accesses = 0;
+};
+
+/**
+ * Decode an encoded payload, re-delivering the stream into `sink` with
+ * the original event order and batch boundaries. Strict: any malformed
+ * byte (unknown opcode, truncated varint, truncated batch) aborts the
+ * decode and returns false — the caller falls back to live execution.
+ *
+ * @param events_out   decoded event count (valid on success)
+ * @param accesses_out decoded access count (valid on success)
+ */
+bool decodeTrace(const uint8_t *data, size_t size, TraceSink &sink,
+                 uint64_t *events_out = nullptr,
+                 uint64_t *accesses_out = nullptr);
+
+/** Encode a recording (replays it through a TraceEncoder). */
+std::vector<uint8_t> encodeTrace(const MemoryTrace &trace);
+
+/**
+ * 64-bit content hash (FNV-1a over 8-byte lanes with a finalizing
+ * avalanche); verifies stored payloads against bit rot and truncation.
+ */
+uint64_t contentHash64(const uint8_t *data, size_t size);
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_CODEC_HPP

@@ -1,0 +1,310 @@
+#include "trace/trace_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "support/logging.hpp"
+#include "trace/codec.hpp"
+#include "trace/memory_trace.hpp"
+
+namespace lpp::trace {
+
+namespace {
+
+constexpr uint32_t storeMagic = 0x3154504Cu; // "LPT1"
+constexpr uint32_t storeVersion = 1;
+
+/** Fixed-width little-endian header preceding key and payload. */
+struct EntryHeader
+{
+    uint32_t magic = storeMagic;
+    uint32_t version = storeVersion;
+    uint64_t paramsHash = 0;
+    uint64_t eventCount = 0;
+    uint64_t accessCount = 0;
+    uint8_t hasStats = 0;
+    uint64_t distinctElements = 0;
+    uint64_t payloadBytes = 0;
+    uint64_t payloadHash = 0;
+    uint32_t keyBytes = 0;
+};
+
+constexpr size_t headerBytes = 4 + 4 + 8 + 8 + 8 + 1 + 8 + 8 + 8 + 4;
+
+template <typename T>
+void
+put(std::vector<uint8_t> &out, T v)
+{
+    for (size_t b = 0; b < sizeof(T); ++b)
+        out.push_back(static_cast<uint8_t>(
+            static_cast<uint64_t>(v) >> (8 * b)));
+}
+
+template <typename T>
+bool
+get(const uint8_t *&p, const uint8_t *end, T &v)
+{
+    if (static_cast<size_t>(end - p) < sizeof(T))
+        return false;
+    uint64_t out = 0;
+    for (size_t b = 0; b < sizeof(T); ++b)
+        out |= static_cast<uint64_t>(p[b]) << (8 * b);
+    v = static_cast<T>(out);
+    p += sizeof(T);
+    return true;
+}
+
+std::vector<uint8_t>
+serializeHeader(const EntryHeader &h)
+{
+    std::vector<uint8_t> out;
+    out.reserve(headerBytes);
+    put(out, h.magic);
+    put(out, h.version);
+    put(out, h.paramsHash);
+    put(out, h.eventCount);
+    put(out, h.accessCount);
+    put(out, h.hasStats);
+    put(out, h.distinctElements);
+    put(out, h.payloadBytes);
+    put(out, h.payloadHash);
+    put(out, h.keyBytes);
+    return out;
+}
+
+bool
+parseHeader(const uint8_t *data, size_t size, EntryHeader &h)
+{
+    const uint8_t *p = data;
+    const uint8_t *end = data + size;
+    return get(p, end, h.magic) && get(p, end, h.version) &&
+           get(p, end, h.paramsHash) && get(p, end, h.eventCount) &&
+           get(p, end, h.accessCount) && get(p, end, h.hasStats) &&
+           get(p, end, h.distinctElements) &&
+           get(p, end, h.payloadBytes) && get(p, end, h.payloadHash) &&
+           get(p, end, h.keyBytes);
+}
+
+/**
+ * Read and header-verify one entry. On success fills `header` and, when
+ * `payload` is non-null, the raw payload bytes (hash NOT yet checked).
+ */
+bool
+readEntry(const std::string &path, const std::string &key,
+          uint64_t params_hash, EntryHeader &header,
+          std::vector<uint8_t> *payload, uint64_t *file_bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+
+    std::vector<uint8_t> head(headerBytes);
+    in.read(reinterpret_cast<char *>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+    if (in.gcount() != static_cast<std::streamsize>(head.size()))
+        return false;
+    if (!parseHeader(head.data(), head.size(), header))
+        return false;
+    if (header.magic != storeMagic || header.version != storeVersion ||
+        header.paramsHash != params_hash ||
+        header.keyBytes != key.size() ||
+        header.keyBytes > 4096)
+        return false;
+
+    std::string storedKey(header.keyBytes, '\0');
+    in.read(storedKey.data(),
+            static_cast<std::streamsize>(storedKey.size()));
+    if (in.gcount() != static_cast<std::streamsize>(storedKey.size()) ||
+        storedKey != key)
+        return false;
+
+    std::error_code ec;
+    auto onDisk = std::filesystem::file_size(path, ec);
+    if (ec || onDisk != headerBytes + header.keyBytes +
+                            header.payloadBytes)
+        return false;
+    if (file_bytes)
+        *file_bytes = onDisk;
+
+    if (payload) {
+        payload->resize(static_cast<size_t>(header.payloadBytes));
+        in.read(reinterpret_cast<char *>(payload->data()),
+                static_cast<std::streamsize>(payload->size()));
+        if (in.gcount() !=
+            static_cast<std::streamsize>(payload->size()))
+            return false;
+    }
+    return true;
+}
+
+/** Filesystem-safe rendering of an execution key. */
+std::string
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                  c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+TraceStore::TraceStore(std::string dir) : root(std::move(dir))
+{
+    LPP_REQUIRE(!root.empty(), "trace store directory must be set");
+}
+
+std::string
+TraceStore::pathFor(const std::string &key, uint64_t params_hash) const
+{
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-%016llx.lpt",
+                  static_cast<unsigned long long>(params_hash));
+    return root + "/" + sanitizeKey(key) + suffix;
+}
+
+std::optional<StoredTraceInfo>
+TraceStore::lookup(const std::string &key, uint64_t params_hash) const
+{
+    EntryHeader header;
+    StoredTraceInfo info;
+    info.path = pathFor(key, params_hash);
+    if (!readEntry(info.path, key, params_hash, header, nullptr,
+                   &info.fileBytes))
+        return std::nullopt;
+    info.events = header.eventCount;
+    info.accesses = header.accessCount;
+    info.stats.valid = header.hasStats != 0;
+    info.stats.distinctElements = header.distinctElements;
+    info.payloadBytes = header.payloadBytes;
+    return info;
+}
+
+bool
+TraceStore::replay(const std::string &key, uint64_t params_hash,
+                   TraceSink &sink) const
+{
+    EntryHeader header;
+    std::vector<uint8_t> payload;
+    const std::string path = pathFor(key, params_hash);
+    if (!readEntry(path, key, params_hash, header, &payload, nullptr))
+        return false;
+    if (contentHash64(payload.data(), payload.size()) !=
+        header.payloadHash) {
+        warn("trace store: payload hash mismatch for '%s' (%s); "
+             "falling back to live execution",
+             key.c_str(), path.c_str());
+        return false;
+    }
+    uint64_t events = 0, accesses = 0;
+    if (!decodeTrace(payload.data(), payload.size(), sink, &events,
+                     &accesses))
+        return false;
+    return events == header.eventCount &&
+           accesses == header.accessCount;
+}
+
+bool
+TraceStore::load(const std::string &key, uint64_t params_hash,
+                 MemoryTrace &out) const
+{
+    auto info = lookup(key, params_hash);
+    if (!info)
+        return false;
+    out.clear();
+    out.reserve(static_cast<size_t>(info->events),
+                static_cast<size_t>(info->accesses));
+    if (!replay(key, params_hash, out)) {
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+TraceStore::storeEncoded(const std::string &key, uint64_t params_hash,
+                         const std::vector<uint8_t> &payload,
+                         uint64_t events, uint64_t accesses,
+                         const StoredTraceStats &stats) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(root, ec);
+    if (ec) {
+        warn("trace store: cannot create '%s': %s", root.c_str(),
+             ec.message().c_str());
+        return 0;
+    }
+
+    EntryHeader header;
+    header.paramsHash = params_hash;
+    header.eventCount = events;
+    header.accessCount = accesses;
+    header.hasStats = stats.valid ? 1 : 0;
+    header.distinctElements = stats.valid ? stats.distinctElements : 0;
+    header.payloadBytes = payload.size();
+    header.payloadHash = contentHash64(payload.data(), payload.size());
+    header.keyBytes = static_cast<uint32_t>(key.size());
+    auto head = serializeHeader(header);
+
+    // Unique temporary in the same directory so the final rename is
+    // atomic; concurrent publishers of one key are both correct (they
+    // write identical bytes) and last-rename-wins.
+    static std::atomic<uint64_t> tmpCounter{0};
+    const std::string path = pathFor(key, params_hash);
+    char tmpSuffix[64];
+    std::snprintf(tmpSuffix, sizeof(tmpSuffix), ".tmp.%ld.%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      tmpCounter.fetch_add(1)));
+    const std::string tmp = path + tmpSuffix;
+
+    {
+        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+        if (!outFile)
+            return 0;
+        outFile.write(reinterpret_cast<const char *>(head.data()),
+                      static_cast<std::streamsize>(head.size()));
+        outFile.write(key.data(),
+                      static_cast<std::streamsize>(key.size()));
+        outFile.write(reinterpret_cast<const char *>(payload.data()),
+                      static_cast<std::streamsize>(payload.size()));
+        if (!outFile) {
+            outFile.close();
+            std::filesystem::remove(tmp, ec);
+            return 0;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("trace store: cannot publish '%s': %s", path.c_str(),
+             ec.message().c_str());
+        std::filesystem::remove(tmp, ec);
+        return 0;
+    }
+    return head.size() + key.size() + payload.size();
+}
+
+uint64_t
+TraceStore::store(const std::string &key, uint64_t params_hash,
+                  const MemoryTrace &trace,
+                  const StoredTraceStats &stats) const
+{
+    TraceEncoder enc;
+    trace.replay(enc);
+    auto payload = enc.take();
+    return storeEncoded(key, params_hash, payload, enc.eventCount(),
+                        enc.accessCount(), stats);
+}
+
+} // namespace lpp::trace

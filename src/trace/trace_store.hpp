@@ -1,0 +1,126 @@
+/**
+ * @file
+ * On-disk store of compressed execution traces: profile once, replay
+ * everywhere.
+ *
+ * The paper's pipeline is profile-once, analyze-many — ATOM produced a
+ * trace once and every analysis consumed the file. This store gives the
+ * repo the same discipline across *processes*: the first execution of a
+ * deterministic workload input records its event stream, the codec
+ * (trace/codec.hpp) compresses it, and every later bench, sweep, or
+ * test replays the file instead of re-simulating the program.
+ *
+ * One entry per execution key (core::workloadKey renders
+ * `name@s<seed>:x<scale>`), qualified by a caller-supplied content hash
+ * of the workload's generator parameters, so a workload whose code or
+ * array layout changed invalidates its own cache entries. Entries are
+ * published with write-to-temporary + atomic rename, so concurrent
+ * producers of the same key are safe (last writer wins with identical
+ * bytes) and a crashed writer never leaves a half-written entry behind.
+ * Loads verify the header (magic, version, key, params hash, sizes)
+ * before use and the payload hash during decode; any mismatch reads as
+ * a miss and the caller falls back to live execution.
+ *
+ * The header also carries the precount statistics (access count,
+ * distinct-element working set) the phase detector needs to size its
+ * sampler, so a warm cache skips the precount pass entirely — the
+ * "trace-derived counts" handoff of phase::PhaseDetector.
+ */
+
+#ifndef LPP_TRACE_TRACE_STORE_HPP
+#define LPP_TRACE_TRACE_STORE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace lpp::trace {
+
+class MemoryTrace;
+
+/** Derived per-stream statistics carried in a stored trace's header. */
+struct StoredTraceStats
+{
+    bool valid = false;            //!< whether the fields below are set
+    uint64_t distinctElements = 0; //!< working-set size in elements
+};
+
+/** What a header probe (TraceStore::lookup) learns about an entry. */
+struct StoredTraceInfo
+{
+    std::string path;          //!< entry file
+    uint64_t events = 0;       //!< recorded events (batch = one)
+    uint64_t accesses = 0;     //!< recorded data accesses
+    StoredTraceStats stats;    //!< precount handoff, when recorded
+    uint64_t payloadBytes = 0; //!< compressed payload size
+    uint64_t fileBytes = 0;    //!< total entry size on disk
+};
+
+/** Content-addressed cache of compressed traces under one directory. */
+class TraceStore
+{
+  public:
+    /** @param dir cache directory (created on first store). */
+    explicit TraceStore(std::string dir);
+
+    /** @return the cache directory. */
+    const std::string &dir() const { return root; }
+
+    /** @return the entry path for (key, params_hash). */
+    std::string pathFor(const std::string &key,
+                        uint64_t params_hash) const;
+
+    /**
+     * Header-verified probe: cheap (no payload read). Empty on a
+     * missing entry or any header mismatch.
+     */
+    std::optional<StoredTraceInfo> lookup(const std::string &key,
+                                          uint64_t params_hash) const;
+
+    /**
+     * Decode the entry straight into `sink`, preserving event order
+     * and batch boundaries exactly. The payload hash is verified
+     * before any event is delivered; decoded event and access counts
+     * are verified against the header afterwards.
+     *
+     * @return false on miss, hash mismatch, or malformed payload — in
+     *         which case nothing may be trusted and the caller must
+     *         fall back to live execution. `sink` may have seen a
+     *         partial stream only if the payload itself was malformed
+     *         past the hash check (never for a simple miss).
+     */
+    bool replay(const std::string &key, uint64_t params_hash,
+                TraceSink &sink) const;
+
+    /** Decode the entry into a recording for repeated replay. */
+    bool load(const std::string &key, uint64_t params_hash,
+              MemoryTrace &out) const;
+
+    /**
+     * Publish an already-encoded payload (trace::TraceEncoder output)
+     * atomically: write to a temporary in the same directory, then
+     * rename over the final path.
+     *
+     * @return total bytes on disk, or 0 on any I/O failure (the cache
+     *         is best-effort; failures never break the pipeline).
+     */
+    uint64_t storeEncoded(const std::string &key, uint64_t params_hash,
+                          const std::vector<uint8_t> &payload,
+                          uint64_t events, uint64_t accesses,
+                          const StoredTraceStats &stats) const;
+
+    /** Encode and publish a recording (convenience over storeEncoded). */
+    uint64_t store(const std::string &key, uint64_t params_hash,
+                   const MemoryTrace &trace,
+                   const StoredTraceStats &stats) const;
+
+  private:
+    std::string root;
+};
+
+} // namespace lpp::trace
+
+#endif // LPP_TRACE_TRACE_STORE_HPP

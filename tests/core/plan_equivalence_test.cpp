@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -208,10 +211,10 @@ TEST(PlanEquivalence, AllWorkloadsBitIdenticalToSerialPipeline)
         ASSERT_NE(w, nullptr);
         auto serial = serialReference(*w, config);
         expectSameEvaluation(planned[i], serial);
-        // The whole point of the plan: at most three live program
-        // executions per workload (precount, sampling, reference).
-        EXPECT_LE(planned[i].programExecutions, 3u) << names[i];
-        EXPECT_GT(planned[i].programExecutions, 0u) << names[i];
+        // The whole point of the plan: exactly two live program
+        // executions per workload (training, reference) — precount
+        // and sampling both consume the training recording.
+        EXPECT_EQ(planned[i].programExecutions, 2u) << names[i];
     }
 }
 
@@ -240,10 +243,69 @@ TEST(PlanEquivalence, SingleWorkloadPlanMatchesAndValidates)
 
     EXPECT_TRUE(watchdog.ok()) << watchdog.reportText();
     EXPECT_TRUE(watchdog.ended());
-    EXPECT_LE(planned.programExecutions, 3u);
+    EXPECT_LE(planned.programExecutions, 2u);
 
     auto serial = serialReference(*w, config);
     expectSameEvaluation(planned, serial);
+}
+
+/** Trace-cache paths: a cold-recording evaluation (cache miss, live
+ *  execution + store publish) and a warm-cache evaluation (0 live
+ *  executions, store replay) are both bit-identical to the serial
+ *  reference pipeline. */
+TEST(PlanEquivalence, TraceCacheColdAndWarmBitIdenticalToSerial)
+{
+    namespace fs = std::filesystem;
+    auto dir = fs::temp_directory_path() /
+               ("lpp_eq_cache_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+
+    AnalysisConfig config;
+    config.traceCache.enabled = true;
+    config.traceCache.dir = dir.string();
+    auto w = lpp::workloads::create("mesh");
+    ASSERT_NE(w, nullptr);
+
+    auto serial = serialReference(*w, AnalysisConfig{});
+
+    // Cold: every probe misses, records live, and publishes.
+    auto cold = lpp::core::evaluateWorkload(*w, config);
+    expectSameEvaluation(cold, serial);
+    EXPECT_EQ(cold.programExecutions, 2u);
+    EXPECT_EQ(cold.traceCacheHits, 0u);
+    EXPECT_EQ(cold.traceCacheMisses, 2u);
+    EXPECT_GT(cold.traceBytes, 0u);
+
+    // Warm: both executions replay from the store.
+    auto warm = lpp::core::evaluateWorkload(*w, config);
+    expectSameEvaluation(warm, serial);
+    EXPECT_EQ(warm.programExecutions, 0u);
+    EXPECT_EQ(warm.traceCacheHits, 2u);
+    EXPECT_EQ(warm.traceCacheMisses, 0u);
+    EXPECT_GT(warm.traceBytes, 0u);
+
+    // The analysis-only entry point hits the same training entry.
+    auto analysisOnly = lpp::core::analyzeWorkload(*w, config);
+    EXPECT_EQ(analysisOnly.programExecutions, 0u);
+    EXPECT_EQ(analysisOnly.traceCacheHits, 1u);
+    EXPECT_EQ(hierarchyText(analysisOnly.analysis.hierarchy),
+              hierarchyText(serial.analysis.hierarchy));
+    EXPECT_EQ(analysisOnly.analysis.detection.boundaryTimes,
+              serial.analysis.detection.boundaryTimes);
+
+    // A corrupt payload reads as a miss and falls back to live
+    // execution with an identical result.
+    bool truncated = false;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        fs::resize_file(entry.path(),
+                        fs::file_size(entry.path()) / 2);
+        truncated = true;
+    }
+    ASSERT_TRUE(truncated);
+    auto fallback = lpp::core::evaluateWorkload(*w, config);
+    expectSameEvaluation(fallback, serial);
+
+    fs::remove_all(dir);
 }
 
 /** Interval profiles registered against an evaluation's reference key
@@ -276,8 +338,8 @@ TEST(PlanEquivalence, SharedIntervalPassesMatchStandaloneCollectors)
         planned.programExecutions =
             plan.programExecutions(w->name() + "@");
         // Both interval passes coalesced with the evaluation's own
-        // reference execution: still three live runs in total.
-        EXPECT_EQ(planned.programExecutions, 3u);
+        // reference execution: still two live runs in total.
+        EXPECT_EQ(planned.programExecutions, 2u);
     }
 
     auto serial = serialReference(*w, config);

@@ -131,6 +131,36 @@ TEST(ReuseStack, CompactionPreservesDistances)
     }
 }
 
+TEST(ReuseStack, ManyCompactionsBitIdenticalToLargeCapacityStack)
+{
+    // A stack with a tiny capacity hint compacts its time axis over
+    // and over; one sized for the whole trace up front never does.
+    // Distances must be bit-identical at every access regardless —
+    // compaction is a pure re-numbering of the time axis. The trace
+    // mixes phase-local sweeps with random reuse and a growing working
+    // set so compactions land in every regime (dense marks, stale
+    // marks, mid-sweep).
+    lpp::Rng rng(97);
+    ReuseStack tiny(8);       // compacts hundreds of times
+    ReuseStack big(1u << 20); // never compacts in this trace
+    uint64_t phase_base = 0;
+    for (int phase = 0; phase < 6; ++phase) {
+        const uint64_t working_set = 50 + 80 * phase;
+        for (int i = 0; i < 20000; ++i) {
+            uint64_t e;
+            if (i % 3 == 0)
+                e = phase_base + (i % working_set); // sweep
+            else
+                e = phase_base + rng.below(working_set);
+            ASSERT_EQ(tiny.access(e), big.access(e))
+                << "phase " << phase << " access " << i;
+        }
+        phase_base += working_set / 2; // partial working-set overlap
+    }
+    EXPECT_EQ(tiny.accessCount(), big.accessCount());
+    EXPECT_EQ(tiny.distinctCount(), big.distinctCount());
+}
+
 TEST(ReuseStack, ResetForgetsHistory)
 {
     ReuseStack s;
