@@ -1,9 +1,18 @@
 /**
  * @file
  * Performance harness for the analysis pipeline: times the full
- * evaluation sweep serially and in parallel, then cold and warm
- * against the on-disk trace store, and writes BENCH_pipeline.json so
- * the perf trajectory is machine-readable across PRs.
+ * evaluation sweep serially and across a thread-count scaling curve
+ * (dedicated pools at 1/2/4/8/hw threads, workload-level parallelism
+ * plus the sharded intra-workload sweeps), then cold and warm against
+ * the on-disk trace store, and writes BENCH_pipeline.json so the perf
+ * trajectory is machine-readable across PRs.
+ *
+ * Every scaling point reports per-worker utilization (tasks and
+ * busy-ms from the pool's counters) and fails the bench if a pool
+ * with two or more threads was never exercised. The scaling
+ * assertions (parallel >= serial at 2 threads, >= 1.5x at 4) only
+ * arm when the host actually has that many cores —
+ * `scaling_checked` in the JSON says whether they ran.
  *
  * Stage timings are measured directly, one stage per timer — the old
  * harness derived `evaluate` by subtracting the other stages from an
@@ -27,12 +36,14 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -160,6 +171,29 @@ peakRssKb()
     return ru.ru_maxrss; // Linux reports KiB
 }
 
+/** One point of the thread-count scaling curve. */
+struct ScalingPoint
+{
+    size_t threads = 0;   //!< actual pool size
+    double ms = 0.0;      //!< full-sweep wall time at this pool size
+    double speedup = 0.0; //!< serial_ms / ms
+    bool identical = false; //!< bit-identical to the serial sweep
+    std::vector<uint64_t> workerTasks; //!< per worker
+    std::vector<double> workerBusyMs;  //!< per worker
+};
+
+/** Thread counts to sweep: 1, 2, 4, 8, plus the machine width. */
+std::vector<size_t>
+scalingThreadCounts()
+{
+    std::vector<size_t> counts{1, 2, 4, 8};
+    size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    if (std::find(counts.begin(), counts.end(), hw) == counts.end())
+        counts.push_back(hw);
+    std::sort(counts.begin(), counts.end());
+    return counts;
+}
+
 } // namespace
 
 int
@@ -168,7 +202,6 @@ main()
     title("Pipeline performance: record-once/replay-many evaluation");
 
     auto names = selectedWorkloads();
-    size_t threads = support::ThreadPool::shared().threadCount();
 
     core::AnalysisConfig cached;
     cached.traceCache.enabled = true;
@@ -242,14 +275,81 @@ main()
     }
     double serialMs = msSince(t0);
 
-    // Pass 3: parallel sweep over the shared pool, no cache.
-    t0 = std::chrono::steady_clock::now();
-    auto parallel = core::evaluateWorkloads(names);
-    double parallelMs = msSince(t0);
+    // Pass 3: the scaling curve — the same sweep on dedicated pools
+    // of 1/2/4/8/hw threads. Workload-level units and the sharded
+    // intra-workload sweeps share each point's pool; per-worker
+    // counters show where the time went.
+    size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<ScalingPoint> curve;
+    bool identical = true;
+    bool pool_exercised_ok = true;
+    for (size_t threads : scalingThreadCounts()) {
+        support::ThreadPool pool(threads);
+        pool.resetWorkerStats();
+        t0 = std::chrono::steady_clock::now();
+        auto parallel = core::evaluateWorkloads(names, {}, pool);
+        ScalingPoint pt;
+        pt.ms = msSince(t0);
+        pt.threads = pool.threadCount();
+        pt.speedup = pt.ms > 0.0 ? serialMs / pt.ms : 0.0;
+        pt.identical = parallel.size() == serial.size();
+        for (size_t i = 0; pt.identical && i < serial.size(); ++i)
+            pt.identical = sameEvaluation(serial[i], parallel[i], true);
+        identical = identical && pt.identical;
 
-    bool identical = serial.size() == parallel.size();
-    for (size_t i = 0; identical && i < serial.size(); ++i)
-        identical = sameEvaluation(serial[i], parallel[i], true);
+        uint64_t poolTasks = 0;
+        for (const auto &ws : pool.workerStats()) {
+            pt.workerTasks.push_back(ws.tasks);
+            pt.workerBusyMs.push_back(static_cast<double>(ws.busyNs) /
+                                      1e6);
+            poolTasks += ws.tasks;
+        }
+        if (threads >= 2 && poolTasks == 0) {
+            std::fprintf(stderr,
+                         "error: %zu-thread sweep never handed the "
+                         "pool a task — the parallel path did not "
+                         "run\n",
+                         threads);
+            pool_exercised_ok = false;
+        }
+        curve.push_back(std::move(pt));
+    }
+
+    // Scaling self-checks arm only when the machine can express the
+    // parallelism; a 1-core container cannot beat serial with
+    // threads.
+    bool scaling_checked = false;
+    bool scaling_ok = true;
+    for (const auto &pt : curve) {
+        if (pt.threads == 2 && hw >= 2) {
+            scaling_checked = true;
+            if (pt.speedup < 1.0) {
+                scaling_ok = false;
+                std::fprintf(stderr,
+                             "error: 2-thread sweep slower than "
+                             "serial (%.2fx)\n",
+                             pt.speedup);
+            }
+        }
+        if (pt.threads == 4 && hw >= 4) {
+            scaling_checked = true;
+            if (pt.speedup < 1.5) {
+                scaling_ok = false;
+                std::fprintf(stderr,
+                             "error: 4-thread sweep below 1.5x "
+                             "(%.2fx)\n",
+                             pt.speedup);
+            }
+        }
+    }
+
+    // Headline parallel numbers: the fastest multi-thread point.
+    const ScalingPoint *best = nullptr;
+    for (const auto &pt : curve)
+        if (pt.threads > 1 && (!best || pt.ms < best->ms))
+            best = &pt;
+    double parallelMs = best ? best->ms : serialMs;
+    size_t bestThreads = best ? best->threads : 1;
 
     // Pass 4: cold cached sweep — cleared store, every workload
     // records and publishes its two executions.
@@ -303,9 +403,26 @@ main()
             10, 9);
     rule();
     std::printf("serial sweep   %10.1f ms  (no cache)\n", serialMs);
-    std::printf("parallel sweep %10.1f ms  (%zu threads)\n", parallelMs,
-                threads);
+    for (const auto &pt : curve) {
+        double busy = 0.0;
+        uint64_t tasks = 0;
+        for (size_t i = 0; i < pt.workerTasks.size(); ++i) {
+            busy += pt.workerBusyMs[i];
+            tasks += pt.workerTasks[i];
+        }
+        std::printf("  %zu thread%-2s  %10.1f ms  %5.2fx  "
+                    "(pool: %llu tasks, %.1f busy-ms)%s\n",
+                    pt.threads, pt.threads == 1 ? " " : "s", pt.ms,
+                    pt.speedup, static_cast<unsigned long long>(tasks),
+                    busy, pt.identical ? "" : "  NOT IDENTICAL");
+    }
+    std::printf("parallel sweep %10.1f ms  (best, %zu threads; "
+                "%zu hardware cores)\n",
+                parallelMs, bestThreads, hw);
     std::printf("speedup        %10.2fx\n", speedup);
+    std::printf("scaling checks %10s\n",
+                scaling_checked ? (scaling_ok ? "pass" : "FAIL")
+                                : "skipped (too few cores)");
     std::printf("cold cached    %10.1f ms  (record + publish)\n",
                 coldMs);
     std::printf("warm cached    %10.1f ms  (replay only)\n", warmMs);
@@ -318,7 +435,10 @@ main()
     // Machine-readable series, one JSON object per run.
     std::ofstream json("BENCH_pipeline.json");
     json << "{\n"
-         << "  \"threads\": " << threads << ",\n"
+         << "  \"threads\": " << bestThreads << ",\n"
+         << "  \"shared_pool_threads\": "
+         << support::ThreadPool::shared().threadCount() << ",\n"
+         << "  \"hardware_concurrency\": " << hw << ",\n"
          << "  \"workloads\": [\n";
     for (size_t i = 0; i < stages.size(); ++i) {
         const auto &st = stages[i];
@@ -338,6 +458,27 @@ main()
     }
     json << "  ],\n"
          << "  \"serial_ms\": " << num(serialMs, 3) << ",\n"
+         << "  \"scaling\": [\n";
+    for (size_t i = 0; i < curve.size(); ++i) {
+        const auto &pt = curve[i];
+        json << "    {\"threads\": " << pt.threads << ", "
+             << "\"ms\": " << num(pt.ms, 3) << ", "
+             << "\"speedup\": " << num(pt.speedup, 4) << ", "
+             << "\"identical_to_serial\": "
+             << (pt.identical ? "true" : "false") << ", "
+             << "\"worker_tasks\": [";
+        for (size_t wkr = 0; wkr < pt.workerTasks.size(); ++wkr)
+            json << (wkr ? ", " : "") << pt.workerTasks[wkr];
+        json << "], \"worker_busy_ms\": [";
+        for (size_t wkr = 0; wkr < pt.workerBusyMs.size(); ++wkr)
+            json << (wkr ? ", " : "") << num(pt.workerBusyMs[wkr], 3);
+        json << "]}" << (i + 1 < curve.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"scaling_checked\": "
+         << (scaling_checked ? "true" : "false") << ",\n"
+         << "  \"scaling_ok\": " << (scaling_ok ? "true" : "false")
+         << ",\n"
          << "  \"parallel_ms\": " << num(parallelMs, 3) << ",\n"
          << "  \"speedup\": " << num(speedup, 4) << ",\n"
          << "  \"parallel_identical_to_serial\": "
@@ -355,6 +496,6 @@ main()
     std::printf("\nSeries written to BENCH_pipeline.json\n");
 
     bool ok = identical && warm_identical && warm_no_live &&
-              stage_cost_ok;
+              stage_cost_ok && pool_exercised_ok && scaling_ok;
     return ok ? 0 : 1;
 }

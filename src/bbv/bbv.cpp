@@ -1,6 +1,8 @@
 #include "bbv/bbv.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "support/logging.hpp"
 #include "support/random.hpp"
@@ -15,6 +17,13 @@ BbvCollector::BbvCollector(size_t dims, uint64_t seed_)
 
 void
 BbvCollector::onBlock(trace::BlockId block, uint32_t instructions)
+{
+    counts[block] += instructions;
+    weight += instructions;
+}
+
+void
+BbvCollector::addBlockWeight(trace::BlockId block, uint64_t instructions)
 {
     counts[block] += instructions;
     weight += instructions;
@@ -37,7 +46,16 @@ BbvCollector::finalizeInterval()
 {
     std::vector<double> v(dim, 0.0);
     if (weight > 0) {
-        for (const auto &kv : counts) {
+        // Accumulate in sorted block order: float addition is not
+        // associative, and the map's iteration order is unspecified.
+        // A fixed order makes the vector a pure function of the
+        // (block, count) multiset, so any path that produces the same
+        // per-interval counts — serial or sharded-and-merged — yields
+        // bit-identical vectors.
+        std::vector<std::pair<trace::BlockId, uint64_t>> ordered(
+            counts.begin(), counts.end());
+        std::sort(ordered.begin(), ordered.end());
+        for (const auto &kv : ordered) {
             double share = static_cast<double>(kv.second) /
                            static_cast<double>(weight);
             for (size_t d = 0; d < dim; ++d)

@@ -1,0 +1,181 @@
+#include "cache/sharded_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/logging.hpp"
+
+namespace lpp::cache {
+
+namespace {
+
+/** Empty-way sentinel; matches StackSimulator's initial fill. */
+constexpr uint64_t emptyTag = ~0ULL;
+
+} // namespace
+
+ShardedSimChunk::ShardedSimChunk(const ShardedSimConfig &cfg,
+                                 uint64_t first_access)
+    : config(cfg), firstAccess(first_access)
+{
+    LPP_REQUIRE(cfg.sets > 0 && std::has_single_bit(cfg.sets),
+                "sets must be a power of two, got %u", cfg.sets);
+    LPP_REQUIRE(std::has_single_bit(cfg.blockBytes),
+                "blockBytes must be a power of two, got %u",
+                cfg.blockBytes);
+    LPP_REQUIRE(cfg.unitAccesses > 0, "unit size must be positive");
+    setShift = static_cast<uint32_t>(std::countr_zero(cfg.blockBytes));
+    setMask = cfg.sets - 1;
+    setIndexBits = static_cast<uint32_t>(std::countr_zero(cfg.sets));
+    firstUnitIndex = first_access / cfg.unitAccesses;
+    stacks.assign(static_cast<size_t>(cfg.sets) * simWays, emptyTag);
+    distinctInSet.assign(cfg.sets, 0);
+}
+
+SegmentLocality &
+ShardedSimChunk::unitFor(uint64_t global_access)
+{
+    size_t rel = static_cast<size_t>(global_access / config.unitAccesses -
+                                     firstUnitIndex);
+    if (rel >= partials.size())
+        partials.resize(rel + 1);
+    return partials[rel];
+}
+
+void
+ShardedSimChunk::onAccess(trace::Addr addr)
+{
+    uint64_t block = addr >> setShift;
+    size_t set = static_cast<size_t>(block & setMask);
+    uint64_t tag = block >> setIndexBits;
+
+    SegmentLocality &unit = unitFor(firstAccess + clock);
+    ++clock;
+    ++unit.accesses;
+
+    uint64_t *stack = &stacks[set * simWays];
+    uint32_t depth = simWays;
+    for (uint32_t i = 0; i < simWays; ++i) {
+        if (stack[i] == tag) {
+            depth = i;
+            break;
+        }
+    }
+
+    if (depth == simWays) {
+        uint32_t *rank = touchedRank.find(block);
+        if (!rank) {
+            // Chunk-first touch: misses are resolved in absorb(); the
+            // access is counted here, into its exact unit.
+            uint32_t r = distinctInSet[set];
+            if (r == 0)
+                touchedSets.push_back(static_cast<uint32_t>(set));
+            touchedRank.insert(block, r);
+            ++distinctInSet[set];
+            boundaries.push_back(Boundary{
+                block, r,
+                static_cast<uint32_t>((firstAccess + clock - 1) /
+                                          config.unitAccesses -
+                                      firstUnitIndex)});
+        } else {
+            // Touched earlier in the chunk and fell past way 8: at
+            // least 8 distinct same-set tags since, all local — an
+            // exact miss at every associativity.
+            for (uint32_t w = 0; w < simWays; ++w)
+                ++unit.misses[w];
+        }
+    } else {
+        // Intra-chunk reuse: the local depth is the true depth (every
+        // distinct same-set tag since the last touch is local).
+        for (uint32_t w = 0; w < depth; ++w)
+            ++unit.misses[w];
+    }
+
+    uint32_t move = depth == simWays ? simWays - 1 : depth;
+    for (uint32_t j = move; j > 0; --j)
+        stack[j] = stack[j - 1];
+    stack[0] = tag;
+}
+
+ShardedStackSim::ShardedStackSim(const ShardedSimConfig &cfg)
+    : config(cfg)
+{
+    LPP_REQUIRE(cfg.sets > 0 && std::has_single_bit(cfg.sets),
+                "sets must be a power of two, got %u", cfg.sets);
+    setIndexBits = static_cast<uint32_t>(std::countr_zero(cfg.sets));
+    stacks.assign(static_cast<size_t>(cfg.sets) * simWays, emptyTag);
+}
+
+void
+ShardedStackSim::absorb(ShardedSimChunk &chunk)
+{
+    // Resolve boundary accesses against the prior per-set state. The
+    // per-set rank order equals chunk access order, so walking the
+    // boundary list in order is consistent within every set.
+    for (const auto &b : chunk.boundaries) {
+        size_t set = static_cast<size_t>(b.block & chunk.setMask);
+        uint64_t tag = b.block >> setIndexBits;
+        const uint64_t *prior = &stacks[set * simWays];
+
+        uint32_t depth = simWays;
+        if (b.rank < simWays) {
+            uint32_t above = 0;
+            for (uint32_t i = 0; i < simWays; ++i) {
+                uint64_t q = prior[i];
+                if (q == tag) {
+                    depth = b.rank + above;
+                    break;
+                }
+                if (q == emptyTag)
+                    break;
+                // A prior tag counts if it sat above this one and was
+                // still untouched when this access ran (tags touched
+                // at an earlier rank are already inside b.rank).
+                uint64_t qBlock = (q << setIndexBits) |
+                                  static_cast<uint64_t>(set);
+                uint32_t *qr = chunk.touchedRank.find(qBlock);
+                if (!qr || *qr > b.rank)
+                    ++above;
+            }
+        }
+        SegmentLocality &unit = chunk.partials[b.unitRel];
+        uint32_t missWays = std::min(depth, simWays);
+        for (uint32_t w = 0; w < missWays; ++w)
+            ++unit.misses[w];
+    }
+
+    // Advance each touched set to its merged end state: the chunk's
+    // local MRU order first, then the surviving untouched prior tags.
+    for (uint32_t set : chunk.touchedSets) {
+        const uint64_t *local = &chunk.stacks[set * simWays];
+        uint64_t *prior = &stacks[static_cast<size_t>(set) * simWays];
+        uint64_t merged[simWays];
+        uint32_t filled = 0;
+        for (uint32_t i = 0; i < simWays && filled < simWays; ++i) {
+            if (local[i] == emptyTag)
+                break;
+            merged[filled++] = local[i];
+        }
+        for (uint32_t i = 0; i < simWays && filled < simWays; ++i) {
+            uint64_t q = prior[i];
+            if (q == emptyTag)
+                break;
+            uint64_t qBlock = (q << setIndexBits) |
+                              static_cast<uint64_t>(set);
+            if (!chunk.touchedRank.find(qBlock))
+                merged[filled++] = q;
+        }
+        for (uint32_t i = 0; i < simWays; ++i)
+            prior[i] = i < filled ? merged[i] : emptyTag;
+    }
+
+    // Fold the chunk's per-unit counters into the totals.
+    size_t needed =
+        static_cast<size_t>(chunk.firstUnitIndex) + chunk.partials.size();
+    if (needed > unitTotals.size())
+        unitTotals.resize(needed);
+    for (size_t r = 0; r < chunk.partials.size(); ++r)
+        unitTotals[chunk.firstUnitIndex + r].merge(chunk.partials[r]);
+}
+
+} // namespace lpp::cache

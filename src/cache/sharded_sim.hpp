@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sharded Mattson stack simulation: chunk-local passes plus an exact
+ * sequential reduction.
+ *
+ * LRU state splits cleanly at a chunk boundary. For an access whose
+ * tag was already touched earlier in the chunk, every distinct
+ * same-set block accessed since lies inside the chunk too, so a
+ * chunk-local depth-8 stack yields the exact stack depth (or the exact
+ * "fell past way 8, miss everywhere" verdict — a local touched-set
+ * distinguishes "evicted locally" from "never seen locally"). Only a
+ * chunk's first access to a (set, tag) needs cross-chunk state: its
+ * true depth is
+ *
+ *   rank                      — distinct same-set tags already touched
+ *                               in this chunk (they are all more recent)
+ *   + |{prior-state tags above it, in LRU order, not yet touched in
+ *       this chunk}|          — untouched tags keep their prior order
+ *
+ * or a full miss if the tag is absent from the prior top-simWays
+ * state. The reduction applies chunks in order: it resolves each
+ * chunk's boundary accesses against the running per-set stacks, folds
+ * the chunk's per-unit counters in, and advances each touched set to
+ * its merged end state (chunk-local MRU order first, then surviving
+ * untouched prior tags). Every count is an exact integer equal to the
+ * serial StackSimulator's, so per-unit miss counters are bit-identical
+ * by construction.
+ *
+ * Unit attribution (fixed-length intervals of the profile) is by
+ * global access index, which each chunk knows from its range — no
+ * global coordination needed during the parallel pass.
+ */
+
+#ifndef LPP_CACHE_SHARDED_SIM_HPP
+#define LPP_CACHE_SHARDED_SIM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/stack_sim.hpp"
+#include "support/flat_map.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::cache {
+
+/** Geometry and interval length shared by every chunk of one sweep. */
+struct ShardedSimConfig
+{
+    uint32_t sets = 512;      //!< power of two (paper geometry)
+    uint32_t blockBytes = 64; //!< power of two (paper geometry)
+    uint64_t unitAccesses = 0; //!< interval length in accesses (> 0)
+};
+
+/**
+ * Chunk-local pass. Feed it the chunk's accesses in order (parallel
+ * across chunks), then hand it to ShardedStackSim::absorb in chunk
+ * order.
+ */
+class ShardedSimChunk
+{
+  public:
+    /** @param first_access global index of the chunk's first access. */
+    ShardedSimChunk(const ShardedSimConfig &cfg, uint64_t first_access);
+
+    void onAccess(trace::Addr addr);
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            onAccess(addrs[i]);
+    }
+
+    /** @return accesses processed so far (chunk-local clock). */
+    uint64_t accessCount() const { return clock; }
+
+    /** @return global unit index of the chunk's first unit. */
+    uint64_t firstUnit() const { return firstUnitIndex; }
+
+  private:
+    friend class ShardedStackSim;
+
+    /** One unresolved chunk-first access to a (set, tag). */
+    struct Boundary
+    {
+        uint64_t block;   //!< set and tag, recoverable from geometry
+        uint32_t rank;    //!< distinct same-set tags touched before it
+        uint32_t unitRel; //!< unit index relative to firstUnit()
+    };
+
+    SegmentLocality &unitFor(uint64_t global_access);
+
+    ShardedSimConfig config;
+    uint32_t setShift = 0;
+    uint64_t setMask = 0;
+    uint32_t setIndexBits = 0;
+
+    uint64_t firstAccess = 0;
+    uint64_t firstUnitIndex = 0;
+    uint64_t clock = 0;
+
+    std::vector<uint64_t> stacks;            //!< sets × simWays, MRU first
+    support::FlatMap<uint32_t> touchedRank;  //!< block -> first-touch rank
+    std::vector<uint32_t> distinctInSet;     //!< per-set rank counters
+    std::vector<uint32_t> touchedSets;       //!< sets with any access
+    std::vector<Boundary> boundaries;        //!< in chunk access order
+    std::vector<SegmentLocality> partials;   //!< per unit, from firstUnit
+};
+
+/**
+ * The sequential reduction: owns the running per-set stacks and the
+ * per-unit totals. absorb() chunks strictly in trace order; units()
+ * afterwards equals the serial IntervalDriver's segment list.
+ */
+class ShardedStackSim
+{
+  public:
+    explicit ShardedStackSim(const ShardedSimConfig &cfg);
+
+    /** Resolve and fold one chunk; chunks must arrive in order. */
+    void absorb(ShardedSimChunk &chunk);
+
+    /** @return per-unit locality, in unit order. */
+    const std::vector<SegmentLocality> &units() const
+    {
+        return unitTotals;
+    }
+
+  private:
+    ShardedSimConfig config;
+    uint32_t setIndexBits = 0;
+    std::vector<uint64_t> stacks; //!< sets × simWays, MRU first
+    std::vector<SegmentLocality> unitTotals;
+};
+
+} // namespace lpp::cache
+
+#endif // LPP_CACHE_SHARDED_SIM_HPP

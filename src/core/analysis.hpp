@@ -13,12 +13,17 @@
 #ifndef LPP_CORE_ANALYSIS_HPP
 #define LPP_CORE_ANALYSIS_HPP
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "grammar/hierarchy.hpp"
 #include "phase/detector.hpp"
 #include "workloads/workload.hpp"
+
+namespace lpp::support {
+class ThreadPool;
+}
 
 namespace lpp::core {
 
@@ -33,6 +38,25 @@ struct TraceCacheConfig
     std::string dir = "bench_out/trace_cache"; //!< cache directory
 };
 
+/**
+ * Intra-workload sharding of the replay-fed training stages. When the
+ * executing pool has more than one thread, the precount and the
+ * sampling/block passes run as chunked parallel sweeps over the
+ * recorded training stream (reuse::shardedReuseSweep) instead of one
+ * serial replay. Results are bit-identical to the serial path at every
+ * chunk size and thread count; on a single-threaded pool the serial
+ * path runs unchanged.
+ */
+struct ShardingConfig
+{
+    bool enabled = true;                  //!< opt-out switch
+    uint64_t chunkAccesses = 1ULL << 20;  //!< target accesses per chunk
+
+    /** Pool for the sharded sweeps; null means the shared pool. Use
+     *  the same pool the plan runs on. */
+    support::ThreadPool *pool = nullptr;
+};
+
 /** Configuration of the full off-line analysis. */
 struct AnalysisConfig
 {
@@ -40,6 +64,9 @@ struct AnalysisConfig
 
     /** Cross-process reuse of recorded executions (evaluation only). */
     TraceCacheConfig traceCache;
+
+    /** Intra-workload parallelism over the recorded training stream. */
+    ShardingConfig sharding;
 
     AnalysisConfig()
     {

@@ -8,7 +8,10 @@
 
 #include <bit>
 
+#include "cache/sharded_sim.hpp"
+#include "reuse/sharded_reuse.hpp"
 #include "support/logging.hpp"
+#include "support/parallel_for.hpp"
 #include "support/stats.hpp"
 #include "trace/instrument.hpp"
 #include "trace/codec.hpp"
@@ -170,6 +173,23 @@ struct AnalysisJob
     std::optional<reuse::VariableDistanceSampler> sampler;
     trace::BlockRecorder blocks;
 
+    ShardingConfig sharding;
+
+    /** @return the pool the sharded sweeps run on. */
+    support::ThreadPool &
+    shardPool() const
+    {
+        return sharding.pool ? *sharding.pool
+                             : support::ThreadPool::shared();
+    }
+
+    /** @return whether the sharded replay path is active. */
+    bool
+    sharded() const
+    {
+        return sharding.enabled && shardPool().threadCount() > 1;
+    }
+
     AnalysisResult *analysisOut = nullptr;
     uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
 };
@@ -189,6 +209,7 @@ makeAnalysisJob(const workloads::Workload &workload,
     job->workload = &workload;
     job->trainIn = workload.trainInput();
     job->analysisOut = out;
+    job->sharding = config.sharding;
 
     // Same configuration adjustment the serial path applies: the
     // addressed footprint bounds the sampler's distinct-element count.
@@ -263,37 +284,78 @@ registerTrainAnalysis(ExecutionPlan &plan,
 
     // Precount from the recording: same statistics a dedicated
     // precount execution would produce (the replay is exact), without
-    // the execution. A stored header supplies them for free.
+    // the execution. A stored header supplies them for free; with
+    // sharding active, chunk-local distinct sets run on the pool.
     auto precounted = plan.addStep(
         [j] {
             if (!j->detector.needsPrecount())
                 return;
             j->usedPrecount = true;
-            j->pre = j->headerStatsValid
-                         ? j->headerPre
-                         : phase::PhaseDetector::precountFromTrace(
-                               j->trainLog);
+            if (j->headerStatsValid) {
+                j->pre = j->headerPre;
+            } else if (j->sharded()) {
+                reuse::ShardedSweepConfig scfg;
+                scfg.chunkAccesses = j->sharding.chunkAccesses;
+                reuse::TraceCounts counts = reuse::shardedPrecount(
+                    j->trainLog, scfg, j->shardPool());
+                j->pre = phase::PrecountStats{counts.accesses,
+                                              counts.distinctElements};
+            } else {
+                j->pre =
+                    phase::PhaseDetector::precountFromTrace(j->trainLog);
+            }
         },
         {acquired});
 
-    // Sampling + block trace: one coalesced replay of the recording.
-    auto replay_runner = [j](trace::TraceSink &sink) {
-        j->trainLog.replay(sink);
-    };
-    auto sampler_pass = plan.addPass(
-        train_key, replay_runner,
-        [j]() -> trace::TraceSink * {
-            j->sampler.emplace(j->detector.samplingConfig(
-                j->usedPrecount ? &j->pre : nullptr));
-            return &*j->sampler;
-        },
-        {precounted}, {.replay = true});
-    auto blocks_pass = plan.addPass(
-        train_key, replay_runner, [j] { return &j->blocks; },
-        {precounted}, {.replay = true});
-
-    std::vector<ExecutionPlan::NodeId> ready_deps{sampler_pass,
-                                                  blocks_pass};
+    std::vector<ExecutionPlan::NodeId> ready_deps;
+    if (j->sharded()) {
+        // Sampling + block trace as one sharded sweep: the chunk-local
+        // reuse stacks run on the pool, and the sequential part is one
+        // observe() call per access plus a per-chunk block-recorder
+        // absorb — bit-identical to the serial replay below.
+        ready_deps.push_back(plan.addStep(
+            [j] {
+                j->sampler.emplace(
+                    reuse::VariableDistanceSampler::externalDistances(
+                        j->detector.samplingConfig(
+                            j->usedPrecount ? &j->pre : nullptr)));
+                reuse::ShardedSweepConfig scfg;
+                scfg.chunkAccesses = j->sharding.chunkAccesses;
+                scfg.reserveElements =
+                    j->usedPrecount
+                        ? static_cast<size_t>(j->pre.distinctElements)
+                        : 0;
+                reuse::shardedReuseSweep(
+                    j->trainLog, scfg, j->shardPool(),
+                    [j](const reuse::ShardChunk &c) {
+                        for (size_t i = 0; i < c.elements.size(); ++i)
+                            j->sampler->observe(
+                                c.elements[i],
+                                c.range.firstAccess + i,
+                                c.distances[i]);
+                        j->blocks.absorb(c.blocks);
+                    });
+            },
+            {precounted}));
+    } else {
+        // Sampling + block trace: one coalesced replay of the recording.
+        auto replay_runner = [j](trace::TraceSink &sink) {
+            j->trainLog.replay(sink);
+        };
+        auto sampler_pass = plan.addPass(
+            train_key, replay_runner,
+            [j]() -> trace::TraceSink * {
+                j->sampler.emplace(j->detector.samplingConfig(
+                    j->usedPrecount ? &j->pre : nullptr));
+                return &*j->sampler;
+            },
+            {precounted}, {.replay = true});
+        auto blocks_pass = plan.addPass(
+            train_key, replay_runner, [j] { return &j->blocks; },
+            {precounted}, {.replay = true});
+        ready_deps.push_back(sampler_pass);
+        ready_deps.push_back(blocks_pass);
+    }
 
     // Publish the recording for the next process (cache miss only).
     // Best-effort: a failed store leaves the pipeline untouched.
@@ -319,6 +381,12 @@ registerTrainAnalysis(ExecutionPlan &plan,
             j->analysisOut->hierarchy =
                 grammar::PhaseHierarchy::fromSequence(
                     j->analysisOut->detection.selection.sequence());
+            // The sampler and the block trace can dominate a large
+            // run's footprint, and the detection result owns
+            // everything downstream consumers read — release them as
+            // soon as finish() returns rather than at plan teardown.
+            j->sampler.reset();
+            j->blocks = trace::BlockRecorder();
         },
         std::move(ready_deps));
 
@@ -525,7 +593,20 @@ std::vector<WorkloadEvaluation>
 evaluateWorkloads(const std::vector<std::string> &names,
                   const AnalysisConfig &config)
 {
+    AnalysisConfig cfg = config;
+    support::ThreadPool &pool = cfg.sharding.pool
+                                    ? *cfg.sharding.pool
+                                    : support::ThreadPool::shared();
+    return evaluateWorkloads(names, cfg, pool);
+}
+
+std::vector<WorkloadEvaluation>
+evaluateWorkloads(const std::vector<std::string> &names,
+                  const AnalysisConfig &config, support::ThreadPool &pool)
+{
     std::vector<WorkloadEvaluation> results(names.size());
+    AnalysisConfig cfg = config;
+    cfg.sharding.pool = &pool; // sharded sweeps share the plan's pool
     ExecutionPlan plan;
     for (size_t i = 0; i < names.size(); ++i) {
         std::shared_ptr<workloads::Workload> w =
@@ -533,9 +614,9 @@ evaluateWorkloads(const std::vector<std::string> &names,
         LPP_REQUIRE(w != nullptr, "unknown workload '%s'",
                     names[i].c_str());
         plan.retain(w);
-        registerWorkloadEvaluation(plan, *w, config, &results[i]);
+        registerWorkloadEvaluation(plan, *w, cfg, &results[i]);
     }
-    plan.run();
+    plan.run(pool);
     for (size_t i = 0; i < names.size(); ++i)
         results[i].programExecutions =
             plan.programExecutions(results[i].name + "@");
@@ -715,6 +796,122 @@ collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
     registerIntervalProfile(plan, "run@local", runner, unit_accesses,
                             bbv_dims, &out);
     plan.run();
+    return out;
+}
+
+namespace {
+
+/**
+ * Chunk-local pass of the sharded interval profile: a chunk-local
+ * stack simulation plus block weights bucketed by global unit index
+ * (the serial driver cuts after the access completing a unit, so a
+ * block event at access clock c belongs to unit c / unitAccesses).
+ */
+class ChunkIntervalSink : public trace::TraceSink
+{
+  public:
+    ChunkIntervalSink(const cache::ShardedSimConfig &cfg,
+                      const trace::MemoryTrace::ChunkRange &range)
+        : sim(cfg, range.firstAccess), unitAccesses(cfg.unitAccesses),
+          firstAccess(range.firstAccess)
+    {
+    }
+
+    void
+    onBlock(trace::BlockId block, uint32_t instructions) override
+    {
+        uint64_t clock = firstAccess + sim.accessCount();
+        size_t rel = static_cast<size_t>(clock / unitAccesses -
+                                         sim.firstUnit());
+        if (rel >= blockCounts.size())
+            blockCounts.resize(rel + 1);
+        blockCounts[rel][block] += instructions;
+    }
+
+    void onAccess(trace::Addr addr) override { sim.onAccess(addr); }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        sim.onAccessBatch(addrs, n);
+    }
+
+    void onEnd() override { sawEnd = true; }
+
+    cache::ShardedSimChunk sim;
+    /** Per chunk-relative unit: merged integer block weights. */
+    std::vector<std::unordered_map<trace::BlockId, uint64_t>> blockCounts;
+    bool sawEnd = false;
+
+  private:
+    uint64_t unitAccesses;
+    uint64_t firstAccess;
+};
+
+} // namespace
+
+IntervalProfile
+collectIntervalsSharded(const trace::MemoryTrace &trace,
+                        uint64_t unit_accesses, size_t bbv_dims,
+                        uint64_t chunk_accesses, support::ThreadPool *pool)
+{
+    LPP_REQUIRE(unit_accesses > 0, "unit size must be positive");
+    support::ThreadPool &tp =
+        pool ? *pool : support::ThreadPool::shared();
+
+    cache::ShardedSimConfig cfg;
+    cfg.unitAccesses = unit_accesses;
+
+    std::vector<trace::MemoryTrace::ChunkRange> ranges =
+        trace.chunks(chunk_accesses);
+    cache::ShardedStackSim sim(cfg);
+    std::vector<std::unordered_map<trace::BlockId, uint64_t>> unitBlocks;
+    bool sawEnd = false;
+
+    // Waves bound peak memory to (pool size + 1) chunk states while
+    // keeping every pool thread and the caller busy during the local
+    // passes; the reduction between waves is strictly in chunk order.
+    size_t waveSize = tp.threadCount() + 1;
+    for (size_t begin = 0; begin < ranges.size(); begin += waveSize) {
+        size_t count = std::min(waveSize, ranges.size() - begin);
+        std::vector<std::unique_ptr<ChunkIntervalSink>> sinks(count);
+        support::parallelFor(tp, count, [&](size_t i) {
+            sinks[i] = std::make_unique<ChunkIntervalSink>(
+                cfg, ranges[begin + i]);
+            trace.replayRange(*sinks[i], ranges[begin + i]);
+        });
+        for (size_t i = 0; i < count; ++i) {
+            ChunkIntervalSink &s = *sinks[i];
+            sim.absorb(s.sim);
+            size_t base = static_cast<size_t>(s.sim.firstUnit());
+            if (base + s.blockCounts.size() > unitBlocks.size())
+                unitBlocks.resize(base + s.blockCounts.size());
+            for (size_t r = 0; r < s.blockCounts.size(); ++r)
+                for (const auto &kv : s.blockCounts[r])
+                    unitBlocks[base + r][kv.first] += kv.second;
+            sawEnd = sawEnd || s.sawEnd;
+            sinks[i].reset();
+        }
+    }
+
+    // The serial driver closes a trailing partial unit only when the
+    // stream delivers its end event; chunk partials always count, so
+    // mirror the serial cut here. Block events past the last closed
+    // unit are dropped on both paths.
+    size_t n = sim.units().size();
+    if (!sawEnd && n > 0 && trace.accessCount() % unit_accesses != 0)
+        --n;
+
+    IntervalProfile out;
+    out.units.assign(sim.units().begin(), sim.units().begin() + n);
+    bbv::BbvCollector bbv(bbv_dims);
+    for (size_t u = 0; u < n; ++u) {
+        if (u < unitBlocks.size())
+            for (const auto &kv : unitBlocks[u])
+                bbv.addBlockWeight(kv.first, kv.second);
+        bbv.finalizeInterval();
+    }
+    out.bbvs = bbv.vectors();
     return out;
 }
 

@@ -18,6 +18,8 @@
 #include "core/analysis.hpp"
 #include "core/execution_plan.hpp"
 #include "core/runtime.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/memory_trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace lpp::core {
@@ -139,6 +141,16 @@ std::vector<WorkloadEvaluation>
 evaluateWorkloads(const std::vector<std::string> &names,
                   const AnalysisConfig &config = {});
 
+/**
+ * Same, but on an explicit pool: the plan schedules its units on
+ * `pool` and the sharded intra-workload sweeps reuse it (the config's
+ * sharding.pool is overridden). Lets benches sweep thread counts with
+ * dedicated pools instead of the process-wide shared one.
+ */
+std::vector<WorkloadEvaluation>
+evaluateWorkloads(const std::vector<std::string> &names,
+                  const AnalysisConfig &config, support::ThreadPool &pool);
+
 /** Node handles of one registered workload evaluation. */
 struct WorkloadEvaluationNodes
 {
@@ -195,6 +207,23 @@ struct IntervalProfile
 IntervalProfile
 collectIntervals(const std::function<void(trace::TraceSink &)> &runner,
                  uint64_t unit_accesses, size_t bbv_dims = 32);
+
+/**
+ * Sharded collectIntervals over a recorded trace: the recording is cut
+ * into chunks of ~`chunk_accesses` accesses, each chunk runs a local
+ * stack-simulation pass on a pool thread (cache::ShardedSimChunk) while
+ * bucketing block weights by global unit index, and a sequential
+ * reduction in chunk order resolves cross-chunk LRU depths and merges
+ * the integer per-unit block counts before projecting each unit's BBV.
+ * Every per-unit miss counter and BBV coordinate is bit-identical to
+ * collectIntervals over a full replay of the same recording, at every
+ * chunk size and thread count. `pool` defaults to the shared pool.
+ */
+IntervalProfile
+collectIntervalsSharded(const trace::MemoryTrace &trace,
+                        uint64_t unit_accesses, size_t bbv_dims = 32,
+                        uint64_t chunk_accesses = 1ULL << 20,
+                        support::ThreadPool *pool = nullptr);
 
 /**
  * Register an interval-profile pass under `key` on `plan`. A pass with

@@ -1,7 +1,9 @@
 #include "core/execution_plan.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <utility>
 
@@ -259,93 +261,142 @@ ExecutionPlan::runSerial()
             std::rethrow_exception(errors[i]);
 }
 
+/**
+ * Scheduler state shared by the caller and its helper jobs, co-owned
+ * via shared_ptr so a helper that dequeues after the plan finished
+ * (ready queue empty) touches only memory it keeps alive.
+ */
+struct ExecutionPlan::ParallelSched
+{
+    enum State : char { Pending, Done, Failed, Aborted };
+
+    const ExecutionPlan *plan = nullptr;
+    support::ThreadPool *pool = nullptr;
+    support::Mutex mtx;
+    std::condition_variable_any cv;
+    size_t remaining LPP_GUARDED_BY(mtx) = 0;
+    std::vector<char> state LPP_GUARDED_BY(mtx);
+    std::vector<size_t> pendingDeps LPP_GUARDED_BY(mtx);
+    std::deque<size_t> ready LPP_GUARDED_BY(mtx);
+    // Each slot is written by its unit's executing thread before the
+    // completion barrier and read by the caller after it; no lock.
+    std::vector<std::exception_ptr> errors;
+};
+
+/**
+ * Claim-and-run loop shared by the caller and helper jobs: pop a ready
+ * unit, run it, release its dependents. Helpers return instead of
+ * blocking when the queue is momentarily empty; a completion that
+ * releases R dependents keeps one for this loop and submits fresh
+ * helpers for the rest, so no ready unit is ever stranded.
+ */
+void
+ExecutionPlan::drainParallel(const std::shared_ptr<ParallelSched> &sy)
+{
+    using State = ParallelSched::State;
+    for (;;) {
+        size_t i;
+        {
+            support::MutexLock lock(sy->mtx);
+            if (sy->ready.empty())
+                return;
+            i = sy->ready.front();
+            sy->ready.pop_front();
+        }
+        // A unit was claimed, so remaining > 0 and the caller (who owns
+        // the plan) is still blocked in runParallel: plan access is safe.
+        const ExecutionPlan &plan = *sy->plan;
+        std::exception_ptr err;
+        try {
+            plan.runUnit(plan.units[i]);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        size_t released = 0;
+        {
+            support::MutexLock lock(sy->mtx);
+            sy->state[i] = err ? State::Failed : State::Done;
+            sy->errors[i] = err;
+            --sy->remaining;
+            // Release dependents; a dependent of a failed or aborted
+            // unit is abandoned, which cascades.
+            std::vector<size_t> done{i};
+            while (!done.empty()) {
+                size_t u = done.back();
+                done.pop_back();
+                for (size_t d : plan.units[u].dependents) {
+                    if (--sy->pendingDeps[d] > 0)
+                        continue;
+                    bool doomed = false;
+                    for (size_t p : plan.units[d].deps)
+                        doomed = doomed || sy->state[p] == State::Failed ||
+                                 sy->state[p] == State::Aborted;
+                    if (doomed) {
+                        sy->state[d] = State::Aborted;
+                        --sy->remaining;
+                        done.push_back(d);
+                    } else {
+                        sy->ready.push_back(d);
+                        ++released;
+                    }
+                }
+            }
+            // Notify while holding the lock: the caller may return
+            // (releasing its reference) the instant remaining hits zero.
+            if (sy->remaining == 0)
+                sy->cv.notify_all();
+        }
+        // This loop continues and takes one released unit itself; the
+        // rest get fresh helpers so independent branches overlap.
+        for (size_t h = 1; h < released; ++h)
+            sy->pool->submit([sy] { drainParallel(sy); });
+    }
+}
+
 void
 ExecutionPlan::runParallel(support::ThreadPool &pool)
 {
-    enum State : char { Pending, Done, Failed, Aborted };
     const size_t n = units.size();
-
-    struct Sched
+    auto sy = std::make_shared<ParallelSched>();
+    sy->plan = this;
+    sy->pool = &pool;
+    sy->errors.resize(n);
+    size_t initial = 0;
     {
-        support::Mutex mtx;
-        std::condition_variable_any cv;
-        size_t remaining LPP_GUARDED_BY(mtx) = 0;
-        std::vector<char> state LPP_GUARDED_BY(mtx);
-        std::vector<size_t> pendingDeps LPP_GUARDED_BY(mtx);
-        // Written by each unit's own job before the completion barrier,
-        // read by the caller after it; no lock needed.
-        std::vector<std::exception_ptr> errors;
-    };
-    Sched sy;
-    sy.errors.resize(n);
-    std::vector<size_t> initial;
-    {
-        support::MutexLock lock(sy.mtx);
-        sy.remaining = n;
-        sy.state.assign(n, Pending);
-        sy.pendingDeps.resize(n);
+        support::MutexLock lock(sy->mtx);
+        sy->remaining = n;
+        sy->state.assign(n, ParallelSched::Pending);
+        sy->pendingDeps.resize(n);
         for (size_t i = 0; i < n; ++i) {
-            sy.pendingDeps[i] = units[i].deps.size();
-            if (units[i].deps.empty())
-                initial.push_back(i);
+            sy->pendingDeps[i] = units[i].deps.size();
+            if (units[i].deps.empty()) {
+                sy->ready.push_back(i);
+                ++initial;
+            }
         }
     }
 
-    std::function<void(size_t)> submitUnit = [&](size_t i) {
-        pool.submit([this, &sy, &submitUnit, i] {
-            std::exception_ptr err;
-            try {
-                runUnit(units[i]);
-            } catch (...) {
-                err = std::current_exception();
-            }
-            std::vector<size_t> ready;
-            {
-                support::MutexLock lock(sy.mtx);
-                sy.state[i] = err ? Failed : Done;
-                sy.errors[i] = err;
-                --sy.remaining;
-                // Release dependents; a dependent of a failed or
-                // aborted unit is abandoned, which cascades.
-                std::vector<size_t> done{i};
-                while (!done.empty()) {
-                    size_t u = done.back();
-                    done.pop_back();
-                    for (size_t d : units[u].dependents) {
-                        if (--sy.pendingDeps[d] > 0)
-                            continue;
-                        bool doomed = false;
-                        for (size_t p : units[d].deps)
-                            doomed = doomed || sy.state[p] == Failed ||
-                                     sy.state[p] == Aborted;
-                        if (doomed) {
-                            sy.state[d] = Aborted;
-                            --sy.remaining;
-                            done.push_back(d);
-                        } else {
-                            ready.push_back(d);
-                        }
-                    }
-                }
-                // Notify while holding the lock: the caller may return
-                // (destroying Sched) the instant remaining hits zero.
-                if (sy.remaining == 0)
-                    sy.cv.notify_one();
-            }
-            for (size_t r : ready)
-                submitUnit(r);
-        });
-    };
-    for (size_t i : initial)
-        submitUnit(i);
+    // One helper per initially-ready unit beyond the one the caller
+    // takes, capped at the pool size (completions submit more as
+    // dependents become ready).
+    size_t helpers =
+        std::min(pool.threadCount(), initial > 0 ? initial - 1 : 0);
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(helpers);
+    for (size_t h = 0; h < helpers; ++h)
+        jobs.emplace_back([sy] { drainParallel(sy); });
+    pool.submitBatch(std::move(jobs));
+
+    drainParallel(sy); // the caller participates
+
     {
-        support::MutexLock lock(sy.mtx);
-        while (sy.remaining > 0)
-            sy.cv.wait(sy.mtx);
+        support::MutexLock lock(sy->mtx);
+        while (sy->remaining > 0)
+            sy->cv.wait(sy->mtx);
     }
     for (size_t i = 0; i < n; ++i)
-        if (sy.errors[i])
-            std::rethrow_exception(sy.errors[i]);
+        if (sy->errors[i])
+            std::rethrow_exception(sy->errors[i]);
 }
 
 void
@@ -356,9 +407,10 @@ ExecutionPlan::run(support::ThreadPool &pool)
     buildUnits();
     if (units.empty())
         return;
-    // A nested plan (run from a pool worker) must not block on its own
-    // pool; it runs its units inline instead.
-    if (pool.threadCount() <= 1 || pool.onWorkerThread())
+    // Caller participation makes the parallel path safe even from a
+    // pool worker (nested plans); only a single-thread pool, where no
+    // helper could ever run concurrently, takes the serial path.
+    if (pool.threadCount() <= 1)
         runSerial();
     else
         runParallel(pool);

@@ -131,11 +131,14 @@ class ExecutionPlan
 
     /**
      * Coalesce, schedule, and run every node. Independent units run
-     * concurrently on `pool` unless the pool is single-threaded or the
-     * caller is one of its workers (nested plans), in which case units
-     * run serially in deterministic order. One-shot. If a node throws,
-     * its dependents are abandoned, every unaffected unit still runs,
-     * and the first failing node's exception (lowest unit) is rethrown.
+     * concurrently on `pool` unless the pool is single-threaded, in
+     * which case units run serially in deterministic order. The calling
+     * thread participates in the parallel schedule (it claims ready
+     * units alongside the pool's workers), so running a plan from
+     * inside a pool worker is safe — the caller drains the whole plan
+     * itself if every worker is busy. One-shot. If a node throws, its
+     * dependents are abandoned, every unaffected unit still runs, and
+     * the first failing node's exception (lowest unit) is rethrown.
      */
     void run(support::ThreadPool &pool = support::ThreadPool::shared());
 
@@ -168,10 +171,13 @@ class ExecutionPlan
         std::vector<size_t> dependents; //!< unit indices
     };
 
+    struct ParallelSched; // shared scheduler state, defined in the .cpp
+
     void buildUnits();
     void runUnit(const Unit &unit) const;
     void runSerial();
     void runParallel(support::ThreadPool &pool);
+    static void drainParallel(const std::shared_ptr<ParallelSched> &sched);
 
     std::vector<Node> nodes;
     std::vector<Unit> units;

@@ -3,33 +3,32 @@
  * Deterministic fan-out of independent analysis jobs.
  *
  * Every experiment driver evaluates a grid of (workload × configuration)
- * cells whose cells share nothing; ParallelRunner runs such grids on the
- * shared thread pool and returns results indexed by submission order.
- * Because each job is a pure function of its inputs and merging is by
- * index, the output is bit-identical to running the jobs serially — the
- * determinism tests assert exactly this.
+ * cells whose cells share nothing; ParallelRunner runs such grids over
+ * the shared thread pool and returns results indexed by submission
+ * order. Because each job is a pure function of its inputs and merging
+ * is by index, the output is bit-identical to running the jobs serially
+ * — the determinism tests assert exactly this.
  *
- * Completion tracking is a mutex-guarded counter annotated for clang's
- * thread-safety analysis; result and error slots need no lock because
- * each job owns exactly one slot and the completion barrier orders the
- * slot writes before the caller's reads.
+ * The execution engine is support::parallelFor: the calling thread
+ * claims jobs alongside the pool's workers, so a one-thread run has no
+ * handoff at all (the caller just executes the jobs in index order),
+ * and calling from inside a pool worker is safe — the caller can drain
+ * the whole batch itself if every worker is busy. Result slots are
+ * preallocated and each job owns exactly one, so completion needs no
+ * per-job allocation and no lock around the slots; the parallelFor
+ * barrier orders slot writes before the caller's reads.
  */
 
 #ifndef LPP_CORE_PARALLEL_HPP
 #define LPP_CORE_PARALLEL_HPP
 
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
-#include <functional>
 #include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "support/logging.hpp"
-#include "support/mutex.hpp"
-#include "support/thread_annotations.hpp"
+#include "support/parallel_for.hpp"
 #include "support/thread_pool.hpp"
 
 namespace lpp::core {
@@ -48,82 +47,27 @@ class ParallelRunner
     /** @return the parallelism of the underlying pool. */
     size_t threadCount() const { return pool.threadCount(); }
 
+    /** @return the underlying worker pool. */
+    support::ThreadPool &threadPool() { return pool; }
+
     /**
-     * Run every job on the pool and collect the results in submission
-     * order. Jobs must be independent (no shared mutable state). An
-     * exception thrown by a job is rethrown here (first failing job in
-     * submission order). Calling from a worker of the same pool would
-     * deadlock waiting on itself and is rejected.
+     * Run every job, caller participating, and collect the results in
+     * submission order. Jobs must be independent (no shared mutable
+     * state). If jobs throw, the exception of the first failing job in
+     * submission order is rethrown here.
      */
     template <typename Job>
     auto
     run(std::vector<Job> jobs)
         -> std::vector<std::invoke_result_t<Job &>>
     {
-        using Result = std::invoke_result_t<Job &>;
-        const size_t n = jobs.size();
-        std::vector<Result> results;
-        if (n == 0)
-            return results;
-        LPP_REQUIRE(!pool.onWorkerThread(),
-                    "ParallelRunner::run called from a worker of its own "
-                    "pool; the wait below would deadlock");
-
-        struct Slot
-        {
-            std::optional<Result> value;
-            std::exception_ptr error;
-        };
-        struct Sync
-        {
-            support::Mutex mtx;
-            std::condition_variable_any cv;
-            size_t remaining LPP_GUARDED_BY(mtx) = 0;
-        };
-        std::vector<Slot> slots(n);
-        Sync sync;
-        {
-            support::MutexLock lock(sync.mtx);
-            sync.remaining = n;
-        }
-        for (size_t i = 0; i < n; ++i) {
-            // The job list and slots outlive the barrier below, so the
-            // submitted closures borrow rather than own.
-            Job *job = &jobs[i];
-            Slot *slot = &slots[i];
-            Sync *sy = &sync;
-            pool.submit([job, slot, sy] {
-                try {
-                    slot->value.emplace((*job)());
-                } catch (...) {
-                    slot->error = std::current_exception();
-                }
-                support::MutexLock lock(sy->mtx);
-                --sy->remaining;
-                // Notify while holding the lock: the caller may destroy
-                // Sync the instant it observes remaining == 0, so the
-                // cv must not be touched after the unlock.
-                if (sy->remaining == 0)
-                    sy->cv.notify_one();
-            });
-        }
-        {
-            support::MutexLock lock(sync.mtx);
-            while (sync.remaining > 0)
-                sync.cv.wait(sync.mtx);
-        }
-        for (auto &slot : slots)
-            if (slot.error)
-                std::rethrow_exception(slot.error);
-        results.reserve(n);
-        for (auto &slot : slots)
-            results.push_back(std::move(*slot.value));
-        return results;
+        return mapIndexed(jobs.size(),
+                          [&jobs](size_t i) { return jobs[i](); });
     }
 
     /**
      * Map `fn` over index range [0, n), in parallel, results in index
-     * order.
+     * order. Same contract as run().
      */
     template <typename Fn>
     auto
@@ -131,11 +75,14 @@ class ParallelRunner
         -> std::vector<std::invoke_result_t<Fn &, size_t>>
     {
         using Result = std::invoke_result_t<Fn &, size_t>;
-        std::vector<std::function<Result()>> jobs;
-        jobs.reserve(n);
-        for (size_t i = 0; i < n; ++i)
-            jobs.emplace_back([fn, i] { return fn(i); });
-        return run(std::move(jobs));
+        std::vector<std::optional<Result>> slots(n);
+        support::parallelFor(pool, n,
+                             [&](size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<Result> results;
+        results.reserve(n);
+        for (auto &slot : slots)
+            results.push_back(std::move(*slot));
+        return results;
     }
 
   private:

@@ -7,14 +7,28 @@
 namespace lpp::reuse {
 
 VariableDistanceSampler::VariableDistanceSampler(SamplerConfig cfg)
+    : VariableDistanceSampler(cfg, ExternalTag{})
+{
+    if (cfg.addressSpaceElements > 0)
+        stack.reserveElements(cfg.addressSpaceElements);
+}
+
+VariableDistanceSampler::VariableDistanceSampler(SamplerConfig cfg,
+                                                 ExternalTag)
     : config(cfg),
       qualification(cfg.initialQualification),
       temporal(cfg.initialTemporal),
       spatial(cfg.initialSpatial),
       nextCheck(cfg.checkInterval)
 {
-    if (cfg.addressSpaceElements > 0)
-        stack.reserveElements(cfg.addressSpaceElements);
+}
+
+VariableDistanceSampler
+VariableDistanceSampler::externalDistances(SamplerConfig cfg)
+{
+    // No stack reservation: distances arrive via observe(), so the
+    // address-space-sized last-access table is never needed.
+    return VariableDistanceSampler(cfg, ExternalTag{});
 }
 
 void
@@ -46,8 +60,21 @@ VariableDistanceSampler::onAccess(trace::Addr addr)
     uint64_t element = trace::toElement(addr);
     uint64_t now = stack.accessCount();
     uint64_t dist = stack.access(element);
+    observe(element, now, dist);
+}
 
-    if (dist != ReuseStack::infinite) {
+void
+VariableDistanceSampler::observe(uint64_t element, uint64_t now,
+                                 uint64_t dist)
+{
+    ++accessesSeen;
+
+    // Below both thresholds no decision can fire, whatever the datum
+    // table says — skip the lookup. This keeps the sequential part of
+    // the sharded path (which funnels every access through here) to a
+    // couple of compares for the typical short-distance reuse.
+    if (dist != ReuseStack::infinite &&
+        dist >= std::min(temporal, qualification)) {
         auto it = datumIndex.find(element);
         if (it != datumIndex.end()) {
             if (dist >= temporal) {
@@ -67,9 +94,9 @@ VariableDistanceSampler::onAccess(trace::Addr addr)
         }
     }
 
-    if (stack.accessCount() >= nextCheck) {
+    if (accessesSeen >= nextCheck) {
         feedback();
-        nextCheck = stack.accessCount() + config.checkInterval;
+        nextCheck = accessesSeen + config.checkInterval;
     }
 }
 
@@ -80,7 +107,7 @@ VariableDistanceSampler::feedback()
     collectedAtLastCheck = collected;
 
     double projected;
-    uint64_t now = stack.accessCount();
+    uint64_t now = accessesSeen;
     if (config.expectedAccesses > now) {
         double remaining =
             static_cast<double>(config.expectedAccesses - now);

@@ -106,8 +106,27 @@ class VariableDistanceSampler : public trace::TraceSink
   public:
     explicit VariableDistanceSampler(SamplerConfig cfg = {});
 
+    /**
+     * A sampler whose reuse distances are supplied externally through
+     * observe() (the sharded oracle computes them); the internal stack
+     * stays empty and its address-space reservation is skipped. Don't
+     * stream accesses (onAccess) into a sampler built this way.
+     */
+    static VariableDistanceSampler externalDistances(SamplerConfig cfg);
+
     void onAccess(trace::Addr addr) override;
     void onAccessBatch(const trace::Addr *addrs, size_t n) override;
+
+    /**
+     * The decision half of onAccess: given one access's element, its
+     * logical time (accesses before it) and its exact reuse distance
+     * (ReuseStack::infinite when cold), apply the sampling decision
+     * and threshold feedback. Calls must come in time order, one per
+     * access. onAccess itself reduces to a stack query plus observe(),
+     * so feeding externally computed (element, now, dist) triples
+     * produces bit-identical samples, thresholds, and adjustments.
+     */
+    void observe(uint64_t element, uint64_t now, uint64_t dist);
 
     /** @return the per-datum samples, in promotion order. */
     const std::vector<DataSample> &samples() const { return data; }
@@ -131,9 +150,14 @@ class VariableDistanceSampler : public trace::TraceSink
     uint64_t spatialThreshold() const { return spatial; }
 
     /** @return logical time (accesses processed). */
-    uint64_t accessCount() const { return stack.accessCount(); }
+    uint64_t accessCount() const { return accessesSeen; }
 
   private:
+    struct ExternalTag
+    {
+    };
+    VariableDistanceSampler(SamplerConfig cfg, ExternalTag);
+
     void feedback();
     bool spatiallyIsolated(uint64_t element) const;
 
@@ -151,6 +175,9 @@ class VariableDistanceSampler : public trace::TraceSink
     uint64_t collectedAtLastCheck = 0;
     uint64_t nextCheck;
     uint32_t adjustCount = 0;
+    // Accesses observed; equals stack.accessCount() when the stack is
+    // internal, and is the only clock in externalDistances mode.
+    uint64_t accessesSeen = 0;
 };
 
 } // namespace lpp::reuse

@@ -1,0 +1,288 @@
+#include "reuse/sharded_reuse.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "reuse/stack.hpp"
+#include "support/flat_map.hpp"
+#include "support/logging.hpp"
+#include "support/parallel_for.hpp"
+#include "trace/types.hpp"
+
+namespace lpp::reuse {
+
+namespace {
+
+/**
+ * Global last-access structure for the sequential boundary resolve:
+ * ReuseStack's (FlatMap, Fenwick) core on an internal compacted time
+ * axis, with the query/remove and ordered-insert split the resolve
+ * needs. Mark counts and prefix queries mirror ReuseStack::access
+ * exactly, so resolved distances match the serial stack bit for bit.
+ */
+class BoundaryResolver
+{
+  public:
+    explicit BoundaryResolver(size_t reserve_elements)
+        : tree(std::max<size_t>(2 * reserve_elements + 64, 1u << 16))
+    {
+        if (reserve_elements > 0)
+            lastG.reserve(reserve_elements);
+    }
+
+    /**
+     * Number of elements whose last access falls after `element`'s,
+     * removing the element's mark (it now lives in the chunk being
+     * resolved). ReuseStack::infinite if the element was never seen.
+     */
+    uint64_t
+    queryRemove(uint64_t element)
+    {
+        uint64_t *slot = lastG.find(element);
+        if (!slot)
+            return ReuseStack::infinite;
+        uint64_t count = live - tree.prefix(*slot);
+        tree.add(*slot, -1);
+        --live;
+        lastG.erase(element);
+        return count;
+    }
+
+    /**
+     * Record `element`'s new last access. Calls must come in
+     * increasing global-time order; the element must not currently
+     * hold a mark (boundary processing removed it).
+     */
+    void
+    note(uint64_t element)
+    {
+        if (next >= tree.size())
+            compact();
+        LPP_DCHECK(lastG.find(element) == nullptr,
+                   "element %llu still marked at end-of-chunk insert",
+                   static_cast<unsigned long long>(element));
+        lastG.insert(element, next);
+        tree.add(next, +1);
+        ++live;
+        ++next;
+    }
+
+    /** @return distinct elements currently tracked. */
+    uint64_t size() const { return lastG.size(); }
+
+  private:
+    void
+    compact()
+    {
+        std::vector<std::pair<uint64_t, uint64_t>> order; // (time, elem)
+        order.reserve(lastG.size());
+        lastG.forEach([&order](uint64_t element, uint64_t time) {
+            order.emplace_back(time, element);
+        });
+        std::sort(order.begin(), order.end());
+        size_t want = std::max<size_t>(64, 2 * order.size() + 64);
+        tree = FenwickTree(std::max(want, tree.size()));
+        live = 0;
+        next = 0;
+        for (auto &te : order) {
+            *lastG.find(te.second) = next;
+            tree.add(next, +1);
+            ++live;
+            ++next;
+        }
+    }
+
+    FenwickTree tree;
+    support::FlatMap<uint64_t> lastG;
+    uint64_t live = 0;
+    uint64_t next = 0;
+};
+
+/** Per-chunk state of the full sweep's parallel local pass. */
+struct ChunkState
+{
+    ShardChunk chunk;
+    ReuseStack stack{64};
+    std::vector<size_t> firstTouch; //!< local indices of boundary accesses
+};
+
+/**
+ * Chunk-local pass: exact intra-chunk distances via a private stack
+ * sized so it never compacts (its last-access times must stay on the
+ * raw local access axis for the end-of-chunk correction), plus the
+ * chunk-local block recording.
+ */
+class LocalSink : public trace::TraceSink
+{
+  public:
+    explicit LocalSink(ChunkState &st_) : st(st_) {}
+
+    void
+    onBlock(trace::BlockId block, uint32_t instructions) override
+    {
+        st.chunk.blocks.onBlock(block, instructions);
+    }
+
+    void
+    onAccess(trace::Addr addr) override
+    {
+        handle(addr);
+        st.chunk.blocks.onAccess(addr);
+    }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            handle(addrs[i]);
+        st.chunk.blocks.onAccessBatch(addrs, n);
+    }
+
+  private:
+    void
+    handle(trace::Addr addr)
+    {
+        uint64_t element = trace::toElement(addr);
+        uint64_t dist = st.stack.access(element);
+        if (dist == ReuseStack::infinite)
+            st.firstTouch.push_back(st.chunk.elements.size());
+        st.chunk.elements.push_back(element);
+        st.chunk.distances.push_back(dist);
+    }
+
+    ChunkState &st;
+};
+
+void
+localPass(const trace::MemoryTrace &trace,
+          const trace::MemoryTrace::ChunkRange &range, ChunkState &st)
+{
+    st.chunk.range = range;
+    st.chunk.elements.reserve(range.accessCount);
+    st.chunk.distances.reserve(range.accessCount);
+    st.stack = ReuseStack(range.accessCount + 64);
+    LocalSink sink(st);
+    trace.replayRange(sink, range);
+}
+
+/**
+ * Sequential part: resolve the chunk's boundary distances against the
+ * global structure, then move every locally-touched element's global
+ * mark to its final in-chunk position (in increasing time order, so
+ * the resolver's internal axis stays sorted).
+ */
+void
+resolveChunk(ChunkState &st, BoundaryResolver &resolver)
+{
+    uint64_t k = 0;
+    for (size_t pos : st.firstTouch) {
+        uint64_t count = resolver.queryRemove(st.chunk.elements[pos]);
+        if (count != ReuseStack::infinite)
+            st.chunk.distances[pos] = k + count;
+        ++k;
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> order; // (local time, elem)
+    order.reserve(st.firstTouch.size());
+    st.stack.forEachLastAccess([&order](uint64_t element, uint64_t time) {
+        order.emplace_back(time, element);
+    });
+    std::sort(order.begin(), order.end());
+    for (auto &te : order)
+        resolver.note(te.second);
+}
+
+size_t
+waveSize(support::ThreadPool &pool)
+{
+    return pool.threadCount() + 1; // the caller participates
+}
+
+/** Applies a callback to every data access delivered to it. */
+template <typename Fn>
+class AccessVisitor : public trace::TraceSink
+{
+  public:
+    explicit AccessVisitor(Fn &fn_) : fn(fn_) {}
+
+    void onAccess(trace::Addr addr) override { fn(addr); }
+
+    void
+    onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(addrs[i]);
+    }
+
+  private:
+    Fn &fn;
+};
+
+} // namespace
+
+TraceCounts
+shardedPrecount(const trace::MemoryTrace &trace,
+                const ShardedSweepConfig &cfg, support::ThreadPool &pool)
+{
+    TraceCounts counts;
+    counts.accesses = trace.accessCount();
+    auto ranges = trace.chunks(cfg.chunkAccesses);
+
+    support::FlatMap<uint8_t> seen;
+    if (cfg.reserveElements > 0)
+        seen.reserve(cfg.reserveElements);
+
+    const size_t wave = waveSize(pool);
+    for (size_t base = 0; base < ranges.size(); base += wave) {
+        const size_t n = std::min(wave, ranges.size() - base);
+        // Per-chunk distinct-element lists, computed in parallel.
+        std::vector<std::vector<uint64_t>> locals(n);
+        support::parallelFor(pool, n, [&](size_t i) {
+            support::FlatMap<uint8_t> localSeen;
+            std::vector<uint64_t> &distinct = locals[i];
+            auto visit = [&](trace::Addr addr) {
+                uint64_t element = trace::toElement(addr);
+                if (!localSeen.find(element)) {
+                    localSeen.insert(element, 1);
+                    distinct.push_back(element);
+                }
+            };
+            AccessVisitor sink(visit);
+            trace.replayRange(sink, ranges[base + i]);
+        });
+        for (size_t i = 0; i < n; ++i)
+            for (uint64_t element : locals[i])
+                if (!seen.find(element))
+                    seen.insert(element, 1);
+    }
+    counts.distinctElements = seen.size();
+    return counts;
+}
+
+TraceCounts
+shardedReuseSweep(const trace::MemoryTrace &trace,
+                  const ShardedSweepConfig &cfg, support::ThreadPool &pool,
+                  const std::function<void(const ShardChunk &)> &consume)
+{
+    TraceCounts counts;
+    counts.accesses = trace.accessCount();
+    auto ranges = trace.chunks(cfg.chunkAccesses);
+    BoundaryResolver resolver(cfg.reserveElements);
+
+    const size_t wave = waveSize(pool);
+    for (size_t base = 0; base < ranges.size(); base += wave) {
+        const size_t n = std::min(wave, ranges.size() - base);
+        std::vector<ChunkState> states(n);
+        support::parallelFor(pool, n, [&](size_t i) {
+            localPass(trace, ranges[base + i], states[i]);
+        });
+        for (size_t i = 0; i < n; ++i) {
+            resolveChunk(states[i], resolver);
+            consume(states[i].chunk);
+            states[i] = ChunkState{}; // free before the next wave
+        }
+    }
+    counts.distinctElements = resolver.size();
+    return counts;
+}
+
+} // namespace lpp::reuse

@@ -103,6 +103,21 @@ class ReuseStack
     /** @return number of distinct elements seen. */
     uint64_t distinctCount() const { return lastTime.size(); }
 
+    /**
+     * Visit (element, last-access time) for every element seen, in
+     * unspecified order. Times are on the stack's internal (compacted)
+     * axis; they equal access indices only while no compaction has
+     * happened — guaranteed when the stack was constructed with a
+     * capacity hint covering the whole access sequence, which is how
+     * the sharded oracle's per-chunk stacks use this.
+     */
+    template <typename Fn>
+    void
+    forEachLastAccess(Fn &&fn) const
+    {
+        lastTime.forEach(fn);
+    }
+
     /** @return total accesses processed. */
     uint64_t accessCount() const { return accesses; }
 

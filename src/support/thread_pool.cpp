@@ -1,18 +1,33 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
 namespace lpp::support {
 
+namespace {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t threads)
 {
     if (threads == 0)
         threads = configuredThreads();
+    slots = std::make_unique<WorkerSlot[]>(threads);
     workers.reserve(threads);
     for (size_t i = 0; i < threads; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -36,6 +51,19 @@ ThreadPool::submit(std::function<void()> job)
     cv.notify_one();
 }
 
+void
+ThreadPool::submitBatch(std::vector<std::function<void()>> jobs)
+{
+    if (jobs.empty())
+        return;
+    {
+        MutexLock lock(mtx);
+        for (auto &job : jobs)
+            queue.push_back(std::move(job));
+    }
+    cv.notify_all();
+}
+
 bool
 ThreadPool::onWorkerThread() const
 {
@@ -46,9 +74,30 @@ ThreadPool::onWorkerThread() const
                        });
 }
 
-void
-ThreadPool::workerLoop()
+std::vector<ThreadPool::WorkerStats>
+ThreadPool::workerStats() const
 {
+    std::vector<WorkerStats> out(workers.size());
+    for (size_t i = 0; i < workers.size(); ++i) {
+        out[i].tasks = slots[i].tasks.load(std::memory_order_relaxed);
+        out[i].busyNs = slots[i].busyNs.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+ThreadPool::resetWorkerStats()
+{
+    for (size_t i = 0; i < workers.size(); ++i) {
+        slots[i].tasks.store(0, std::memory_order_relaxed);
+        slots[i].busyNs.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t index)
+{
+    WorkerSlot &slot = slots[index];
     for (;;) {
         std::function<void()> job;
         {
@@ -60,7 +109,10 @@ ThreadPool::workerLoop()
             job = std::move(queue.front());
             queue.pop_front();
         }
+        uint64_t start = nowNs();
         job();
+        slot.busyNs.fetch_add(nowNs() - start, std::memory_order_relaxed);
+        slot.tasks.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -71,8 +123,9 @@ ThreadPool::configuredThreads()
         char *end = nullptr;
         long v = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && v > 0)
-            return static_cast<size_t>(v);
+            return std::min(static_cast<size_t>(v), maxConfiguredThreads);
     }
+    // Unset, empty, "0", negative, or unparsable: size to the machine.
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

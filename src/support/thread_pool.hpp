@@ -12,6 +12,10 @@
  * results by submission index (see core::ParallelRunner), so the output
  * is bit-identical to running the same jobs serially.
  *
+ * Each worker keeps utilization counters (tasks executed, busy
+ * nanoseconds) so benches can report load balance per worker instead of
+ * only end-to-end speedup; see workerStats().
+ *
  * All queue state is annotated for clang's thread-safety analysis
  * (support/thread_annotations.hpp); tools/check.sh compiles with
  * -Wthread-safety -Werror when clang is available.
@@ -20,10 +24,13 @@
 #ifndef LPP_SUPPORT_THREAD_POOL_HPP
 #define LPP_SUPPORT_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -36,6 +43,13 @@ namespace lpp::support {
 class ThreadPool
 {
   public:
+    /** Utilization of one worker thread since the last reset. */
+    struct WorkerStats
+    {
+        uint64_t tasks = 0;  //!< jobs this worker executed
+        uint64_t busyNs = 0; //!< wall time spent inside jobs
+    };
+
     /**
      * @param threads worker count; 0 means configuredThreads()
      */
@@ -50,6 +64,14 @@ class ThreadPool
     /** Enqueue one job. Thread-safe. */
     void submit(std::function<void()> job) LPP_EXCLUDES(mtx);
 
+    /**
+     * Enqueue many jobs under one lock acquisition (wakes every
+     * worker once instead of once per job). Thread-safe; `jobs` is
+     * consumed.
+     */
+    void submitBatch(std::vector<std::function<void()>> jobs)
+        LPP_EXCLUDES(mtx);
+
     /** @return number of worker threads. */
     size_t threadCount() const { return workers.size(); }
 
@@ -61,17 +83,39 @@ class ThreadPool
     bool onWorkerThread() const;
 
     /**
+     * Per-worker utilization since construction or the last
+     * resetWorkerStats(). Counters are maintained with relaxed atomics:
+     * totals are exact once the pool is quiescent (no job in flight),
+     * which is when benches read them.
+     */
+    std::vector<WorkerStats> workerStats() const;
+
+    /** Zero every worker's utilization counters. */
+    void resetWorkerStats();
+
+    /**
      * The configured parallelism: the LPP_THREADS environment variable
-     * when set to a positive integer, otherwise the hardware
+     * when set to a positive integer (clamped to maxConfiguredThreads),
+     * otherwise — unset, empty, "0", or unparsable — the hardware
      * concurrency (at least 1).
      */
     static size_t configuredThreads();
+
+    /** Upper clamp applied to LPP_THREADS (absurd values cost RAM). */
+    static constexpr size_t maxConfiguredThreads = 256;
 
     /** Process-wide pool shared by all analysis fan-outs. */
     static ThreadPool &shared();
 
   private:
-    void workerLoop();
+    /** One worker's counters, cache-line padded against false sharing. */
+    struct alignas(64) WorkerSlot
+    {
+        std::atomic<uint64_t> tasks{0};
+        std::atomic<uint64_t> busyNs{0};
+    };
+
+    void workerLoop(size_t index);
 
     Mutex mtx;
     std::condition_variable_any cv;
@@ -79,6 +123,7 @@ class ThreadPool
     bool stopping LPP_GUARDED_BY(mtx) = false;
     // Immutable after construction; readable without the lock.
     std::vector<std::thread> workers;
+    std::unique_ptr<WorkerSlot[]> slots;
 };
 
 } // namespace lpp::support

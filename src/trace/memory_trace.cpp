@@ -1,11 +1,53 @@
 #include "trace/memory_trace.hpp"
 
+#include <algorithm>
+
 namespace lpp::trace {
 
 void
 MemoryTrace::replay(TraceSink &sink) const
 {
-    for (const Event &e : events) {
+    if (events.empty())
+        return;
+    replayRange(sink, ChunkRange{0, events.size(), 0, addrs.size()});
+}
+
+std::vector<MemoryTrace::ChunkRange>
+MemoryTrace::chunks(uint64_t target_accesses) const
+{
+    std::vector<ChunkRange> out;
+    if (events.empty())
+        return out;
+    target_accesses = std::max<uint64_t>(target_accesses, 1);
+    ChunkRange cur;
+    uint64_t accessesBefore = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        uint64_t delivered = 0;
+        if (e.kind == Kind::Access)
+            delivered = 1;
+        else if (e.kind == Kind::Batch)
+            delivered = e.a;
+        ++cur.eventCount;
+        cur.accessCount += delivered;
+        accessesBefore += delivered;
+        if (cur.accessCount >= target_accesses && i + 1 < events.size()) {
+            out.push_back(cur);
+            cur = ChunkRange{i + 1, 0, accessesBefore, 0};
+        }
+    }
+    if (cur.eventCount > 0)
+        out.push_back(cur);
+    return out;
+}
+
+void
+MemoryTrace::replayRange(TraceSink &sink, const ChunkRange &range) const
+{
+    const Event *first = events.data() + range.firstEvent;
+    const Event *last = first + range.eventCount;
+    for (const Event *it = first; it != last; ++it) {
+        const Event &e = *it;
         switch (e.kind) {
           case Kind::Block:
             sink.onBlock(static_cast<BlockId>(e.a),

@@ -76,6 +76,33 @@ class MemoryTrace : public TraceSink
      */
     void replay(TraceSink &sink) const;
 
+    /**
+     * Contiguous slice of the recorded stream, for sharded replay.
+     * Slices partition the event list, so replaying every chunk in
+     * order through one sink is identical to replay().
+     */
+    struct ChunkRange
+    {
+        size_t firstEvent = 0;  //!< index of the first event
+        size_t eventCount = 0;  //!< events in this chunk
+        uint64_t firstAccess = 0; //!< accesses recorded before the chunk
+        uint64_t accessCount = 0; //!< accesses delivered by the chunk
+    };
+
+    /**
+     * Partition the recording into chunks of roughly `target_accesses`
+     * data accesses each. Batches are never split (batch boundaries are
+     * part of the exact-replay contract), so a chunk can exceed the
+     * target by up to one batch. Always returns at least one chunk for
+     * a non-empty recording, and the chunks cover every event: a
+     * `target_accesses` of 0 is treated as 1, and one larger than the
+     * recording yields a single chunk.
+     */
+    std::vector<ChunkRange> chunks(uint64_t target_accesses) const;
+
+    /** Re-deliver exactly the events of `range` into `sink`. */
+    void replayRange(TraceSink &sink, const ChunkRange &range) const;
+
     // Introspection --------------------------------------------------
 
     /** @return recorded events (a batch counts as one event). */

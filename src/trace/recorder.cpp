@@ -10,4 +10,16 @@ BlockRecorder::onBlock(BlockId block, uint32_t instructions)
     instrClock += instructions;
 }
 
+void
+BlockRecorder::absorb(const BlockRecorder &other)
+{
+    blockEvents.reserve(blockEvents.size() + other.blockEvents.size());
+    for (const BlockEvent &e : other.blockEvents)
+        blockEvents.push_back(BlockEvent{e.block, e.instructions,
+                                         e.accessTime + accessClock,
+                                         e.instrTime + instrClock});
+    accessClock += other.accessClock;
+    instrClock += other.instrClock;
+}
+
 } // namespace lpp::trace

@@ -6,6 +6,7 @@
 #ifndef LPP_TRACE_RECORDER_HPP
 #define LPP_TRACE_RECORDER_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -64,6 +65,18 @@ class BlockRecorder : public TraceSink
     {
         accessClock += n;
     }
+
+    /**
+     * Append `other`'s recording as if its stream had been delivered
+     * right after this one's: other's block events shift by this
+     * recorder's current clocks, and both clocks advance by other's
+     * totals. Merging per-chunk recorders in chunk order this way is
+     * bit-identical to recording the unchunked stream.
+     */
+    void absorb(const BlockRecorder &other);
+
+    /** Pre-size the block-event buffer (reserve-ahead hint). */
+    void reserve(size_t block_hint) { blockEvents.reserve(block_hint); }
 
     /** @return the recorded block event sequence. */
     const std::vector<BlockEvent> &events() const { return blockEvents; }

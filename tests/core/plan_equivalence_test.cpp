@@ -249,6 +249,41 @@ TEST(PlanEquivalence, SingleWorkloadPlanMatchesAndValidates)
     expectSameEvaluation(planned, serial);
 }
 
+/** The sharded intra-workload path (chunked replay of the training
+ *  recording for precount + sampling + block trace) must be
+ *  bit-identical to the serial reference at every thread count. At one
+ *  thread the serial replay path runs; at two and four the sharded
+ *  sweeps run on the same pool the plan schedules on. */
+TEST(PlanEquivalence, ShardedEvaluationBitIdenticalAcrossThreadCounts)
+{
+    AnalysisConfig config;
+    auto w = lpp::workloads::create("fft");
+    ASSERT_NE(w, nullptr);
+    auto serial = serialReference(*w, config);
+
+    for (size_t threads : {1u, 2u, 4u}) {
+        lpp::support::ThreadPool pool(threads);
+        AnalysisConfig cfg = config;
+        // Small chunks force many boundary resolutions per sweep.
+        cfg.sharding.chunkAccesses = 4096;
+        auto planned =
+            lpp::core::evaluateWorkloads({"fft"}, cfg, pool);
+        ASSERT_EQ(planned.size(), 1u);
+        expectSameEvaluation(planned[0], serial);
+        EXPECT_EQ(planned[0].programExecutions, 2u)
+            << threads << " threads";
+    }
+
+    // Opting out of sharding on a multi-threaded pool keeps the
+    // replay-pass path and the same results.
+    lpp::support::ThreadPool pool(4);
+    AnalysisConfig off = config;
+    off.sharding.enabled = false;
+    auto planned = lpp::core::evaluateWorkloads({"fft"}, off, pool);
+    ASSERT_EQ(planned.size(), 1u);
+    expectSameEvaluation(planned[0], serial);
+}
+
 /** Trace-cache paths: a cold-recording evaluation (cache miss, live
  *  execution + store publish) and a warm-cache evaluation (0 live
  *  executions, store replay) are both bit-identical to the serial
