@@ -50,6 +50,7 @@
 #include "core/analysis.hpp"
 #include "core/evaluation.hpp"
 #include "core/parallel.hpp"
+#include "staticloc/predict.hpp"
 #include "support/thread_pool.hpp"
 #include "workloads/registry.hpp"
 
@@ -384,6 +385,37 @@ main()
                 warm[i].programExecutions;
     }
 
+    // Pass 6: static-vs-dynamic divergence — the zero-execution oracle
+    // predicts each statically described workload's training run and
+    // the pipeline checks itself against it. One live execution per
+    // workload (the training recording); the oracle itself adds none.
+    struct OracleRow
+    {
+        std::string name;
+        core::StaticOracleReport report;
+        uint64_t executions = 0;
+    };
+    std::vector<OracleRow> oracleRows;
+    bool oracle_ok = true;
+    {
+        core::AnalysisConfig ocfg;
+        ocfg.staticOracle.enabled = true;
+        for (const auto &name : workloads::staticNames()) {
+            auto w = workloads::create(name);
+            auto run = core::analyzeWorkload(*w, ocfg);
+            OracleRow r{name, run.staticOracle, run.programExecutions};
+            if (!r.report.checked || !r.report.ok) {
+                oracle_ok = false;
+                std::fprintf(stderr,
+                             "error: static oracle failed on %s\n",
+                             name.c_str());
+                for (const auto &f : r.report.failures)
+                    std::fprintf(stderr, "  %s\n", f.c_str());
+            }
+            oracleRows.push_back(std::move(r));
+        }
+    }
+
     double speedup = parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
     double warmSpeedup = warmMs > 0.0 ? coldMs / warmMs : 0.0;
 
@@ -432,6 +464,22 @@ main()
     std::printf("warm live runs %10s\n", warm_no_live ? "0" : "NONZERO");
     std::printf("peak rss       %10ld KiB\n", peakRssKb());
 
+    std::printf("\nStatic oracle (zero-execution prediction vs "
+                "measured training run)\n");
+    row("Workload",
+        {"method", "divergence", "missrate", "markers", "execs", "ok"},
+        12, 10);
+    rule();
+    for (const auto &orow : oracleRows)
+        row(orow.name,
+            {staticloc::methodName(orow.report.method),
+             num(orow.report.histogramDivergence, 6),
+             num(orow.report.maxMissRateError, 6),
+             orow.report.markersIdentical ? "exact" : "diverged",
+             std::to_string(orow.executions),
+             orow.report.ok ? "yes" : "NO"},
+            12, 10);
+
     // Machine-readable series, one JSON object per run.
     std::ofstream json("BENCH_pipeline.json");
     json << "{\n"
@@ -475,6 +523,30 @@ main()
         json << "]}" << (i + 1 < curve.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
+         << "  \"static_oracle\": [\n";
+    for (size_t i = 0; i < oracleRows.size(); ++i) {
+        const auto &r = oracleRows[i].report;
+        json << "    {\"name\": \"" << oracleRows[i].name << "\", "
+             << "\"method\": \"" << staticloc::methodName(r.method)
+             << "\", "
+             << "\"exact\": " << (r.exact ? "true" : "false") << ", "
+             << "\"histogram_divergence\": "
+             << num(r.histogramDivergence, 6) << ", "
+             << "\"histogram_identical\": "
+             << (r.histogramIdentical ? "true" : "false") << ", "
+             << "\"miss_rate_max_error\": " << num(r.maxMissRateError, 6)
+             << ", "
+             << "\"marker_max_error\": " << r.markerMaxError << ", "
+             << "\"markers_identical\": "
+             << (r.markersIdentical ? "true" : "false") << ", "
+             << "\"detected_boundary_precision\": "
+             << num(r.detectedBoundaryPrecision, 4) << ", "
+             << "\"program_executions\": " << oracleRows[i].executions
+             << ", "
+             << "\"ok\": " << (r.ok ? "true" : "false") << "}"
+             << (i + 1 < oracleRows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
          << "  \"scaling_checked\": "
          << (scaling_checked ? "true" : "false") << ",\n"
          << "  \"scaling_ok\": " << (scaling_ok ? "true" : "false")
@@ -496,6 +568,7 @@ main()
     std::printf("\nSeries written to BENCH_pipeline.json\n");
 
     bool ok = identical && warm_identical && warm_no_live &&
-              stage_cost_ok && pool_exercised_ok && scaling_ok;
+              stage_cost_ok && pool_exercised_ok && scaling_ok &&
+              oracle_ok;
     return ok ? 0 : 1;
 }

@@ -69,6 +69,19 @@ BbvCollector::finalizeInterval()
             for (double &x : v)
                 x /= sum;
         }
+        // Consumers (clustering, markov) assume a unit-L1 probability
+        // vector: coordinates in [0, 1] summing to 1 (within float
+        // rounding) whenever the interval had any weight.
+#if !defined(NDEBUG) || defined(LPP_FORCE_DCHECKS)
+        double norm = 0.0;
+        for (double x : v) {
+            LPP_DCHECK(x >= 0.0 && x <= 1.0,
+                       "BBV coordinate %f outside [0, 1]", x);
+            norm += x;
+        }
+        LPP_DCHECK(norm == 0.0 || std::abs(norm - 1.0) < 1e-9,
+                   "BBV not L1-normalized: sum %f", norm);
+#endif
     }
     intervalVectors.push_back(std::move(v));
     counts.clear();

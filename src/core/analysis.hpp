@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/static_oracle.hpp"
 #include "grammar/hierarchy.hpp"
 #include "phase/detector.hpp"
 #include "workloads/workload.hpp"
@@ -67,6 +68,16 @@ struct AnalysisConfig
 
     /** Intra-workload parallelism over the recorded training stream. */
     ShardingConfig sharding;
+
+    /**
+     * Zero-execution verification: for workloads carrying an affine IR
+     * (workloads::StaticallyDescribed), predict the training run's
+     * locality statically and compare against the measured stream
+     * within the configured bounds. Honoured by core::analyzeWorkload
+     * and core::evaluateWorkload(s); adds one replay of the recorded
+     * training stream and no live executions.
+     */
+    StaticOracleConfig staticOracle;
 
     AnalysisConfig()
     {

@@ -19,6 +19,7 @@
 #include "trace/recorder.hpp"
 #include "trace/trace_store.hpp"
 #include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
 
 namespace lpp::core {
 
@@ -192,6 +193,12 @@ struct AnalysisJob
 
     AnalysisResult *analysisOut = nullptr;
     uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
+
+    /** Static-oracle verification (config.staticOracle.enabled). */
+    StaticOracleConfig oracleCfg;
+    const workloads::StaticallyDescribed *staticDesc = nullptr;
+    StaticOracleReport *oracleOut = nullptr;
+    std::optional<MeasuredLocalitySink> measured;
 };
 
 /** Node handles of one registered training-side analysis. */
@@ -199,17 +206,27 @@ struct AnalysisNodes
 {
     ExecutionPlan::NodeId acquired; //!< trainLog holds the stream
     ExecutionPlan::NodeId ready;    //!< *analysisOut final
+
+    /** Oracle comparison done (== ready when the oracle is off). */
+    ExecutionPlan::NodeId oracle;
 };
 
 std::shared_ptr<AnalysisJob>
 makeAnalysisJob(const workloads::Workload &workload,
-                const AnalysisConfig &config, AnalysisResult *out)
+                const AnalysisConfig &config, AnalysisResult *out,
+                StaticOracleReport *oracle_out)
 {
     auto job = std::make_shared<AnalysisJob>();
     job->workload = &workload;
     job->trainIn = workload.trainInput();
     job->analysisOut = out;
     job->sharding = config.sharding;
+    job->oracleCfg = config.staticOracle;
+    job->oracleOut = oracle_out;
+    if (config.staticOracle.enabled && oracle_out)
+        job->staticDesc =
+            dynamic_cast<const workloads::StaticallyDescribed *>(
+                &workload);
 
     // Same configuration adjustment the serial path applies: the
     // addressed footprint bounds the sampler's distinct-element count.
@@ -390,7 +407,38 @@ registerTrainAnalysis(ExecutionPlan &plan,
         },
         std::move(ready_deps));
 
-    return AnalysisNodes{acquired, ready};
+    // Static-oracle verification: measure the recorded stream with one
+    // more coalescable replay (never a live execution), predict the
+    // same run from the workload's affine IR, and compare once the
+    // detector's boundaries are final.
+    auto oracle = ready;
+    if (j->staticDesc && j->oracleOut) {
+        auto measured_pass = plan.addPass(
+            train_key,
+            [j](trace::TraceSink &sink) { j->trainLog.replay(sink); },
+            [j]() -> trace::TraceSink * {
+                uint64_t elements = 0;
+                for (const auto &a : j->workload->arrays(j->trainIn))
+                    elements += a.elements;
+                j->measured.emplace(elements);
+                return &*j->measured;
+            },
+            {acquired}, {.replay = true});
+        oracle = plan.addStep(
+            [j] {
+                staticloc::StaticPrediction pred = staticloc::predict(
+                    j->staticDesc->loopProgram(j->trainIn),
+                    j->oracleCfg.method);
+                *j->oracleOut = compareStaticOracle(
+                    pred, j->measured->take(),
+                    j->analysisOut->detection.boundaryTimes,
+                    j->oracleCfg);
+                j->measured.reset();
+            },
+            {measured_pass, ready});
+    }
+
+    return AnalysisNodes{acquired, ready, oracle};
 }
 
 /**
@@ -424,7 +472,8 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
                            const AnalysisConfig &config,
                            WorkloadEvaluation *out)
 {
-    auto ajob = makeAnalysisJob(workload, config, &out->analysis);
+    auto ajob = makeAnalysisJob(workload, config, &out->analysis,
+                                &out->staticOracle);
     auto anodes = registerTrainAnalysis(plan, ajob);
     AnalysisJob *a = ajob.get();
 
@@ -478,7 +527,10 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
                            j->refFan);
         return &*j->refInst;
     };
-    std::vector<ExecutionPlan::NodeId> done_deps{train_replay};
+    // The assemble step clears the training recording, so the oracle's
+    // measured replay (if any) must have finished by then.
+    std::vector<ExecutionPlan::NodeId> done_deps{train_replay,
+                                                 anodes.oracle};
     if (j->refHit) {
         auto acquired = plan.addStep([j, ref_key] {
             if (!j->store->load(ref_key, j->refHash, j->refLog))
@@ -565,7 +617,8 @@ analyzeWorkload(const workloads::Workload &workload,
 {
     WorkloadAnalysisRun out;
     ExecutionPlan plan;
-    auto job = makeAnalysisJob(workload, config, &out.analysis);
+    auto job = makeAnalysisJob(workload, config, &out.analysis,
+                               &out.staticOracle);
     registerTrainAnalysis(plan, job);
     plan.run();
     out.programExecutions =

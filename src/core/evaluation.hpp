@@ -61,6 +61,11 @@ struct WorkloadEvaluation
     OverlapResult trainOverlap;      //!< Table 6, detection
     OverlapResult refOverlap;        //!< Table 6, prediction
 
+    /** Static-vs-dynamic verification (config.staticOracle). Default
+     *  (unchecked) unless the oracle is enabled and the workload
+     *  carries an affine IR. */
+    StaticOracleReport staticOracle;
+
     /** Live program executions this evaluation cost (replays free). */
     uint64_t programExecutions = 0;
 
@@ -117,6 +122,9 @@ struct WorkloadAnalysisRun
     uint64_t traceCacheHits = 0;
     uint64_t traceCacheMisses = 0;
     uint64_t traceBytes = 0;
+
+    /** Static-vs-dynamic verification (config.staticOracle). */
+    StaticOracleReport staticOracle;
 };
 
 /**

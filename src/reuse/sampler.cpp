@@ -68,6 +68,14 @@ VariableDistanceSampler::observe(uint64_t element, uint64_t now,
                                  uint64_t dist)
 {
     ++accessesSeen;
+    // Every caller — onAccess and the sharded sweep's funnel — feeds
+    // accesses in stream order with `now` = accesses before this one,
+    // and the sub-trace monotonicity below depends on it.
+    LPP_DCHECK(now + 1 == accessesSeen,
+               "sampler clock out of order: access %llu observed as "
+               "number %llu",
+               static_cast<unsigned long long>(now),
+               static_cast<unsigned long long>(accessesSeen - 1));
 
     // Below both thresholds no decision can fire, whatever the datum
     // table says — skip the lookup. This keeps the sequential part of
@@ -78,8 +86,18 @@ VariableDistanceSampler::observe(uint64_t element, uint64_t now,
         auto it = datumIndex.find(element);
         if (it != datumIndex.end()) {
             if (dist >= temporal) {
-                data[it->second].accesses.push_back(
-                    AccessSample{now, dist});
+                auto &accesses = data[it->second].accesses;
+                // Downstream wavelet filtering assumes each datum's
+                // sub-trace is strictly time-ordered (merge sorts only
+                // across data, not within).
+                LPP_DCHECK(accesses.empty() ||
+                               accesses.back().time < now,
+                           "datum sub-trace not monotone: time %llu "
+                           "after %llu",
+                           static_cast<unsigned long long>(now),
+                           static_cast<unsigned long long>(
+                               accesses.back().time));
+                accesses.push_back(AccessSample{now, dist});
                 ++collected;
             }
         } else if (dist >= qualification &&
@@ -158,6 +176,22 @@ VariableDistanceSampler::feedback()
         spatial = spatial / 2;
         ++adjustCount;
     }
+
+    // The clamp above must keep both distance thresholds inside their
+    // configured band; drifting below the floor would reclassify
+    // within-phase reuse as cross-phase samples.
+    LPP_DCHECK(qualification >= config.floorQualification &&
+                   qualification <= config.ceilQualification,
+               "qualification threshold %llu outside [%llu, %llu]",
+               static_cast<unsigned long long>(qualification),
+               static_cast<unsigned long long>(config.floorQualification),
+               static_cast<unsigned long long>(config.ceilQualification));
+    LPP_DCHECK(temporal >= config.floorTemporal &&
+                   temporal <= config.ceilTemporal,
+               "temporal threshold %llu outside [%llu, %llu]",
+               static_cast<unsigned long long>(temporal),
+               static_cast<unsigned long long>(config.floorTemporal),
+               static_cast<unsigned long long>(config.ceilTemporal));
 }
 
 std::vector<SamplePoint>

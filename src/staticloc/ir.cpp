@@ -1,0 +1,134 @@
+#include "staticloc/ir.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace lpp::staticloc {
+
+int64_t
+AffineExpr::at(const std::vector<uint64_t> &iv) const
+{
+    int64_t v = offset;
+    size_t n = std::min(coeffs.size(), iv.size());
+    for (size_t d = 0; d < n; ++d)
+        v += coeffs[d] * static_cast<int64_t>(iv[d]);
+    return v;
+}
+
+int64_t
+AffineExpr::minOver(const std::vector<uint64_t> &extents) const
+{
+    int64_t v = offset;
+    size_t n = std::min(coeffs.size(), extents.size());
+    for (size_t d = 0; d < n; ++d)
+        if (coeffs[d] < 0)
+            v += coeffs[d] * static_cast<int64_t>(extents[d] - 1);
+    return v;
+}
+
+int64_t
+AffineExpr::maxOver(const std::vector<uint64_t> &extents) const
+{
+    int64_t v = offset;
+    size_t n = std::min(coeffs.size(), extents.size());
+    for (size_t d = 0; d < n; ++d)
+        if (coeffs[d] > 0)
+            v += coeffs[d] * static_cast<int64_t>(extents[d] - 1);
+    return v;
+}
+
+uint64_t
+Nest::iterations() const
+{
+    uint64_t n = 1;
+    for (uint64_t e : extents)
+        n *= e;
+    return n;
+}
+
+namespace {
+
+void
+validateNest(const LoopProgram &p, const PhaseNest &ph)
+{
+    const Nest &n = ph.nest;
+    LPP_REQUIRE(!n.extents.empty(), "phase '%s': empty nest",
+                ph.name.c_str());
+    for (uint64_t e : n.extents)
+        LPP_REQUIRE(e >= 1, "phase '%s': zero-trip loop",
+                    ph.name.c_str());
+    LPP_REQUIRE(!n.refs.empty(), "phase '%s': no array references",
+                ph.name.c_str());
+    for (const ArrayRef &r : n.refs) {
+        LPP_REQUIRE(r.array < p.arrays.size(),
+                    "phase '%s': array index %u out of range",
+                    ph.name.c_str(), r.array);
+        LPP_REQUIRE(r.index.coeffs.size() <= n.extents.size(),
+                    "phase '%s': reference uses more loop variables "
+                    "than the nest has",
+                    ph.name.c_str());
+        const StaticArray &a = p.arrays[r.array];
+        int64_t lo = r.index.minOver(n.extents);
+        int64_t hi = r.index.maxOver(n.extents);
+        LPP_REQUIRE(lo >= 0 &&
+                        hi < static_cast<int64_t>(a.elements),
+                    "phase '%s': reference to '%s' ranges [%lld, %lld] "
+                    "outside [0, %llu)",
+                    ph.name.c_str(), a.name.c_str(),
+                    static_cast<long long>(lo),
+                    static_cast<long long>(hi),
+                    static_cast<unsigned long long>(a.elements));
+    }
+}
+
+} // namespace
+
+void
+LoopProgram::validate() const
+{
+    LPP_REQUIRE(repeats >= 1, "program '%s': repeats must be >= 1",
+                name.c_str());
+    LPP_REQUIRE(!prologue.empty() || !body.empty(),
+                "program '%s': no phases", name.c_str());
+    for (const StaticArray &a : arrays)
+        LPP_REQUIRE(a.elements >= 1, "array '%s': empty",
+                    a.name.c_str());
+
+    // Distinct arrays must not alias in element space, or static and
+    // measured element identities would diverge.
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    spans.reserve(arrays.size());
+    for (const StaticArray &a : arrays)
+        spans.emplace_back(a.baseElement, a.baseElement + a.elements);
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i)
+        LPP_REQUIRE(spans[i].first >= spans[i - 1].second,
+                    "program '%s': arrays overlap in element space",
+                    name.c_str());
+
+    for (const PhaseNest &ph : prologue)
+        validateNest(*this, ph);
+    for (const PhaseNest &ph : body)
+        validateNest(*this, ph);
+}
+
+uint64_t
+LoopProgram::prologueAccesses() const
+{
+    uint64_t n = 0;
+    for (const PhaseNest &ph : prologue)
+        n += ph.nest.accesses();
+    return n;
+}
+
+uint64_t
+LoopProgram::roundAccesses() const
+{
+    uint64_t n = 0;
+    for (const PhaseNest &ph : body)
+        n += ph.nest.accesses();
+    return n;
+}
+
+} // namespace lpp::staticloc

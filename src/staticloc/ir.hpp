@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Affine loop-nest IR for the static locality analyzer.
+ *
+ * A LoopProgram is a compile-time description of a regular program: a
+ * prologue of loop nests executed once, then a body of nests executed
+ * `repeats` times, every nest a rectangular iteration space whose array
+ * references are affine functions of the loop variables. The IR is
+ * deliberately small — it covers exactly the programs whose dynamic
+ * event stream is a pure function of structure (no data-dependent
+ * control flow), which is the class the static reuse-profile literature
+ * analyzes (Static Reuse Profile Estimation for Array Applications;
+ * Fully Symbolic Analysis of Loop Locality).
+ *
+ * The same IR drives both sides of the oracle: workloads *generate*
+ * their event stream by walking it (workloads/static_workload.hpp), and
+ * the prediction engines (staticloc/predict.hpp) analyze it without any
+ * execution — so an exact match between predicted and measured locality
+ * is a property of the pipeline, not a coincidence of two generators.
+ */
+
+#ifndef LPP_STATICLOC_IR_HPP
+#define LPP_STATICLOC_IR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace lpp::staticloc {
+
+/**
+ * An affine function of a nest's loop variables:
+ * offset + sum(coeffs[d] * iv[d]), loop variables outermost first.
+ */
+struct AffineExpr
+{
+    int64_t offset = 0;
+    std::vector<int64_t> coeffs; //!< one per loop, outermost first
+
+    /** @return the constant expression `c`. */
+    static AffineExpr
+    constant(int64_t c)
+    {
+        AffineExpr e;
+        e.offset = c;
+        return e;
+    }
+
+    /** @return coeffs·iv + offset. */
+    static AffineExpr
+    linear(std::vector<int64_t> coefficients, int64_t offset = 0)
+    {
+        AffineExpr e;
+        e.offset = offset;
+        e.coeffs = std::move(coefficients);
+        return e;
+    }
+
+    /** Evaluate at an iteration vector (missing coefficients are 0). */
+    int64_t at(const std::vector<uint64_t> &iv) const;
+
+    /** Minimum over the box [0,extents[0]) x ... (extents all >= 1). */
+    int64_t minOver(const std::vector<uint64_t> &extents) const;
+
+    /** Maximum over the same box. */
+    int64_t maxOver(const std::vector<uint64_t> &extents) const;
+};
+
+/** One array reference inside a nest. */
+struct ArrayRef
+{
+    uint32_t array = 0; //!< index into LoopProgram::arrays
+    AffineExpr index;   //!< element index, affine in the loop vars
+};
+
+/** A rectangular loop nest issuing `refs` per innermost iteration. */
+struct Nest
+{
+    std::vector<uint64_t> extents; //!< trip counts, outermost first
+    std::vector<ArrayRef> refs;    //!< program order within an iteration
+
+    /** @return total innermost iterations (product of extents). */
+    uint64_t iterations() const;
+
+    /** @return data accesses one execution of the nest issues. */
+    uint64_t
+    accesses() const
+    {
+        return iterations() * refs.size();
+    }
+};
+
+/**
+ * A named phase: one loop nest plus the events that frame it in the
+ * trace — a manual marker at entry (the Table 6 ground truth) and one
+ * basic-block execution per innermost iteration.
+ */
+struct PhaseNest
+{
+    std::string name;
+    uint32_t marker = 0;        //!< manual marker fired at entry
+    trace::BlockId block = 0;   //!< block per innermost iteration
+    uint32_t instructions = 10; //!< instructions that block retires
+    Nest nest;
+};
+
+/** One statically sized array, tied to the run-time address space. */
+struct StaticArray
+{
+    std::string name;
+    uint64_t elements = 0;
+    /** Global element id of index 0: ArrayInfo.base / elementBytes, so
+     *  static element ids equal trace::toElement() of real addresses. */
+    uint64_t baseElement = 0;
+};
+
+/** A whole program: prologue once, then the body `repeats` times. */
+struct LoopProgram
+{
+    std::string name;
+    std::vector<StaticArray> arrays;
+    std::vector<PhaseNest> prologue;
+    std::vector<PhaseNest> body;
+    uint64_t repeats = 1;
+
+    /**
+     * Check structural validity: nonempty extents and refs per nest,
+     * every reference in bounds over its full iteration box (affine
+     * min/max), and array element ranges disjoint in element space.
+     * Panics (LPP_REQUIRE) on violation — an invalid IR is a workload
+     * authoring bug, not an input condition.
+     */
+    void validate() const;
+
+    /** @return data accesses the prologue issues. */
+    uint64_t prologueAccesses() const;
+
+    /** @return data accesses one body round issues. */
+    uint64_t roundAccesses() const;
+
+    /** @return data accesses a full run issues. */
+    uint64_t
+    totalAccesses() const
+    {
+        return prologueAccesses() + repeats * roundAccesses();
+    }
+
+    /** @return phase executions a full run performs. */
+    uint64_t
+    phaseExecutions() const
+    {
+        return prologue.size() + repeats * body.size();
+    }
+};
+
+} // namespace lpp::staticloc
+
+#endif // LPP_STATICLOC_IR_HPP

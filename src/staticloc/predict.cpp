@@ -1,0 +1,387 @@
+#include "staticloc/predict.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "reuse/stack.hpp"
+#include "staticloc/walk.hpp"
+#include "support/logging.hpp"
+
+namespace lpp::staticloc {
+
+const char *
+methodName(Method m)
+{
+    switch (m) {
+    case Method::Auto:
+        return "auto";
+    case Method::Symbolic:
+        return "symbolic";
+    case Method::Periodic:
+        return "periodic";
+    case Method::Counting:
+        return "counting";
+    }
+    return "?";
+}
+
+std::vector<uint64_t>
+StaticPrediction::boundaryClocks() const
+{
+    std::vector<uint64_t> clocks;
+    for (size_t i = 1; i < schedule.size(); ++i)
+        clocks.push_back(schedule[i].startAccess);
+    return clocks;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+StaticPrediction::wssCurve() const
+{
+    std::vector<std::pair<uint64_t, uint64_t>> curve;
+    curve.reserve(schedule.size() + 1);
+    for (const PhaseExecution &e : schedule)
+        curve.emplace_back(e.startAccess, e.wssBefore);
+    curve.emplace_back(totalAccesses, distinctElements);
+    return curve;
+}
+
+namespace {
+
+/** @return an upper bound on distinct elements: the allocated total. */
+uint64_t
+footprintBound(const LoopProgram &p)
+{
+    uint64_t n = 0;
+    for (const StaticArray &a : p.arrays)
+        n += a.elements;
+    return n;
+}
+
+/** @return whether two histograms are bin-for-bin identical. */
+bool
+sameHistogram(const LogHistogram &a, const LogHistogram &b)
+{
+    if (a.infiniteCount() != b.infiniteCount() ||
+        a.totalFinite() != b.totalFinite())
+        return false;
+    size_t bins = std::max(a.binCount(), b.binCount());
+    for (size_t i = 0; i < bins; ++i)
+        if (a.binValue(i) != b.binValue(i))
+            return false;
+    return true;
+}
+
+/**
+ * dst += times * src, exactly at bin granularity: each bin's count is
+ * re-added at the bin's lower bound, which falls back into the same
+ * bin, so the scaled merge changes no bin boundaries.
+ */
+void
+addScaled(LogHistogram &dst, const LogHistogram &src, uint64_t times)
+{
+    if (times == 0)
+        return;
+    for (size_t b = 0; b < src.binCount(); ++b)
+        dst.add(LogHistogram::binLow(b), src.binValue(b) * times);
+    dst.add(LogHistogram::infinite, src.infiniteCount() * times);
+}
+
+/** One phase's shape under the symbolic engine. */
+struct SymbolicPhase
+{
+    size_t sig = 0;        //!< signature id
+    uint64_t accesses = 0; //!< k * N == the signature's footprint
+};
+
+/** Symbolic view of a program: phases mapped to sweep signatures. */
+struct SymbolicInfo
+{
+    bool ok = false;
+    std::vector<uint64_t> footprint; //!< per signature
+    std::vector<SymbolicPhase> phases; //!< aligned with prologue++body
+};
+
+/**
+ * A phase qualifies when every reference's coefficients equal the
+ * nest's mixed-radix weights (so its element index is start + t at
+ * lexicographic iteration t — a unit-stride sweep) and the per-phase
+ * ranges are pairwise disjoint. Two phases share a signature iff their
+ * ordered (global start) lists and iteration counts match; distinct
+ * signatures must be disjoint in element space.
+ */
+SymbolicInfo
+analyzeSymbolic(const LoopProgram &p)
+{
+    SymbolicInfo info;
+    // Signature key: ordered global ref starts + iteration count.
+    std::vector<std::pair<std::vector<uint64_t>, uint64_t>> keys;
+
+    auto add_phase = [&](const PhaseNest &ph) -> bool {
+        const Nest &n = ph.nest;
+        uint64_t iterations = n.iterations();
+
+        std::vector<int64_t> weights(n.extents.size());
+        int64_t w = 1;
+        for (size_t d = n.extents.size(); d-- > 0;) {
+            weights[d] = w;
+            w *= static_cast<int64_t>(n.extents[d]);
+        }
+
+        std::vector<uint64_t> starts;
+        starts.reserve(n.refs.size());
+        for (const ArrayRef &r : n.refs) {
+            if (r.index.offset < 0)
+                return false;
+            for (size_t d = 0; d < n.extents.size(); ++d) {
+                int64_t c = d < r.index.coeffs.size()
+                                ? r.index.coeffs[d]
+                                : 0;
+                if (c != weights[d])
+                    return false;
+            }
+            starts.push_back(p.arrays[r.array].baseElement +
+                             static_cast<uint64_t>(r.index.offset));
+        }
+
+        // In-phase ranges pairwise disjoint: each element is visited
+        // exactly once per execution.
+        std::vector<uint64_t> sorted = starts;
+        std::sort(sorted.begin(), sorted.end());
+        for (size_t i = 1; i < sorted.size(); ++i)
+            if (sorted[i] - sorted[i - 1] < iterations)
+                return false;
+
+        std::pair<std::vector<uint64_t>, uint64_t> key{starts,
+                                                       iterations};
+        size_t sig = 0;
+        for (; sig < keys.size(); ++sig)
+            if (keys[sig] == key)
+                break;
+        if (sig == keys.size()) {
+            keys.push_back(std::move(key));
+            info.footprint.push_back(iterations * starts.size());
+        }
+        info.phases.push_back({sig, iterations * starts.size()});
+        return true;
+    };
+
+    for (const PhaseNest &ph : p.prologue)
+        if (!add_phase(ph))
+            return info;
+    for (const PhaseNest &ph : p.body)
+        if (!add_phase(ph))
+            return info;
+
+    // Distinct signatures must not overlap in element space, or the
+    // closed form's "footprints in between" term would double count.
+    std::vector<std::pair<uint64_t, std::pair<uint64_t, size_t>>> spans;
+    for (size_t s = 0; s < keys.size(); ++s)
+        for (uint64_t start : keys[s].first)
+            spans.push_back({start, {start + keys[s].second, s}});
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+        bool same_sig = spans[i].second.second ==
+                        spans[i - 1].second.second;
+        if (spans[i].first < spans[i - 1].second.first && !same_sig)
+            return info;
+    }
+
+    info.ok = true;
+    return info;
+}
+
+/** The phase list in schedule order, as (phase, phaseIndex) pairs. */
+std::vector<std::pair<const PhaseNest *, size_t>>
+scheduleOrder(const LoopProgram &p)
+{
+    std::vector<std::pair<const PhaseNest *, size_t>> order;
+    order.reserve(p.phaseExecutions());
+    for (size_t i = 0; i < p.prologue.size(); ++i)
+        order.emplace_back(&p.prologue[i], i);
+    for (uint64_t r = 0; r < p.repeats; ++r)
+        for (size_t i = 0; i < p.body.size(); ++i)
+            order.emplace_back(&p.body[i], p.prologue.size() + i);
+    return order;
+}
+
+StaticPrediction
+predictSymbolic(const LoopProgram &p, const SymbolicInfo &info)
+{
+    StaticPrediction out;
+    out.method = Method::Symbolic;
+
+    const size_t sig_count = info.footprint.size();
+    constexpr size_t npos = static_cast<size_t>(-1);
+    std::vector<size_t> last_exec(sig_count, npos);
+    std::vector<size_t> exec_sig; //!< signature of each past execution
+    uint64_t clock = 0;
+    uint64_t wss = 0;
+
+    auto order = scheduleOrder(p);
+    out.schedule.reserve(order.size());
+    for (size_t e = 0; e < order.size(); ++e) {
+        size_t list_index = order[e].second;
+        const SymbolicPhase &sp = info.phases[list_index];
+        out.schedule.push_back({order[e].first->marker, list_index,
+                                clock, sp.accesses, wss});
+        if (last_exec[sp.sig] == npos) {
+            // First execution of the signature: every access cold.
+            out.histogram.add(LogHistogram::infinite, sp.accesses);
+            wss += info.footprint[sp.sig];
+        } else {
+            // Every access reuses the previous execution's touch of
+            // the same element: own footprint minus the element
+            // itself, plus the footprints of the distinct other
+            // signatures executed in between.
+            uint64_t between = 0;
+            std::vector<bool> seen(sig_count, false);
+            for (size_t q = last_exec[sp.sig] + 1; q < e; ++q) {
+                size_t u = exec_sig[q];
+                if (u != sp.sig && !seen[u]) {
+                    seen[u] = true;
+                    between += info.footprint[u];
+                }
+            }
+            out.histogram.add(info.footprint[sp.sig] - 1 + between,
+                              sp.accesses);
+        }
+        last_exec[sp.sig] = e;
+        exec_sig.push_back(sp.sig);
+        clock += sp.accesses;
+    }
+
+    out.totalAccesses = clock;
+    out.distinctElements = wss;
+    return out;
+}
+
+StaticPrediction
+predictCounting(const LoopProgram &p)
+{
+    StaticPrediction out;
+    out.method = Method::Counting;
+
+    reuse::ReuseStack stack;
+    stack.reserveElements(static_cast<size_t>(footprintBound(p)));
+    uint64_t clock = 0;
+    out.schedule.reserve(p.phaseExecutions());
+    walkProgram(
+        p,
+        [&](const PhaseNest &ph, size_t phase_index) {
+            out.schedule.push_back({ph.marker, phase_index, clock,
+                                    ph.nest.accesses(),
+                                    stack.distinctCount()});
+        },
+        [](const PhaseNest &) {},
+        [&](const PhaseNest &, const ArrayRef &r, uint64_t idx) {
+            out.histogram.add(
+                stack.access(p.arrays[r.array].baseElement + idx));
+            ++clock;
+        });
+
+    out.totalAccesses = clock;
+    out.distinctElements = stack.distinctCount();
+    return out;
+}
+
+StaticPrediction
+predictPeriodic(const LoopProgram &p)
+{
+    StaticPrediction out;
+    out.method = Method::Periodic;
+
+    reuse::ReuseStack stack;
+    stack.reserveElements(static_cast<size_t>(footprintBound(p)));
+    uint64_t clock = 0;
+
+    auto run_phase = [&](const PhaseNest &ph, size_t phase_index,
+                         LogHistogram &hist,
+                         std::vector<PhaseExecution> &sched) {
+        sched.push_back({ph.marker, phase_index, clock,
+                         ph.nest.accesses(), stack.distinctCount()});
+        walkNest(
+            ph.nest, [] {},
+            [&](const ArrayRef &r, uint64_t idx) {
+                hist.add(stack.access(p.arrays[r.array].baseElement +
+                                      idx));
+                ++clock;
+            });
+    };
+
+    LogHistogram pro_hist;
+    std::vector<PhaseExecution> pro_sched;
+    for (size_t i = 0; i < p.prologue.size(); ++i)
+        run_phase(p.prologue[i], i, pro_hist, pro_sched);
+
+    // Every round r >= 1 replays the identical element sequence of
+    // round r-1, so its per-round histogram equals round 1's. Simulate
+    // up to three rounds: round 0 (cold transitions), round 1 (the
+    // steady state), round 2 only to verify the steady-state claim.
+    const uint64_t sim_rounds = std::min<uint64_t>(p.repeats, 3);
+    LogHistogram round_hist[3];
+    std::vector<PhaseExecution> round_sched[3];
+    for (uint64_t r = 0; r < sim_rounds; ++r)
+        for (size_t i = 0; i < p.body.size(); ++i)
+            run_phase(p.body[i], p.prologue.size() + i, round_hist[r],
+                      round_sched[r]);
+
+    if (sim_rounds == 3) {
+        LPP_REQUIRE(sameHistogram(round_hist[1], round_hist[2]),
+                    "program '%s': body rounds are not periodic",
+                    p.name.c_str());
+        for (size_t i = 0; i < round_sched[1].size(); ++i)
+            LPP_REQUIRE(round_sched[1][i].wssBefore ==
+                            round_sched[2][i].wssBefore,
+                        "program '%s': footprint grew after round 1",
+                        p.name.c_str());
+    }
+
+    out.histogram = pro_hist;
+    out.histogram.merge(round_hist[0]);
+    if (p.repeats >= 2)
+        addScaled(out.histogram, round_hist[1], p.repeats - 1);
+
+    out.schedule = std::move(pro_sched);
+    for (uint64_t r = 0; r < sim_rounds; ++r)
+        out.schedule.insert(out.schedule.end(), round_sched[r].begin(),
+                            round_sched[r].end());
+    const uint64_t round_accesses = p.roundAccesses();
+    for (uint64_t r = sim_rounds; r < p.repeats; ++r)
+        for (const PhaseExecution &e : round_sched[1]) {
+            PhaseExecution x = e;
+            x.startAccess += (r - 1) * round_accesses;
+            out.schedule.push_back(x);
+        }
+
+    out.totalAccesses = p.totalAccesses();
+    out.distinctElements = stack.distinctCount();
+    return out;
+}
+
+} // namespace
+
+bool
+symbolicApplicable(const LoopProgram &p)
+{
+    return analyzeSymbolic(p).ok;
+}
+
+StaticPrediction
+predict(const LoopProgram &p, Method method)
+{
+    p.validate();
+    if (method == Method::Auto || method == Method::Symbolic) {
+        SymbolicInfo info = analyzeSymbolic(p);
+        if (info.ok)
+            return predictSymbolic(p, info);
+        LPP_REQUIRE(method != Method::Symbolic,
+                    "program '%s' is outside the symbolic class",
+                    p.name.c_str());
+    }
+    if (method == Method::Periodic ||
+        (method == Method::Auto && p.repeats >= 4 && !p.body.empty()))
+        return predictPeriodic(p);
+    return predictCounting(p);
+}
+
+} // namespace lpp::staticloc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Static locality prediction: reuse histograms, working-set curves and
+ * phase boundaries from a LoopProgram, with zero program executions.
+ *
+ * Three engines, strongest applicable first:
+ *
+ *  - Symbolic: closed-form histogram for programs whose nests are
+ *    lockstep unit-stride sweeps over disjoint ranges (coefficients
+ *    equal the nest's mixed-radix weights). Every access of the e-th
+ *    execution of a sweep signature with footprint W has distance
+ *    W - 1 + F, where F sums the footprints of the distinct other
+ *    signatures executed since the previous execution — cost is
+ *    O(executions x signatures), independent of iteration counts.
+ *  - Periodic: for any program with repeats >= 2, rounds replay an
+ *    identical element sequence, so every round r >= 1 has the same
+ *    per-round histogram; simulate the prologue plus at most three
+ *    rounds through a ReuseStack and extrapolate — cost independent
+ *    of the repeat count.
+ *  - Counting: walk the whole program through a ReuseStack. Always
+ *    applicable, always exact, cost linear in total accesses.
+ *
+ * All three are exact (the histogram equals what a dynamic
+ * reuse::ReuseAnalyzer measures over the generated trace, bin for bin),
+ * because the engines and the workload generator walk the same IR
+ * (staticloc/walk.hpp).
+ */
+
+#ifndef LPP_STATICLOC_PREDICT_HPP
+#define LPP_STATICLOC_PREDICT_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "staticloc/ir.hpp"
+#include "support/histogram.hpp"
+
+namespace lpp::staticloc {
+
+/** Prediction engine selector. */
+enum class Method
+{
+    Auto,     //!< strongest applicable engine
+    Symbolic, //!< closed form; requires symbolicApplicable()
+    Periodic, //!< steady-state extrapolation over body rounds
+    Counting  //!< full walk through a ReuseStack
+};
+
+/** @return a short stable name ("auto", "symbolic", ...). */
+const char *methodName(Method m);
+
+/** One phase execution in the predicted schedule. */
+struct PhaseExecution
+{
+    uint32_t marker = 0;      //!< manual marker fired at entry
+    size_t phaseIndex = 0;    //!< index into (prologue ++ body)
+    uint64_t startAccess = 0; //!< access clock at entry
+    uint64_t accesses = 0;    //!< accesses this execution issues
+    uint64_t wssBefore = 0;   //!< distinct elements touched before it
+};
+
+/** Everything the static analysis predicts about one run. */
+struct StaticPrediction
+{
+    Method method = Method::Counting; //!< engine that produced this
+    bool exact = true;                //!< engines are all exact today
+
+    /** Whole-run reuse-distance histogram, element granularity —
+     *  bin-identical to a dynamic ReuseAnalyzer over the trace. */
+    LogHistogram histogram;
+
+    uint64_t totalAccesses = 0;
+    uint64_t distinctElements = 0; //!< whole-run footprint
+
+    /** Every phase execution, in schedule order. */
+    std::vector<PhaseExecution> schedule;
+
+    /** @return predicted phase-transition clocks: the entry clock of
+     *  every execution after the first (the static counterpart of the
+     *  measured manual-marker times past the run's start). */
+    std::vector<uint64_t> boundaryClocks() const;
+
+    /** @return the working-set-size curve: (access clock, distinct
+     *  elements) at every phase entry plus the final point. */
+    std::vector<std::pair<uint64_t, uint64_t>> wssCurve() const;
+};
+
+/** @return whether the closed-form symbolic engine covers `p`. */
+bool symbolicApplicable(const LoopProgram &p);
+
+/**
+ * Predict `p`'s locality. Validates the program, then runs the chosen
+ * engine; Method::Auto picks symbolic when applicable, periodic when
+ * the body repeats at least 4 times, counting otherwise. Explicitly
+ * requesting Method::Symbolic on a program it does not cover panics.
+ * No program execution and no TraceSink is involved on any path.
+ */
+StaticPrediction predict(const LoopProgram &p,
+                         Method method = Method::Auto);
+
+} // namespace lpp::staticloc
+
+#endif // LPP_STATICLOC_PREDICT_HPP

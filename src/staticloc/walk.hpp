@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The single iteration-space walker behind both sides of the oracle.
+ *
+ * walkProgram() enumerates a LoopProgram's dynamic event order — phase
+ * entries, innermost iterations, array accesses — exactly once, in the
+ * order a run emits them. The workload generator walks it through an
+ * Emitter to produce the trace; the counting engines walk it through a
+ * ReuseStack to predict the trace's locality. Because both consume the
+ * same enumeration, "prediction matches measurement bit for bit" never
+ * depends on two loops staying accidentally in sync.
+ */
+
+#ifndef LPP_STATICLOC_WALK_HPP
+#define LPP_STATICLOC_WALK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "staticloc/ir.hpp"
+
+namespace lpp::staticloc {
+
+/**
+ * Enumerate one execution of a nest in lexicographic iteration order.
+ * @param on_iter  called once per innermost iteration, before its refs
+ * @param on_access called per reference with the array-local element
+ *        index its affine expression evaluates to
+ */
+template <typename IterFn, typename AccessFn>
+inline void
+walkNest(const Nest &nest, IterFn &&on_iter, AccessFn &&on_access)
+{
+    std::vector<uint64_t> iv(nest.extents.size(), 0);
+    const uint64_t iterations = nest.iterations();
+    for (uint64_t it = 0; it < iterations; ++it) {
+        on_iter();
+        for (const ArrayRef &r : nest.refs)
+            on_access(r, static_cast<uint64_t>(r.index.at(iv)));
+        for (size_t d = iv.size(); d-- > 0;) {
+            if (++iv[d] < nest.extents[d])
+                break;
+            iv[d] = 0;
+        }
+    }
+}
+
+/**
+ * Enumerate a whole program: prologue phases once, then the body
+ * `repeats` times, in program order.
+ *
+ * @param on_phase  called at each phase execution's entry with the
+ *        phase and its index into (prologue ++ body) — the index (and
+ *        thus the marker id) is stable across repeats
+ * @param on_iter   called per innermost iteration with the phase
+ * @param on_access called per reference with the phase, the reference,
+ *        and the array-local element index
+ */
+template <typename PhaseFn, typename IterFn, typename AccessFn>
+inline void
+walkProgram(const LoopProgram &p, PhaseFn &&on_phase, IterFn &&on_iter,
+            AccessFn &&on_access)
+{
+    auto run_phase = [&](const PhaseNest &ph, size_t phase_index) {
+        on_phase(ph, phase_index);
+        walkNest(
+            ph.nest, [&] { on_iter(ph); },
+            [&](const ArrayRef &r, uint64_t idx) {
+                on_access(ph, r, idx);
+            });
+    };
+    for (size_t i = 0; i < p.prologue.size(); ++i)
+        run_phase(p.prologue[i], i);
+    for (uint64_t round = 0; round < p.repeats; ++round)
+        for (size_t i = 0; i < p.body.size(); ++i)
+            run_phase(p.body[i], p.prologue.size() + i);
+}
+
+} // namespace lpp::staticloc
+
+#endif // LPP_STATICLOC_WALK_HPP

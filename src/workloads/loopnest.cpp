@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Loopnest workload: the ROADMAP's perfectly regular nested-loop
+ * program, built for the symbolic engine's closed form.
+ *
+ * Every phase is a lockstep unit-stride sweep — A as a flat vector, B
+ * as a row-major 2D grid, C and D in lockstep — over pairwise disjoint
+ * ranges, so every reuse distance has the closed form W - 1 + F
+ * (staticloc/predict.hpp) and the static oracle must match the
+ * measured histogram bit for bit. The prologue re-executes the same
+ * sweep signatures the body repeats, exercising the engine's
+ * cross-prologue reuse accounting.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t n;      //!< elements per vector (multiple of `rows`)
+    uint64_t rows;   //!< B's 2D row count
+    uint32_t rounds; //!< body repeats
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.rows = 25;
+    p.n = p.rows *
+          static_cast<uint64_t>(
+              std::lround(80.0 * std::min(1.6, 0.9 + 0.1 * in.scale)));
+    p.rounds = std::max<uint32_t>(
+        6, static_cast<uint32_t>(std::lround(10.0 * in.scale)));
+    return p;
+}
+
+class Loopnest : public LoopProgramWorkload
+{
+  public:
+    std::string name() const override { return "loopnest"; }
+
+    std::string
+    description() const override
+    {
+        return "perfectly regular affine loop nests with a closed-form "
+               "reuse profile";
+    }
+
+    std::string source() const override { return "Affine"; }
+
+    WorkloadInput trainInput() const override { return {31, 1.0}; }
+
+    WorkloadInput refInput() const override { return {32, 4.0}; }
+
+  protected:
+    BuiltProgram
+    build(const WorkloadInput &input) const override
+    {
+        using staticloc::AffineExpr;
+        Params p = paramsFor(input);
+        const uint64_t cols = p.n / p.rows;
+        const uint64_t m = p.n * 3 / 2;
+
+        staticloc::LoopProgram prog;
+        prog.name = "loopnest";
+        prog.arrays = {{"A", p.n, 0},
+                       {"B", p.n, 0},
+                       {"C", m, 0},
+                       {"D", m, 0}};
+        prog.repeats = p.rounds;
+
+        auto sweep_a = [&](const char *nm, uint32_t marker,
+                           trace::BlockId block, uint32_t instrs) {
+            staticloc::PhaseNest ph{nm, marker, block, instrs, {}};
+            ph.nest.extents = {p.n};
+            ph.nest.refs = {{0, AffineExpr::linear({1})}};
+            return ph;
+        };
+        auto sweep_b = [&](const char *nm, uint32_t marker,
+                           trace::BlockId block, uint32_t instrs) {
+            staticloc::PhaseNest ph{nm, marker, block, instrs, {}};
+            ph.nest.extents = {p.rows, cols};
+            ph.nest.refs = {
+                {1, AffineExpr::linear({static_cast<int64_t>(cols), 1})}};
+            return ph;
+        };
+        auto sweep_cd = [&](const char *nm, uint32_t marker,
+                            trace::BlockId block, uint32_t instrs) {
+            staticloc::PhaseNest ph{nm, marker, block, instrs, {}};
+            ph.nest.extents = {m};
+            ph.nest.refs = {{2, AffineExpr::linear({1})},
+                            {3, AffineExpr::linear({1})}};
+            return ph;
+        };
+
+        prog.prologue = {sweep_a("initA", 0, 310, 12),
+                         sweep_b("initB", 1, 311, 12),
+                         sweep_cd("initCD", 2, 312, 14)};
+        prog.body = {sweep_a("streamA", 3, 313, 10),
+                     sweep_b("gridB", 4, 314, 10),
+                     sweep_cd("combineCD", 5, 315, 12)};
+        return bindProgram(std::move(prog));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLoopnest()
+{
+    return std::make_unique<Loopnest>();
+}
+
+} // namespace lpp::workloads

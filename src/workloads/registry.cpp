@@ -12,6 +12,9 @@ std::unique_ptr<Workload> makeSwim();
 std::unique_ptr<Workload> makeVortex();
 std::unique_ptr<Workload> makeMesh();
 std::unique_ptr<Workload> makeMolDyn();
+std::unique_ptr<Workload> makeLoopnest();
+std::unique_ptr<Workload> makeStencil3();
+std::unique_ptr<Workload> makeMatmulTiled();
 
 std::unique_ptr<Workload>
 create(const std::string &name)
@@ -34,6 +37,12 @@ create(const std::string &name)
         return makeMesh();
     if (name == "moldyn")
         return makeMolDyn();
+    if (name == "loopnest")
+        return makeLoopnest();
+    if (name == "stencil3")
+        return makeStencil3();
+    if (name == "matmul-tiled")
+        return makeMatmulTiled();
     return nullptr;
 }
 
@@ -49,6 +58,12 @@ predictableNames()
 {
     return {"fft",  "applu", "compress", "tomcatv",
             "swim", "mesh",  "moldyn"};
+}
+
+std::vector<std::string>
+staticNames()
+{
+    return {"loopnest", "stencil3", "matmul-tiled"};
 }
 
 } // namespace lpp::workloads

@@ -23,6 +23,14 @@ std::vector<std::string> allNames();
 /** @return the names of the seven prediction-amenable workloads. */
 std::vector<std::string> predictableNames();
 
+/**
+ * @return the names of the affine workloads that carry a static IR
+ *         (workloads/static_workload.hpp) for the zero-execution
+ *         oracle. Kept out of allNames(): the paper's tables and their
+ *         tests enumerate exactly the nine Table 1 programs.
+ */
+std::vector<std::string> staticNames();
+
 } // namespace lpp::workloads
 
 #endif // LPP_WORKLOADS_REGISTRY_HPP

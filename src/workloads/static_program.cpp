@@ -1,0 +1,57 @@
+#include "workloads/static_workload.hpp"
+
+#include <utility>
+
+#include "staticloc/walk.hpp"
+#include "support/logging.hpp"
+#include "trace/types.hpp"
+#include "workloads/emitter.hpp"
+
+namespace lpp::workloads {
+
+BuiltProgram
+bindProgram(staticloc::LoopProgram program)
+{
+    BuiltProgram built;
+    AddressSpace as;
+    built.arrays.reserve(program.arrays.size());
+    for (staticloc::StaticArray &a : program.arrays) {
+        ArrayInfo info = as.allocate(a.name, a.elements);
+        // Page-aligned 8-byte words: the array's element ids under
+        // trace::toElement() are base/elementBytes + index.
+        LPP_REQUIRE(info.base % trace::elementBytes == 0,
+                    "array '%s': base not element aligned",
+                    a.name.c_str());
+        a.baseElement = info.base / trace::elementBytes;
+        built.arrays.push_back(std::move(info));
+    }
+    program.validate();
+    built.program = std::move(program);
+    return built;
+}
+
+void
+runProgram(const BuiltProgram &built, trace::TraceSink &sink)
+{
+    Emitter e(sink);
+    staticloc::walkProgram(
+        built.program,
+        [&](const staticloc::PhaseNest &ph, size_t) {
+            e.marker(ph.marker);
+        },
+        [&](const staticloc::PhaseNest &ph) {
+            e.block(ph.block, ph.instructions);
+        },
+        [&](const staticloc::PhaseNest &, const staticloc::ArrayRef &r,
+            uint64_t idx) { e.touch(built.arrays[r.array], idx); });
+    e.end();
+}
+
+void
+LoopProgramWorkload::run(const WorkloadInput &input,
+                         trace::TraceSink &sink) const
+{
+    runProgram(build(input), sink);
+}
+
+} // namespace lpp::workloads

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workloads generated from an affine loop-nest IR.
+ *
+ * A LoopProgramWorkload is described once — as a staticloc::LoopProgram
+ * bound to allocated arrays — and everything else derives from that
+ * single description: run() walks the IR through an Emitter to produce
+ * the event stream, arrays() returns the allocations, and loopProgram()
+ * hands the IR to the static analyzer. The static oracle
+ * (core/static_oracle.hpp) discovers these workloads through the
+ * StaticallyDescribed interface and predicts their locality without
+ * running them.
+ */
+
+#ifndef LPP_WORKLOADS_STATIC_WORKLOAD_HPP
+#define LPP_WORKLOADS_STATIC_WORKLOAD_HPP
+
+#include <vector>
+
+#include "staticloc/ir.hpp"
+#include "workloads/workload.hpp"
+
+namespace lpp::workloads {
+
+/** Interface of workloads that carry an affine IR of their runs. */
+class StaticallyDescribed
+{
+  public:
+    virtual ~StaticallyDescribed() = default;
+
+    /**
+     * @return the IR of the run `input` generates; element identities
+     *         (StaticArray::baseElement) match the addresses the run
+     *         emits, so static and measured locality are comparable.
+     */
+    virtual staticloc::LoopProgram
+    loopProgram(const WorkloadInput &input) const = 0;
+};
+
+/** A LoopProgram bound to the arrays a concrete run allocates. */
+struct BuiltProgram
+{
+    staticloc::LoopProgram program;
+    std::vector<ArrayInfo> arrays; //!< aligned with program.arrays
+};
+
+/**
+ * Base class: implement build() and the metadata; run/arrays/
+ * loopProgram are all derived from the one description.
+ */
+class LoopProgramWorkload : public Workload, public StaticallyDescribed
+{
+  public:
+    std::vector<ArrayInfo>
+    arrays(const WorkloadInput &input) const override
+    {
+        return build(input).arrays;
+    }
+
+    staticloc::LoopProgram
+    loopProgram(const WorkloadInput &input) const override
+    {
+        return build(input).program;
+    }
+
+    void run(const WorkloadInput &input,
+             trace::TraceSink &sink) const override;
+
+  protected:
+    /** Construct the IR + allocations for one input. Deterministic. */
+    virtual BuiltProgram build(const WorkloadInput &input) const = 0;
+};
+
+/**
+ * Bind a validated LoopProgram to page-aligned allocations: allocates
+ * one array per StaticArray (filling in baseElement from the real
+ * base address) and returns the pair. Helper for build()
+ * implementations.
+ */
+BuiltProgram bindProgram(staticloc::LoopProgram program);
+
+/** Emit the exact event stream of `built.program` into `sink`. */
+void runProgram(const BuiltProgram &built, trace::TraceSink &sink);
+
+} // namespace lpp::workloads
+
+#endif // LPP_WORKLOADS_STATIC_WORKLOAD_HPP

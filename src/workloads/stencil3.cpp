@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Stencil3 workload: an in-place 3-point stencil with a reduction.
+ *
+ * Each time step smooths A through the overlapping window A[i], A[i+1],
+ * A[i+2] (writing B[i]) and then reduces B. The overlapping references
+ * put it outside the symbolic engine's lockstep-sweep class, but the
+ * body rounds are perfectly periodic — the periodic engine simulates
+ * the prologue plus three rounds and extrapolates, still exactly
+ * (staticloc/predict.hpp).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+
+namespace lpp::workloads {
+
+namespace {
+
+struct Params
+{
+    uint64_t n;     //!< grid points
+    uint32_t steps; //!< time steps (body repeats)
+};
+
+Params
+paramsFor(const WorkloadInput &in)
+{
+    Params p;
+    p.n = static_cast<uint64_t>(
+        std::lround(2400.0 * std::min(1.6, 0.9 + 0.1 * in.scale)));
+    p.steps = std::max<uint32_t>(
+        8, static_cast<uint32_t>(std::lround(12.0 * in.scale)));
+    return p;
+}
+
+class Stencil3 : public LoopProgramWorkload
+{
+  public:
+    std::string name() const override { return "stencil3"; }
+
+    std::string
+    description() const override
+    {
+        return "in-place 3-point stencil with per-step reduction";
+    }
+
+    std::string source() const override { return "Affine"; }
+
+    WorkloadInput trainInput() const override { return {41, 1.0}; }
+
+    WorkloadInput refInput() const override { return {42, 4.0}; }
+
+  protected:
+    BuiltProgram
+    build(const WorkloadInput &input) const override
+    {
+        using staticloc::AffineExpr;
+        Params p = paramsFor(input);
+
+        staticloc::LoopProgram prog;
+        prog.name = "stencil3";
+        prog.arrays = {{"A", p.n, 0}, {"B", p.n, 0}};
+        prog.repeats = p.steps;
+
+        staticloc::PhaseNest init_a{"initA", 0, 320, 12, {}};
+        init_a.nest.extents = {p.n};
+        init_a.nest.refs = {{0, AffineExpr::linear({1})}};
+
+        staticloc::PhaseNest init_b{"initB", 1, 321, 12, {}};
+        init_b.nest.extents = {p.n};
+        init_b.nest.refs = {{1, AffineExpr::linear({1})}};
+
+        staticloc::PhaseNest smooth{"smooth", 2, 322, 16, {}};
+        smooth.nest.extents = {p.n - 2};
+        smooth.nest.refs = {{0, AffineExpr::linear({1}, 0)},
+                            {0, AffineExpr::linear({1}, 1)},
+                            {0, AffineExpr::linear({1}, 2)},
+                            {1, AffineExpr::linear({1})}};
+
+        staticloc::PhaseNest reduce{"reduce", 3, 323, 10, {}};
+        reduce.nest.extents = {p.n};
+        reduce.nest.refs = {{1, AffineExpr::linear({1})}};
+
+        prog.prologue = {std::move(init_a), std::move(init_b)};
+        prog.body = {std::move(smooth), std::move(reduce)};
+        return bindProgram(std::move(prog));
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeStencil3()
+{
+    return std::make_unique<Stencil3>();
+}
+
+} // namespace lpp::workloads

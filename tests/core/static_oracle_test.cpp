@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Static-oracle verification tests: for every statically described
+ * workload the zero-execution prediction must match the dynamically
+ * measured training run bit for bit — histogram, miss curve, footprint
+ * and manual-marker clocks — while the oracle itself consumes no
+ * program executions beyond the pipeline's own.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/static_oracle.hpp"
+#include "staticloc/predict.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+
+namespace {
+
+using namespace lpp;
+using core::AnalysisConfig;
+using core::StaticOracleReport;
+using staticloc::Method;
+
+AnalysisConfig
+oracleConfig()
+{
+    AnalysisConfig cfg;
+    cfg.staticOracle.enabled = true;
+    return cfg;
+}
+
+TEST(StaticOracle, ExactOnEveryStaticWorkloadWithZeroExtraExecutions)
+{
+    struct Expect
+    {
+        const char *name;
+        Method method;
+    };
+    const Expect expected[] = {{"loopnest", Method::Symbolic},
+                               {"stencil3", Method::Periodic},
+                               {"matmul-tiled", Method::Counting}};
+    for (const auto &e : expected) {
+        auto w = workloads::create(e.name);
+        ASSERT_NE(w, nullptr);
+        auto run = core::analyzeWorkload(*w, oracleConfig());
+        const StaticOracleReport &r = run.staticOracle;
+
+        EXPECT_TRUE(r.applicable) << e.name;
+        EXPECT_TRUE(r.checked) << e.name;
+        EXPECT_TRUE(r.ok) << e.name
+                          << (r.failures.empty() ? ""
+                                                 : ": " + r.failures[0]);
+        EXPECT_EQ(r.method, e.method) << e.name;
+        EXPECT_TRUE(r.exact) << e.name;
+
+        // Exact, not approximate: identical bins, zero divergence,
+        // zero miss-curve error, clock-exact markers.
+        EXPECT_TRUE(r.histogramIdentical) << e.name;
+        EXPECT_EQ(r.histogramDivergence, 0.0) << e.name;
+        EXPECT_EQ(r.maxMissRateError, 0.0) << e.name;
+        EXPECT_TRUE(r.markersIdentical) << e.name;
+        EXPECT_EQ(r.markerMaxError, 0u) << e.name;
+        EXPECT_EQ(r.predictedAccesses, r.measuredAccesses) << e.name;
+        EXPECT_EQ(r.predictedFootprint, r.measuredFootprint) << e.name;
+
+        // The analysis itself costs one live training execution; the
+        // oracle must add zero (it replays the recording).
+        EXPECT_EQ(run.programExecutions, 1u) << e.name;
+    }
+}
+
+TEST(StaticOracle, StencilAndMatmulWithinOnePercent)
+{
+    // The acceptance bound from the issue: <= 1% relative histogram
+    // error on the stencil and tiled-matmul workloads. (The engines
+    // are exact, so the measured divergence is 0 — the bound is the
+    // contract, exactness the implementation.)
+    for (const char *name : {"stencil3", "matmul-tiled"}) {
+        auto w = workloads::create(name);
+        auto run = core::analyzeWorkload(*w, oracleConfig());
+        EXPECT_LE(run.staticOracle.histogramDivergence, 0.01) << name;
+        EXPECT_TRUE(run.staticOracle.ok) << name;
+    }
+}
+
+TEST(StaticOracle, FullEvaluationCarriesTheReport)
+{
+    auto w = workloads::create("loopnest");
+    auto ev = core::evaluateWorkload(*w, oracleConfig());
+    EXPECT_TRUE(ev.staticOracle.checked);
+    EXPECT_TRUE(ev.staticOracle.ok);
+    EXPECT_TRUE(ev.staticOracle.histogramIdentical);
+    // Train + ref executions only; the oracle replays.
+    EXPECT_EQ(ev.programExecutions, 2u);
+}
+
+TEST(StaticOracle, DisabledByDefault)
+{
+    auto w = workloads::create("loopnest");
+    auto run = core::analyzeWorkload(*w, AnalysisConfig{});
+    EXPECT_FALSE(run.staticOracle.checked);
+    EXPECT_FALSE(run.staticOracle.applicable);
+}
+
+TEST(StaticOracle, NotApplicableToDynamicWorkloads)
+{
+    // tomcatv has no affine IR: the oracle must stay silent, not fail.
+    auto w = workloads::create("tomcatv");
+    auto run = core::analyzeWorkload(*w, oracleConfig());
+    EXPECT_FALSE(run.staticOracle.applicable);
+    EXPECT_FALSE(run.staticOracle.checked);
+    EXPECT_EQ(run.programExecutions, 1u);
+}
+
+/** Prediction + measured pair for the comparison unit tests. */
+struct ComparisonFixture
+{
+    staticloc::StaticPrediction prediction;
+    core::MeasuredLocality measured;
+};
+
+ComparisonFixture
+loopnestFixture()
+{
+    auto w = workloads::create("loopnest");
+    auto *sd =
+        dynamic_cast<const workloads::StaticallyDescribed *>(w.get());
+    ComparisonFixture f;
+    f.prediction = staticloc::predict(sd->loopProgram(w->trainInput()));
+    // Use the prediction itself as the "measured" side: the exactness
+    // of prediction-vs-replay is covered above; these tests exercise
+    // the comparison logic.
+    f.measured.histogram = f.prediction.histogram;
+    f.measured.accesses = f.prediction.totalAccesses;
+    f.measured.distinctElements = f.prediction.distinctElements;
+    for (const auto &e : f.prediction.schedule) {
+        f.measured.markerTimes.push_back(e.startAccess);
+        f.measured.markerIds.push_back(e.marker);
+    }
+    return f;
+}
+
+TEST(CompareStaticOracle, FlagsHistogramDivergence)
+{
+    ComparisonFixture f = loopnestFixture();
+    core::StaticOracleConfig cfg;
+    // Corrupt the measured histogram: move some mass to a new bin.
+    f.measured.histogram.add(3, 100);
+    f.measured.accesses += 100;
+    auto r = core::compareStaticOracle(f.prediction, f.measured, {},
+                                       cfg);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.histogramIdentical);
+    EXPECT_GT(r.histogramDivergence, 0.0);
+    EXPECT_FALSE(r.failures.empty());
+}
+
+TEST(CompareStaticOracle, FlagsMarkerClockDrift)
+{
+    ComparisonFixture f = loopnestFixture();
+    core::StaticOracleConfig cfg;
+    f.measured.markerTimes.back() += 5;
+    auto r = core::compareStaticOracle(f.prediction, f.measured, {},
+                                       cfg);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.markersIdentical);
+    EXPECT_EQ(r.markerMaxError, 5u);
+
+    // The same drift passes under a loose bound — but is still
+    // reported as non-identical.
+    cfg.markerTolerance = 10;
+    r = core::compareStaticOracle(f.prediction, f.measured, {}, cfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_FALSE(r.markersIdentical);
+}
+
+TEST(CompareStaticOracle, MatchesDetectedBoundariesWithinSlack)
+{
+    ComparisonFixture f = loopnestFixture();
+    core::StaticOracleConfig cfg;
+    cfg.boundarySlack = 100;
+
+    // Detected boundaries near predicted transitions: all matched.
+    auto transitions = f.prediction.boundaryClocks();
+    ASSERT_GE(transitions.size(), 2u);
+    std::vector<uint64_t> detected{transitions[0] + 40,
+                                   transitions[1] - 40};
+    auto r = core::compareStaticOracle(f.prediction, f.measured,
+                                       detected, cfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.detectedBoundaries, 2u);
+    EXPECT_EQ(r.detectedBoundaryPrecision, 1.0);
+    EXPECT_LE(r.detectedBoundaryMaxError, 40u);
+
+    // One boundary far from every transition: flagged.
+    detected.push_back(transitions[0] + 5000);
+    r = core::compareStaticOracle(f.prediction, f.measured, detected,
+                                  cfg);
+    EXPECT_FALSE(r.ok);
+    EXPECT_LT(r.detectedBoundaryPrecision, 1.0);
+}
+
+TEST(CompareStaticOracle, RequireDetectionFailsOnSilence)
+{
+    ComparisonFixture f = loopnestFixture();
+    core::StaticOracleConfig cfg;
+    // Default: a silent detector is recorded, not fatal (periodic
+    // steady state has no rare events for the wavelet filter).
+    auto r = core::compareStaticOracle(f.prediction, f.measured, {},
+                                       cfg);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.detectedBoundaries, 0u);
+
+    cfg.requireDetection = true;
+    r = core::compareStaticOracle(f.prediction, f.measured, {}, cfg);
+    EXPECT_FALSE(r.ok);
+}
+
+} // namespace

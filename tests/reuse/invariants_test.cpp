@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Regression tests for the LPP_DCHECK invariants on the sampling and
+ * BBV paths: in-order observation and per-datum sub-trace monotonicity
+ * in the sampler, feedback thresholds pinned to their configured band,
+ * and unit-L1 BBV interval vectors. The death tests arm in debug
+ * builds and under LPP_DCHECKS (the sanitizer presets); release
+ * builds exercise the positive paths only.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bbv/bbv.hpp"
+#include "reuse/sampler.hpp"
+#include "reuse/stack.hpp"
+
+namespace {
+
+using lpp::bbv::BbvCollector;
+using lpp::reuse::ReuseStack;
+using lpp::reuse::SamplerConfig;
+using lpp::reuse::VariableDistanceSampler;
+
+SamplerConfig
+tinyConfig()
+{
+    SamplerConfig cfg;
+    cfg.initialQualification = 4;
+    cfg.initialTemporal = 4;
+    cfg.initialSpatial = 0;
+    cfg.floorQualification = 2;
+    cfg.floorTemporal = 2;
+    cfg.checkInterval = 64;
+    cfg.targetSamples = 8;
+    return cfg;
+}
+
+TEST(SamplerInvariants, InOrderObservationsAreAccepted)
+{
+    auto s = VariableDistanceSampler::externalDistances(tinyConfig());
+    // A datum reused repeatedly at qualifying distances: every
+    // invariant holds, samples accumulate in time order.
+    s.observe(7, 0, ReuseStack::infinite);
+    s.observe(7, 1, 10);
+    s.observe(8, 2, ReuseStack::infinite);
+    s.observe(7, 3, 12);
+    EXPECT_EQ(s.accessCount(), 4u);
+    ASSERT_EQ(s.samples().size(), 1u);
+    const auto &accesses = s.samples()[0].accesses;
+    ASSERT_EQ(accesses.size(), 2u);
+    EXPECT_LT(accesses[0].time, accesses[1].time);
+}
+
+TEST(SamplerInvariantsDeathTest, OutOfOrderObservationPanics)
+{
+#if !defined(NDEBUG) || defined(LPP_FORCE_DCHECKS)
+    auto s = VariableDistanceSampler::externalDistances(tinyConfig());
+    s.observe(7, 0, ReuseStack::infinite);
+    s.observe(7, 1, 10);
+    // Time 1 repeated: the stream went backwards.
+    EXPECT_DEATH(s.observe(7, 1, 10), "out of order");
+#else
+    GTEST_SKIP() << "sampler clock check is debug-only (LPP_DCHECK)";
+#endif
+}
+
+TEST(SamplerInvariants, FeedbackKeepsThresholdsInBand)
+{
+    SamplerConfig cfg = tinyConfig();
+    cfg.ceilQualification = 64;
+    cfg.ceilTemporal = 64;
+    auto s = VariableDistanceSampler::externalDistances(cfg);
+
+    // Flood with qualifying samples so feedback raises the thresholds
+    // repeatedly; the clamp (and its DCHECK) must hold at every check.
+    uint64_t now = 0;
+    for (int round = 0; round < 64; ++round) {
+        for (uint64_t e = 0; e < 16; ++e)
+            s.observe(e, now++, round == 0 ? ReuseStack::infinite : 40);
+    }
+    EXPECT_GT(s.adjustments(), 0u);
+    EXPECT_GE(s.qualificationThreshold(), cfg.floorQualification);
+    EXPECT_LE(s.qualificationThreshold(), cfg.ceilQualification);
+    EXPECT_GE(s.temporalThreshold(), cfg.floorTemporal);
+    EXPECT_LE(s.temporalThreshold(), cfg.ceilTemporal);
+
+    // Starve it (distances below both thresholds); every later
+    // feedback check re-runs the band invariant.
+    for (int round = 0; round < 64; ++round) {
+        for (uint64_t e = 0; e < 16; ++e)
+            s.observe(e, now++, 1);
+    }
+    EXPECT_GE(s.qualificationThreshold(), cfg.floorQualification);
+    EXPECT_LE(s.qualificationThreshold(), cfg.ceilQualification);
+    EXPECT_GE(s.temporalThreshold(), cfg.floorTemporal);
+    EXPECT_LE(s.temporalThreshold(), cfg.ceilTemporal);
+}
+
+TEST(BbvInvariants, IntervalVectorsAreUnitL1)
+{
+    BbvCollector c(16);
+    for (int interval = 0; interval < 4; ++interval) {
+        c.onBlock(1, 10);
+        c.onBlock(2, 5 + interval);
+        c.onBlock(interval + 3, 7);
+        c.finalizeInterval(); // runs the normalization DCHECKs
+    }
+    const auto &vectors = c.vectors();
+    ASSERT_EQ(vectors.size(), 4u);
+    for (const auto &v : vectors) {
+        double sum = 0.0;
+        for (double x : v) {
+            EXPECT_GE(x, 0.0);
+            EXPECT_LE(x, 1.0);
+            sum += x;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(BbvInvariants, EmptyIntervalStaysZero)
+{
+    BbvCollector c(8);
+    c.finalizeInterval(); // no weight: the zero vector is legal
+    ASSERT_EQ(c.vectors().size(), 1u);
+    for (double x : c.vectors()[0])
+        EXPECT_EQ(x, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Static locality analyzer unit tests: the affine IR's arithmetic and
+ * validation, engine applicability, and — the load-bearing property —
+ * bit-identical histograms and schedules across all three prediction
+ * engines on the statically described workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "staticloc/ir.hpp"
+#include "staticloc/predict.hpp"
+#include "staticloc/walk.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+
+namespace {
+
+using namespace lpp;
+using staticloc::AffineExpr;
+using staticloc::LoopProgram;
+using staticloc::Method;
+using staticloc::Nest;
+using staticloc::PhaseNest;
+using staticloc::StaticArray;
+using staticloc::StaticPrediction;
+
+/** The bound affine IR of a statically described registry workload. */
+LoopProgram
+programOf(const std::string &name)
+{
+    auto w = workloads::create(name);
+    EXPECT_NE(w, nullptr);
+    auto *sd =
+        dynamic_cast<const workloads::StaticallyDescribed *>(w.get());
+    EXPECT_NE(sd, nullptr);
+    return sd->loopProgram(w->trainInput());
+}
+
+bool
+sameHistogram(const LogHistogram &a, const LogHistogram &b)
+{
+    if (a.infiniteCount() != b.infiniteCount() ||
+        a.totalFinite() != b.totalFinite())
+        return false;
+    size_t bins = std::max(a.binCount(), b.binCount());
+    for (size_t i = 0; i < bins; ++i)
+        if (a.binValue(i) != b.binValue(i))
+            return false;
+    return true;
+}
+
+bool
+sameSchedule(const StaticPrediction &a, const StaticPrediction &b)
+{
+    if (a.schedule.size() != b.schedule.size())
+        return false;
+    for (size_t i = 0; i < a.schedule.size(); ++i) {
+        const auto &x = a.schedule[i];
+        const auto &y = b.schedule[i];
+        if (x.marker != y.marker || x.phaseIndex != y.phaseIndex ||
+            x.startAccess != y.startAccess ||
+            x.accesses != y.accesses || x.wssBefore != y.wssBefore)
+            return false;
+    }
+    return true;
+}
+
+TEST(AffineExpr, EvaluatesAndBounds)
+{
+    // 5 + 3*i - 2*j over i in [0,4), j in [0,3).
+    AffineExpr e = AffineExpr::linear({3, -2}, 5);
+    EXPECT_EQ(e.at({0, 0}), 5);
+    EXPECT_EQ(e.at({3, 2}), 5 + 9 - 4);
+    EXPECT_EQ(e.minOver({4, 3}), 5 - 4); // i = 0, j = 2
+    EXPECT_EQ(e.maxOver({4, 3}), 5 + 9); // i = 3, j = 0
+    EXPECT_EQ(AffineExpr::constant(7).at({1, 2, 3}), 7);
+    // Missing coefficients evaluate as zero.
+    EXPECT_EQ(AffineExpr::linear({2}).at({3, 99}), 6);
+}
+
+TEST(LoopProgramDeathTest, ValidateRejectsOutOfBoundsRef)
+{
+    LoopProgram p;
+    p.name = "bad";
+    p.arrays.push_back(StaticArray{"A", 8, 0});
+    PhaseNest ph;
+    ph.name = "sweep";
+    ph.nest.extents = {16}; // walks past the 8-element array
+    ph.nest.refs.push_back({0, AffineExpr::linear({1})});
+    p.prologue.push_back(ph);
+    EXPECT_DEATH(p.validate(), "");
+}
+
+TEST(LoopProgramDeathTest, ValidateRejectsOverlappingArrays)
+{
+    LoopProgram p;
+    p.name = "bad";
+    p.arrays.push_back(StaticArray{"A", 8, 0});
+    p.arrays.push_back(StaticArray{"B", 8, 4}); // overlaps A
+    PhaseNest ph;
+    ph.name = "sweep";
+    ph.nest.extents = {8};
+    ph.nest.refs.push_back({0, AffineExpr::linear({1})});
+    p.prologue.push_back(ph);
+    EXPECT_DEATH(p.validate(), "");
+}
+
+TEST(WalkNest, EnumeratesLexicographically)
+{
+    Nest n;
+    n.extents = {2, 3};
+    n.refs.push_back({0, AffineExpr::linear({3, 1})});
+    std::vector<uint64_t> indices;
+    staticloc::walkNest(
+        n, [] {},
+        [&](const staticloc::ArrayRef &, uint64_t idx) {
+            indices.push_back(idx);
+        });
+    EXPECT_EQ(indices, (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(SymbolicApplicable, AcceptsLockstepSweepsOnly)
+{
+    // loopnest: every nest is a unit-stride lockstep sweep.
+    EXPECT_TRUE(staticloc::symbolicApplicable(programOf("loopnest")));
+    // stencil3: A[i], A[i+1], A[i+2] overlap within the phase.
+    EXPECT_FALSE(staticloc::symbolicApplicable(programOf("stencil3")));
+    // matmul-tiled: coefficients are tile strides, not nest weights.
+    EXPECT_FALSE(
+        staticloc::symbolicApplicable(programOf("matmul-tiled")));
+}
+
+TEST(Predict, AutoSelectsStrongestEngine)
+{
+    EXPECT_EQ(staticloc::predict(programOf("loopnest")).method,
+              Method::Symbolic);
+    EXPECT_EQ(staticloc::predict(programOf("stencil3")).method,
+              Method::Periodic);
+    EXPECT_EQ(staticloc::predict(programOf("matmul-tiled")).method,
+              Method::Counting);
+}
+
+TEST(Predict, SymbolicMatchesCountingBitForBit)
+{
+    LoopProgram p = programOf("loopnest");
+    StaticPrediction sym = staticloc::predict(p, Method::Symbolic);
+    StaticPrediction cnt = staticloc::predict(p, Method::Counting);
+    EXPECT_TRUE(sameHistogram(sym.histogram, cnt.histogram));
+    EXPECT_TRUE(sameSchedule(sym, cnt));
+    EXPECT_EQ(sym.totalAccesses, cnt.totalAccesses);
+    EXPECT_EQ(sym.distinctElements, cnt.distinctElements);
+    EXPECT_TRUE(sym.exact);
+}
+
+TEST(Predict, PeriodicMatchesCountingBitForBit)
+{
+    for (const char *name : {"stencil3", "loopnest"}) {
+        LoopProgram p = programOf(name);
+        StaticPrediction per = staticloc::predict(p, Method::Periodic);
+        StaticPrediction cnt = staticloc::predict(p, Method::Counting);
+        EXPECT_TRUE(sameHistogram(per.histogram, cnt.histogram))
+            << name;
+        EXPECT_TRUE(sameSchedule(per, cnt)) << name;
+        EXPECT_EQ(per.distinctElements, cnt.distinctElements) << name;
+    }
+}
+
+TEST(Predict, ScheduleAndCurvesAreConsistent)
+{
+    LoopProgram p = programOf("stencil3");
+    StaticPrediction pred = staticloc::predict(p);
+    ASSERT_EQ(pred.schedule.size(), p.phaseExecutions());
+
+    // The schedule tiles the access clock without gaps.
+    uint64_t clock = 0;
+    for (const auto &e : pred.schedule) {
+        EXPECT_EQ(e.startAccess, clock);
+        clock += e.accesses;
+    }
+    EXPECT_EQ(clock, pred.totalAccesses);
+    EXPECT_EQ(clock, p.totalAccesses());
+
+    // Boundary clocks are the entry clocks past the first execution.
+    auto boundaries = pred.boundaryClocks();
+    ASSERT_EQ(boundaries.size(), pred.schedule.size() - 1);
+    for (size_t i = 0; i < boundaries.size(); ++i)
+        EXPECT_EQ(boundaries[i], pred.schedule[i + 1].startAccess);
+
+    // The WSS curve is monotone and ends at the whole-run footprint.
+    auto wss = pred.wssCurve();
+    ASSERT_EQ(wss.size(), pred.schedule.size() + 1);
+    for (size_t i = 1; i < wss.size(); ++i) {
+        EXPECT_GE(wss[i].first, wss[i - 1].first);
+        EXPECT_GE(wss[i].second, wss[i - 1].second);
+    }
+    EXPECT_EQ(wss.back().second, pred.distinctElements);
+}
+
+TEST(PredictDeathTest, ExplicitSymbolicPanicsWhenNotApplicable)
+{
+    LoopProgram p = programOf("stencil3");
+    EXPECT_DEATH(staticloc::predict(p, Method::Symbolic), "");
+}
+
+TEST(Predict, MethodNamesAreStable)
+{
+    EXPECT_STREQ(staticloc::methodName(Method::Auto), "auto");
+    EXPECT_STREQ(staticloc::methodName(Method::Symbolic), "symbolic");
+    EXPECT_STREQ(staticloc::methodName(Method::Periodic), "periodic");
+    EXPECT_STREQ(staticloc::methodName(Method::Counting), "counting");
+}
+
+} // namespace

@@ -197,8 +197,9 @@ TEST(TraceCodec, RejectsTruncationAtEveryLength)
         uint64_t events = 0;
         bool ok = lpp::trace::decodeTrace(payload.data(), cut, sink,
                                           &events);
-        if (ok)
+        if (ok) {
             EXPECT_LT(events, full.events.size());
+        }
     }
 }
 

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ValidatingSink under sharded replay: the protocol checks must hold
+ * across MemoryTrace::replayRange chunk boundaries at every chunk
+ * size — chunks partition the event stream without splitting batches,
+ * so a validator fed chunk by chunk must see exactly the stream a
+ * full replay delivers, violations included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "trace/memory_trace.hpp"
+#include "trace/validator.hpp"
+#include "workloads/emitter.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using lpp::trace::MemoryTrace;
+using lpp::trace::ValidatingSink;
+using lpp::trace::ValidatorConfig;
+using Kind = ValidatingSink::Kind;
+
+/** A clean synthetic stream: markers, blocks, batches, one end. */
+struct Recorded
+{
+    MemoryTrace trace;
+    lpp::workloads::ArrayInfo a, b;
+};
+
+Recorded
+recordCleanStream()
+{
+    Recorded r;
+    lpp::workloads::AddressSpace as;
+    r.a = as.allocate("A", 96);
+    r.b = as.allocate("B", 64);
+    lpp::workloads::Emitter e(r.trace);
+    for (int round = 0; round < 4; ++round) {
+        e.marker(static_cast<uint32_t>(round));
+        for (uint64_t i = 0; i < r.a.elements; ++i) {
+            e.block(10, 12);
+            e.touch(r.a, i);
+        }
+        for (uint64_t i = 0; i < r.b.elements; ++i) {
+            e.block(11, 9);
+            e.touch(r.b, i);
+            e.touch(r.b, r.b.elements - 1 - i);
+        }
+    }
+    e.end();
+    return r;
+}
+
+/** Validator configured with the stream's real contract. */
+ValidatingSink
+strictValidator(const Recorded &r)
+{
+    ValidatorConfig cfg;
+    cfg.blockLimit = 12;
+    cfg.maxBlockInstructions = 16;
+    ValidatingSink v(nullptr, cfg);
+    v.allowRange(r.a.base, r.a.end());
+    v.allowRange(r.b.base, r.b.end());
+    return v;
+}
+
+/** Replay `trace` into `sink` in chunks of `target` accesses. */
+void
+replayChunked(const MemoryTrace &trace, lpp::trace::TraceSink &sink,
+              uint64_t target)
+{
+    uint64_t accesses = 0;
+    size_t events = 0;
+    for (const auto &range : trace.chunks(target)) {
+        // Chunks partition the stream in order.
+        EXPECT_EQ(range.firstEvent, events);
+        EXPECT_EQ(range.firstAccess, accesses);
+        trace.replayRange(sink, range);
+        events += range.eventCount;
+        accesses += range.accessCount;
+    }
+    EXPECT_EQ(events, trace.eventCount());
+    EXPECT_EQ(accesses, trace.accessCount());
+}
+
+TEST(ValidatorSharded, CleanStreamOkAtEveryChunkSize)
+{
+    Recorded r = recordCleanStream();
+    const uint64_t len = r.trace.accessCount();
+    // Chunk size 1 (maximal fragmentation, modulo unsplittable
+    // batches), a prime, the whole trace, and beyond the trace.
+    for (uint64_t target : {uint64_t{1}, uint64_t{7}, len, len + 100}) {
+        ValidatingSink v = strictValidator(r);
+        replayChunked(r.trace, v, target);
+        EXPECT_TRUE(v.ok()) << "chunk target " << target;
+        EXPECT_EQ(v.totalViolations(), 0u) << "chunk target " << target;
+        EXPECT_TRUE(v.ended()) << "chunk target " << target;
+    }
+
+    // Chunk size above the length yields exactly one chunk.
+    EXPECT_EQ(r.trace.chunks(len + 100).size(), 1u);
+}
+
+TEST(ValidatorSharded, ChunkedEqualsFullReplayViolationForViolation)
+{
+    Recorded r = recordCleanStream();
+    // A validator that disallows B: every B access is a violation,
+    // and the count must not depend on chunking.
+    auto narrow = [&r] {
+        ValidatorConfig cfg;
+        cfg.blockLimit = 12;
+        cfg.maxBlockInstructions = 16;
+        ValidatingSink v(nullptr, cfg);
+        v.allowRange(r.a.base, r.a.end());
+        return v;
+    };
+
+    ValidatingSink full = narrow();
+    r.trace.replay(full);
+    ASSERT_FALSE(full.ok());
+    ASSERT_GT(full.countOf(Kind::AddressOutOfRange), 0u);
+
+    for (uint64_t target : {uint64_t{1}, uint64_t{7}, uint64_t{1000}}) {
+        ValidatingSink v = narrow();
+        replayChunked(r.trace, v, target);
+        EXPECT_EQ(v.totalViolations(), full.totalViolations())
+            << "chunk target " << target;
+        EXPECT_EQ(v.countOf(Kind::AddressOutOfRange),
+                  full.countOf(Kind::AddressOutOfRange))
+            << "chunk target " << target;
+        EXPECT_TRUE(v.ended());
+    }
+}
+
+TEST(ValidatorSharded, EventAfterEndCaughtAcrossChunks)
+{
+    // Record a stream that keeps emitting after onEnd; the violation
+    // must be caught whether the offending event shares a chunk with
+    // the end or starts a later one.
+    MemoryTrace t;
+    t.onBlock(1, 5);
+    t.onAccess(8);
+    t.onEnd();
+    t.onBlock(2, 5); // offending event
+    t.onAccess(16);  // offending event
+
+    for (uint64_t target : {uint64_t{1}, uint64_t{10}}) {
+        ValidatingSink v;
+        for (const auto &range : t.chunks(target))
+            t.replayRange(v, range);
+        EXPECT_FALSE(v.ok()) << "chunk target " << target;
+        EXPECT_GE(v.countOf(Kind::EventAfterEnd), 1u)
+            << "chunk target " << target;
+    }
+}
+
+TEST(ValidatorSharded, StaticWorkloadStreamValidatesChunked)
+{
+    // End-to-end: a statically described workload's recorded training
+    // stream passes strict validation under sharded replay.
+    auto w = lpp::workloads::create("stencil3");
+    ASSERT_NE(w, nullptr);
+    auto input = w->trainInput();
+
+    MemoryTrace trace;
+    w->run(input, trace);
+
+    ValidatorConfig cfg;
+    cfg.blockLimit = 1024;
+    ValidatingSink v(nullptr, cfg);
+    for (const auto &arr : w->arrays(input))
+        v.allowRange(arr.base, arr.end());
+
+    replayChunked(trace, v, 4096);
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(v.ended());
+    EXPECT_EQ(v.totalViolations(), 0u);
+}
+
+} // namespace

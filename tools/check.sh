@@ -21,8 +21,10 @@ cd "$(dirname "$0")/.."
 
 JOBS=${LPP_CHECK_JOBS:-$(nproc)}
 FAST=${LPP_CHECK_FAST:-0}
+leg_names=()
+leg_results=() # pass | SKIP | FAIL, parallel to leg_names
+leg_notes=()
 failures=()
-skips=()
 
 note() { printf '\n=== check: %s ===\n' "$1"; }
 
@@ -32,12 +34,25 @@ run_step() { # run_step <name> <command...>
     note "$name"
     "$@"
     local status=$?
+    leg_names+=("$name")
     if [ "$status" -eq 77 ]; then
-        skips+=("$name")
+        leg_results+=("SKIP")
+        leg_notes+=("missing optional tooling")
     elif [ "$status" -ne 0 ]; then
+        leg_results+=("FAIL")
+        leg_notes+=("exit $status")
         failures+=("$name")
+    else
+        leg_results+=("pass")
+        leg_notes+=("")
     fi
     return 0
+}
+
+skip_step() { # skip_step <name> <reason>
+    leg_names+=("$1")
+    leg_results+=("SKIP")
+    leg_notes+=("$2")
 }
 
 step_format() { tools/format_check.sh; }
@@ -80,15 +95,23 @@ if [ "$FAST" != "1" ]; then
     run_step asan-ubsan step_sanitizer asan-ubsan
     run_step tsan step_sanitizer tsan
 else
-    skips+=("asan-ubsan" "tsan")
+    skip_step asan-ubsan "LPP_CHECK_FAST=1"
+    skip_step tsan "LPP_CHECK_FAST=1"
 fi
 
+# End-of-run summary: one row per leg, so a skipped leg (exit 77 or
+# LPP_CHECK_FAST) is visible instead of silently absent from the log.
 note "summary"
-if [ "${#skips[@]}" -gt 0 ]; then
-    echo "skipped: ${skips[*]} (missing optional tooling)"
-fi
+printf '%-12s %-6s %s\n' "leg" "result" "note"
+printf '%-12s %-6s %s\n' "---" "------" "----"
+for i in "${!leg_names[@]}"; do
+    printf '%-12s %-6s %s\n' "${leg_names[$i]}" "${leg_results[$i]}" \
+        "${leg_notes[$i]}"
+done
 if [ "${#failures[@]}" -gt 0 ]; then
+    echo
     echo "FAILED: ${failures[*]}"
     exit 1
 fi
+echo
 echo "all checks passed"

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * staticloc_report — the static locality oracle from the command line.
+ *
+ * For every statically described workload (or an explicit subset) the
+ * tool predicts the training run's reuse histogram, working-set curve,
+ * and phase schedule from the affine IR alone, runs the dynamic
+ * analysis pipeline once, and prints the static-vs-dynamic divergence
+ * report. Exit status 0 means every checked bound held.
+ *
+ * Usage:
+ *   staticloc_report [--method=auto|symbolic|periodic|counting]
+ *                    [--predict-only] [--wss] [workload...]
+ *
+ * With --predict-only nothing is executed or replayed at all: the tool
+ * prints the pure zero-execution prediction (histogram, schedule, WSS
+ * curve) for each workload. --wss adds the predicted working-set-size
+ * curve to the report.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "staticloc/predict.hpp"
+#include "support/histogram.hpp"
+#include "support/logging.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/static_workload.hpp"
+
+using namespace lpp;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--method=auto|symbolic|periodic|counting] "
+                 "[--predict-only] [--wss] [workload...]\n",
+                 argv0);
+    return 2;
+}
+
+bool
+parseMethod(const std::string &name, staticloc::Method &out)
+{
+    if (name == "auto")
+        out = staticloc::Method::Auto;
+    else if (name == "symbolic")
+        out = staticloc::Method::Symbolic;
+    else if (name == "periodic")
+        out = staticloc::Method::Periodic;
+    else if (name == "counting")
+        out = staticloc::Method::Counting;
+    else
+        return false;
+    return true;
+}
+
+void
+printHistogram(const LogHistogram &h)
+{
+    std::printf("  reuse histogram (%llu accesses, %llu cold):\n",
+                static_cast<unsigned long long>(h.total()),
+                static_cast<unsigned long long>(h.infiniteCount()));
+    for (size_t b = 0; b < h.binCount(); ++b) {
+        if (h.binValue(b) == 0)
+            continue;
+        std::printf("    [%8llu, %8llu)  %llu\n",
+                    static_cast<unsigned long long>(
+                        LogHistogram::binLow(b)),
+                    static_cast<unsigned long long>(
+                        LogHistogram::binHigh(b)),
+                    static_cast<unsigned long long>(h.binValue(b)));
+    }
+}
+
+void
+printPrediction(const staticloc::StaticPrediction &p, bool wss)
+{
+    std::printf("  method %s (%s), %llu accesses, %llu distinct "
+                "elements, %zu phase executions\n",
+                staticloc::methodName(p.method),
+                p.exact ? "exact" : "approximate",
+                static_cast<unsigned long long>(p.totalAccesses),
+                static_cast<unsigned long long>(p.distinctElements),
+                p.schedule.size());
+    printHistogram(p.histogram);
+    if (wss) {
+        std::printf("  predicted WSS curve (clock -> distinct "
+                    "elements touched so far):\n");
+        for (const auto &[clock, size] : p.wssCurve())
+            std::printf("    %10llu  %llu\n",
+                        static_cast<unsigned long long>(clock),
+                        static_cast<unsigned long long>(size));
+    }
+}
+
+void
+printReport(const core::StaticOracleReport &r)
+{
+    std::printf("  method %s (%s)\n", staticloc::methodName(r.method),
+                r.exact ? "exact" : "approximate");
+    std::printf("  accesses   predicted %llu, measured %llu\n",
+                static_cast<unsigned long long>(r.predictedAccesses),
+                static_cast<unsigned long long>(r.measuredAccesses));
+    std::printf("  footprint  predicted %llu, measured %llu\n",
+                static_cast<unsigned long long>(r.predictedFootprint),
+                static_cast<unsigned long long>(r.measuredFootprint));
+    std::printf("  histogram  divergence %.6f (%s)\n",
+                r.histogramDivergence,
+                r.histogramIdentical ? "identical" : "diverged");
+    std::printf("  miss curve max error %.6f\n", r.maxMissRateError);
+    std::printf("  markers    %llu predicted, %llu measured, max clock "
+                "error %llu (%s)\n",
+                static_cast<unsigned long long>(
+                    r.predictedPhaseExecutions),
+                static_cast<unsigned long long>(r.measuredMarkers),
+                static_cast<unsigned long long>(r.markerMaxError),
+                r.markersIdentical ? "identical" : "diverged");
+    std::printf("  detector   %llu boundaries, %.0f%% within slack, "
+                "max distance %llu\n",
+                static_cast<unsigned long long>(r.detectedBoundaries),
+                r.detectedBoundaryPrecision * 100.0,
+                static_cast<unsigned long long>(
+                    r.detectedBoundaryMaxError));
+    for (const auto &f : r.failures)
+        std::printf("  FAIL: %s\n", f.c_str());
+    std::printf("  => %s\n", r.ok ? "ok" : "FAILED");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    staticloc::Method method = staticloc::Method::Auto;
+    bool predict_only = false;
+    bool wss = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--method=", 0) == 0) {
+            if (!parseMethod(arg.substr(9), method))
+                return usage(argv[0]);
+        } else if (arg == "--predict-only") {
+            predict_only = true;
+        } else if (arg == "--wss") {
+            wss = true;
+        } else if (arg == "--verbose") {
+            setVerbose(true);
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (names.empty())
+        names = workloads::staticNames();
+
+    int failures = 0;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        if (!w) {
+            std::fprintf(stderr, "error: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        auto *sd =
+            dynamic_cast<const workloads::StaticallyDescribed *>(
+                w.get());
+        if (!sd) {
+            std::fprintf(stderr,
+                         "error: workload '%s' carries no affine IR "
+                         "(statically described: ",
+                         name.c_str());
+            for (const auto &s : workloads::staticNames())
+                std::fprintf(stderr, "%s ", s.c_str());
+            std::fprintf(stderr, ")\n");
+            return 2;
+        }
+
+        std::printf("%s\n", name.c_str());
+        if (predict_only) {
+            auto pred = staticloc::predict(
+                sd->loopProgram(w->trainInput()), method);
+            printPrediction(pred, wss);
+            continue;
+        }
+
+        core::AnalysisConfig cfg;
+        cfg.staticOracle.enabled = true;
+        cfg.staticOracle.method = method;
+        auto run = core::analyzeWorkload(*w, cfg);
+        if (wss)
+            printPrediction(staticloc::predict(
+                                sd->loopProgram(w->trainInput()), method),
+                            wss);
+        printReport(run.staticOracle);
+        std::printf("  live program executions: %llu (oracle itself: "
+                    "0)\n",
+                    static_cast<unsigned long long>(
+                        run.programExecutions));
+        failures += !run.staticOracle.ok;
+    }
+    return failures == 0 ? 0 : 1;
+}
