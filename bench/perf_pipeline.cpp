@@ -27,6 +27,16 @@
  * A zero-cost stage is a measurement bug, not a fast stage: the
  * harness fails loudly if any stage measures below MIN_STAGE_MS.
  *
+ * The harness also exercises the streaming trace substrate directly:
+ * synthetic streams of 1M/4M/16M accesses are recorded through the
+ * predictive frame codec and replayed through a TraceCursor, reporting
+ * raw vs encoded bytes, compression ratio, and replay MB/s per size —
+ * and it FAILS if a warm replay's peak-RSS delta grows with trace
+ * length (a replay must decode one frame at a time, never materialize
+ * the stream). Each evaluated workload additionally reports its
+ * recordings' raw/encoded byte sizes and compression ratio in the
+ * JSON; a ratio below MIN_COMPRESSION_RATIO fails the bench.
+ *
  * Environment knobs:
  *   LPP_PERF_WORKLOADS  comma-separated subset of registry names
  *                       (default: every workload),
@@ -52,6 +62,7 @@
 #include "core/parallel.hpp"
 #include "staticloc/predict.hpp"
 #include "support/thread_pool.hpp"
+#include "trace/memory_trace.hpp"
 #include "workloads/registry.hpp"
 
 using namespace lpp;
@@ -61,6 +72,18 @@ namespace {
 
 /** Below this, a stage "timing" is a harness bug (nothing ran). */
 constexpr double MIN_STAGE_MS = 0.0005;
+
+/** Every workload's recording must compress at least this much. */
+constexpr double MIN_COMPRESSION_RATIO = 4.0;
+
+/**
+ * A warm replay may grow the process high-water mark by at most this
+ * much, at EVERY trace length. A replay that materializes the decoded
+ * stream would bump peak RSS by 8 bytes per access (128 MiB at 16M
+ * accesses); a streaming replay's working set is one frame plus a
+ * batch scratch, far below this budget.
+ */
+constexpr long REPLAY_RSS_BUDGET_KB = 32 * 1024;
 
 double
 msSince(std::chrono::steady_clock::time_point start)
@@ -83,6 +106,9 @@ struct StageTimes
     uint64_t cacheHits = 0;             //!< staged pass, both stages
     uint64_t cacheMisses = 0;
     uint64_t traceBytes = 0; //!< bytes read from / written to store
+    uint64_t rawTraceBytes = 0;     //!< decoded size of the recordings
+    uint64_t encodedTraceBytes = 0; //!< compressed frames in memory
+    double compressionRatio = 0.0;  //!< raw / encoded
 };
 
 /**
@@ -195,6 +221,142 @@ scalingThreadCounts()
     return counts;
 }
 
+/**
+ * Deterministic synthetic stream for the replay-RSS harness: three
+ * interleaved strided array sweeps with block events and occasional
+ * phase jumps, batched like the workload emitter, `accesses` data
+ * accesses long. Strided-but-not-constant-delta, so the predictive
+ * codec has real work to do without a workload execution.
+ */
+void
+emitSynthetic(trace::TraceSink &sink, uint64_t accesses)
+{
+    constexpr size_t batchN = 256;
+    trace::Addr batch[batchN];
+    constexpr trace::Addr baseA = 0x10000000;
+    constexpr trace::Addr baseB = 0x20000000;
+    constexpr trace::Addr baseC = 0x30000000;
+    uint64_t emitted = 0;
+    uint64_t i = 0;
+    while (emitted < accesses) {
+        sink.onBlock(static_cast<trace::BlockId>((i / 16) % 97), 12);
+        size_t n = static_cast<size_t>(
+            std::min<uint64_t>(batchN, accesses - emitted));
+        for (size_t k = 0; k < n; k += 4) {
+            uint64_t idx = i * batchN + k;
+            batch[k] = baseA + 8 * idx;
+            if (k + 1 < n)
+                batch[k + 1] = baseB + 16 * (idx / 2);
+            if (k + 2 < n)
+                batch[k + 2] = baseC + 8 * (idx % 4096);
+            if (k + 3 < n)
+                batch[k + 3] = baseA + 8 * idx + ((idx >> 10) & 1);
+        }
+        sink.onAccessBatch(batch, n);
+        emitted += n;
+        ++i;
+    }
+    sink.onEnd();
+}
+
+/** Consumes a replayed stream, counting and folding the addresses so
+ *  the delivery cannot be optimized away. */
+class FoldSink : public trace::TraceSink
+{
+  public:
+    void onAccess(trace::Addr addr) override
+    {
+        ++accesses;
+        fold ^= addr;
+    }
+
+    void onAccessBatch(const trace::Addr *addrs, size_t n) override
+    {
+        accesses += n;
+        for (size_t k = 0; k < n; ++k)
+            fold ^= addrs[k];
+    }
+
+    uint64_t accesses = 0;
+    trace::Addr fold = 0;
+};
+
+/** One trace length of the replay-RSS scaling harness. */
+struct ReplayRssPoint
+{
+    uint64_t accesses = 0;
+    uint64_t rawBytes = 0;
+    uint64_t encodedBytes = 0;
+    double ratio = 0.0;
+    double replayMs = 0.0;   //!< one warm whole-trace replay
+    double replayMBps = 0.0; //!< raw bytes / replay time
+    long replayDeltaKb = 0;  //!< peak-RSS growth across the replay
+};
+
+/**
+ * Record synthetic streams of growing length and measure what a warm
+ * whole-trace replay does to the process peak RSS. The recording
+ * itself (and the first replay, which warms the cursor) may allocate;
+ * the measured second replay must not move the high-water mark by more
+ * than REPLAY_RSS_BUDGET_KB at ANY length — that is the bounded-memory
+ * replay contract, checked at 16x the smallest trace so linear growth
+ * cannot hide.
+ */
+std::vector<ReplayRssPoint>
+replayRssCurve(bool &ok)
+{
+    std::vector<ReplayRssPoint> points;
+    for (uint64_t accesses :
+         {1ull << 20, 4ull << 20, 16ull << 20}) {
+        trace::StreamingTrace t;
+        emitSynthetic(t, accesses);
+
+        ReplayRssPoint pt;
+        pt.accesses = accesses;
+        pt.rawBytes = t.rawBytes();
+        pt.encodedBytes = t.encodedBytes();
+        pt.ratio = pt.encodedBytes
+                       ? static_cast<double>(pt.rawBytes) /
+                             static_cast<double>(pt.encodedBytes)
+                       : 0.0;
+
+        FoldSink warmup;
+        t.replay(warmup); // first replay: allocators warm up
+
+        long before = peakRssKb();
+        FoldSink sink;
+        auto t0 = std::chrono::steady_clock::now();
+        t.replay(sink);
+        pt.replayMs = msSince(t0);
+        pt.replayDeltaKb = peakRssKb() - before;
+        pt.replayMBps = pt.replayMs > 0.0
+                            ? static_cast<double>(pt.rawBytes) / 1e6 /
+                                  (pt.replayMs / 1e3)
+                            : 0.0;
+
+        if (sink.accesses != accesses) {
+            std::fprintf(stderr,
+                         "error: replay delivered %llu of %llu "
+                         "accesses\n",
+                         static_cast<unsigned long long>(sink.accesses),
+                         static_cast<unsigned long long>(accesses));
+            ok = false;
+        }
+        if (pt.replayDeltaKb > REPLAY_RSS_BUDGET_KB) {
+            std::fprintf(stderr,
+                         "error: warm replay of %lluM accesses grew "
+                         "peak RSS by %ld KiB (budget %ld) — the "
+                         "replay is not streaming\n",
+                         static_cast<unsigned long long>(accesses >>
+                                                         20),
+                         pt.replayDeltaKb, REPLAY_RSS_BUDGET_KB);
+            ok = false;
+        }
+        points.push_back(pt);
+    }
+    return points;
+}
+
 } // namespace
 
 int
@@ -211,6 +373,14 @@ main()
     bool keep_cache = std::getenv("LPP_PERF_KEEP_CACHE") != nullptr;
     if (!keep_cache)
         std::filesystem::remove_all(cache_dir);
+
+    // Pass 0: the streaming substrate in isolation — synthetic
+    // recordings of growing length, warm whole-trace replays, and the
+    // bounded-memory contract (a replay must never materialize the
+    // decoded stream).
+    bool replay_rss_ok = true;
+    auto replayRss = replayRssCurve(replay_rss_ok);
+    long rssAfterReplayHarness = peakRssKb();
 
     // Pass 1: staged decomposition against the shared cache. The
     // analysis stage records the one training execution; the evaluate
@@ -252,6 +422,15 @@ main()
         st.cacheMisses =
             analysis.traceCacheMisses + full.traceCacheMisses;
         st.traceBytes = analysis.traceBytes + full.traceBytes;
+        // The evaluate stage holds both recordings (train + ref), so
+        // its byte counters describe the workload's full footprint.
+        st.rawTraceBytes = full.rawTraceBytes;
+        st.encodedTraceBytes = full.encodedTraceBytes;
+        st.compressionRatio =
+            st.encodedTraceBytes
+                ? static_cast<double>(st.rawTraceBytes) /
+                      static_cast<double>(st.encodedTraceBytes)
+                : 0.0;
 
         for (double ms :
              {st.analysisMs, st.instrumentMs, st.evaluateMs}) {
@@ -266,6 +445,23 @@ main()
         }
         stages.push_back(st);
     }
+    long rssAfterStaged = peakRssKb();
+
+    bool compression_ok = true;
+    for (const auto &st : stages) {
+        if (st.compressionRatio < MIN_COMPRESSION_RATIO) {
+            std::fprintf(stderr,
+                         "error: %s compresses %.2fx (< %.1fx): "
+                         "%llu raw -> %llu encoded bytes\n",
+                         st.name.c_str(), st.compressionRatio,
+                         MIN_COMPRESSION_RATIO,
+                         static_cast<unsigned long long>(
+                             st.rawTraceBytes),
+                         static_cast<unsigned long long>(
+                             st.encodedTraceBytes));
+            compression_ok = false;
+        }
+    }
 
     // Pass 2: serial end-to-end sweep, no cache (the live baseline).
     auto t0 = std::chrono::steady_clock::now();
@@ -275,6 +471,7 @@ main()
         serial.push_back(core::evaluateWorkload(*w));
     }
     double serialMs = msSince(t0);
+    long rssAfterSerial = peakRssKb();
 
     // Pass 3: the scaling curve — the same sweep on dedicated pools
     // of 1/2/4/8/hw threads. Workload-level units and the sharded
@@ -315,6 +512,7 @@ main()
         }
         curve.push_back(std::move(pt));
     }
+    long rssAfterScaling = peakRssKb();
 
     // Scaling self-checks arm only when the machine can express the
     // parallelism; a 1-core container cannot beat serial with
@@ -362,6 +560,7 @@ main()
         cold.push_back(core::evaluateWorkload(*w, cached));
     }
     double coldMs = msSince(t0);
+    long rssAfterCold = peakRssKb();
 
     // Pass 5: warm cached sweep — zero live executions, replay only.
     t0 = std::chrono::steady_clock::now();
@@ -371,6 +570,7 @@ main()
         warm.push_back(core::evaluateWorkload(*w, cached));
     }
     double warmMs = msSince(t0);
+    long rssAfterWarm = peakRssKb();
 
     bool warm_identical = warm.size() == serial.size();
     bool warm_no_live = true;
@@ -421,7 +621,7 @@ main()
 
     row("Workload",
         {"analysis", "instrum.", "evaluate", "total(ms)", "execs",
-         "hit/miss", "KiB"},
+         "hit/miss", "KiB", "ratio"},
         10, 9);
     rule();
     for (const auto &st : stages)
@@ -431,8 +631,24 @@ main()
              std::to_string(st.programExecutions),
              std::to_string(st.cacheHits) + "/" +
                  std::to_string(st.cacheMisses),
-             std::to_string(st.traceBytes / 1024)},
+             std::to_string(st.traceBytes / 1024),
+             num(st.compressionRatio, 1) + "x"},
             10, 9);
+    rule();
+    std::printf("Streaming replay (synthetic, warm whole-trace)\n");
+    for (const auto &pt : replayRss)
+        std::printf("  %3lluM accesses  %8.1f MiB raw -> %7.1f MiB "
+                    "(%5.1fx)  %8.1f MB/s  rss +%ld KiB\n",
+                    static_cast<unsigned long long>(pt.accesses >> 20),
+                    static_cast<double>(pt.rawBytes) / (1 << 20),
+                    static_cast<double>(pt.encodedBytes) / (1 << 20),
+                    pt.ratio, pt.replayMBps, pt.replayDeltaKb);
+    std::printf("  replay rss     %10s  (budget %ld KiB per replay)\n",
+                replay_rss_ok ? "flat" : "GROWING",
+                REPLAY_RSS_BUDGET_KB);
+    std::printf("  compression    %10s  (every workload >= %.1fx)\n",
+                compression_ok ? "pass" : "FAIL",
+                MIN_COMPRESSION_RATIO);
     rule();
     std::printf("serial sweep   %10.1f ms  (no cache)\n", serialMs);
     for (const auto &pt : curve) {
@@ -501,10 +717,33 @@ main()
              << st.programExecutionsWarm << ", "
              << "\"trace_cache\": {\"hits\": " << st.cacheHits
              << ", \"misses\": " << st.cacheMisses << "}, "
-             << "\"trace_bytes\": " << st.traceBytes << "}"
-             << (i + 1 < stages.size() ? "," : "") << "\n";
+             << "\"trace_bytes\": " << st.traceBytes << ", "
+             << "\"raw_trace_bytes\": " << st.rawTraceBytes << ", "
+             << "\"encoded_trace_bytes\": " << st.encodedTraceBytes
+             << ", "
+             << "\"compression_ratio\": " << num(st.compressionRatio, 4)
+             << "}" << (i + 1 < stages.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
+         << "  \"replay_rss\": [\n";
+    for (size_t i = 0; i < replayRss.size(); ++i) {
+        const auto &pt = replayRss[i];
+        json << "    {\"accesses\": " << pt.accesses << ", "
+             << "\"raw_bytes\": " << pt.rawBytes << ", "
+             << "\"encoded_bytes\": " << pt.encodedBytes << ", "
+             << "\"compression_ratio\": " << num(pt.ratio, 4) << ", "
+             << "\"replay_ms\": " << num(pt.replayMs, 3) << ", "
+             << "\"replay_mb_per_s\": " << num(pt.replayMBps, 1) << ", "
+             << "\"replay_rss_delta_kb\": " << pt.replayDeltaKb << "}"
+             << (i + 1 < replayRss.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"replay_rss_budget_kb\": " << REPLAY_RSS_BUDGET_KB
+         << ",\n"
+         << "  \"replay_rss_ok\": "
+         << (replay_rss_ok ? "true" : "false") << ",\n"
+         << "  \"compression_ok\": "
+         << (compression_ok ? "true" : "false") << ",\n"
          << "  \"serial_ms\": " << num(serialMs, 3) << ",\n"
          << "  \"scaling\": [\n";
     for (size_t i = 0; i < curve.size(); ++i) {
@@ -562,6 +801,13 @@ main()
          << (warm_identical ? "true" : "false") << ",\n"
          << "  \"warm_live_executions\": "
          << (warm_no_live ? 0 : 1) << ",\n"
+         << "  \"stage_peak_rss_kb\": {"
+         << "\"replay_harness\": " << rssAfterReplayHarness << ", "
+         << "\"staged\": " << rssAfterStaged << ", "
+         << "\"serial\": " << rssAfterSerial << ", "
+         << "\"scaling\": " << rssAfterScaling << ", "
+         << "\"cold\": " << rssAfterCold << ", "
+         << "\"warm\": " << rssAfterWarm << "},\n"
          << "  \"peak_rss_kb\": " << peakRssKb() << "\n"
          << "}\n";
     json.close();
@@ -569,6 +815,6 @@ main()
 
     bool ok = identical && warm_identical && warm_no_live &&
               stage_cost_ok && pool_exercised_ok && scaling_ok &&
-              oracle_ok;
+              oracle_ok && replay_rss_ok && compression_ok;
     return ok ? 0 : 1;
 }

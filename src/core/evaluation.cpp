@@ -193,6 +193,7 @@ struct AnalysisJob
 
     AnalysisResult *analysisOut = nullptr;
     uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
+    uint64_t rawBytes = 0, encodedBytes = 0; //!< trainLog sizes
 
     /** Static-oracle verification (config.staticOracle.enabled). */
     StaticOracleConfig oracleCfg;
@@ -393,6 +394,8 @@ registerTrainAnalysis(ExecutionPlan &plan,
     // Detection finish + hierarchy (pure computation).
     auto ready = plan.addStep(
         [j] {
+            j->rawBytes = j->trainLog.rawBytes();
+            j->encodedBytes = j->trainLog.encodedBytes();
             j->analysisOut->detection =
                 j->detector.finish(*j->sampler, j->blocks);
             j->analysisOut->hierarchy =
@@ -602,6 +605,9 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
             ev.traceCacheHits = a->cacheHits + j->cacheHits;
             ev.traceCacheMisses = a->cacheMisses + j->cacheMisses;
             ev.traceBytes = a->traceBytes + j->traceBytes;
+            ev.rawTraceBytes = a->rawBytes + j->refLog.rawBytes();
+            ev.encodedTraceBytes =
+                a->encodedBytes + j->refLog.encodedBytes();
 
             a->trainLog.clear();
             j->refLog.clear();
@@ -626,6 +632,8 @@ analyzeWorkload(const workloads::Workload &workload,
     out.traceCacheHits = job->cacheHits;
     out.traceCacheMisses = job->cacheMisses;
     out.traceBytes = job->traceBytes;
+    out.rawTraceBytes = job->rawBytes;
+    out.encodedTraceBytes = job->encodedBytes;
     return out;
 }
 
@@ -925,13 +933,17 @@ collectIntervalsSharded(const trace::MemoryTrace &trace,
     // keeping every pool thread and the caller busy during the local
     // passes; the reduction between waves is strictly in chunk order.
     size_t waveSize = tp.threadCount() + 1;
+    std::vector<trace::TraceCursor> cursors;
+    cursors.reserve(waveSize);
+    for (size_t i = 0; i < waveSize; ++i)
+        cursors.emplace_back(trace);
     for (size_t begin = 0; begin < ranges.size(); begin += waveSize) {
         size_t count = std::min(waveSize, ranges.size() - begin);
         std::vector<std::unique_ptr<ChunkIntervalSink>> sinks(count);
         support::parallelFor(tp, count, [&](size_t i) {
             sinks[i] = std::make_unique<ChunkIntervalSink>(
                 cfg, ranges[begin + i]);
-            trace.replayRange(*sinks[i], ranges[begin + i]);
+            cursors[i].replayRange(*sinks[i], ranges[begin + i]);
         });
         for (size_t i = 0; i < count; ++i) {
             ChunkIntervalSink &s = *sinks[i];

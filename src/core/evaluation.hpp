@@ -77,6 +77,15 @@ struct WorkloadEvaluation
 
     /** Compressed trace bytes written to or reused from the cache. */
     uint64_t traceBytes = 0;
+
+    /** Raw address bytes the recorded streams would occupy decoded
+     *  (train + ref, 8 bytes per access). */
+    uint64_t rawTraceBytes = 0;
+
+    /** In-memory compressed frame bytes of the same recordings; the
+     *  rawTraceBytes / encodedTraceBytes quotient is the predictive
+     *  codec's compression ratio on this workload. */
+    uint64_t encodedTraceBytes = 0;
 };
 
 /**
@@ -122,6 +131,8 @@ struct WorkloadAnalysisRun
     uint64_t traceCacheHits = 0;
     uint64_t traceCacheMisses = 0;
     uint64_t traceBytes = 0;
+    uint64_t rawTraceBytes = 0;     //!< decoded size of the recording
+    uint64_t encodedTraceBytes = 0; //!< compressed frames in memory
 
     /** Static-vs-dynamic verification (config.staticOracle). */
     StaticOracleReport staticOracle;

@@ -36,7 +36,8 @@
 #include "wavelet/filtering.hpp"
 
 namespace lpp::trace {
-class MemoryTrace;
+class StreamingTrace;
+using MemoryTrace = StreamingTrace;
 }
 
 namespace lpp::phase {

@@ -154,7 +154,7 @@ class LocalSink : public trace::TraceSink
 };
 
 void
-localPass(const trace::MemoryTrace &trace,
+localPass(trace::TraceCursor &cursor,
           const trace::MemoryTrace::ChunkRange &range, ChunkState &st)
 {
     st.chunk.range = range;
@@ -162,7 +162,7 @@ localPass(const trace::MemoryTrace &trace,
     st.chunk.distances.reserve(range.accessCount);
     st.stack = ReuseStack(range.accessCount + 64);
     LocalSink sink(st);
-    trace.replayRange(sink, range);
+    cursor.replayRange(sink, range);
 }
 
 /**
@@ -195,6 +195,22 @@ size_t
 waveSize(support::ThreadPool &pool)
 {
     return pool.threadCount() + 1; // the caller participates
+}
+
+/**
+ * One streaming cursor per wave slot, reused across waves: a wave of
+ * parallel chunk replays decodes one frame-sized window per worker
+ * instead of touching a materialized trace, and slot i's cursor keeps
+ * its decoder and batch scratch warm from wave to wave.
+ */
+std::vector<trace::TraceCursor>
+cursorsFor(const trace::MemoryTrace &trace, size_t wave)
+{
+    std::vector<trace::TraceCursor> cursors;
+    cursors.reserve(wave);
+    for (size_t i = 0; i < wave; ++i)
+        cursors.emplace_back(trace);
+    return cursors;
 }
 
 /** Applies a callback to every data access delivered to it. */
@@ -232,6 +248,7 @@ shardedPrecount(const trace::MemoryTrace &trace,
         seen.reserve(cfg.reserveElements);
 
     const size_t wave = waveSize(pool);
+    auto cursors = cursorsFor(trace, wave);
     for (size_t base = 0; base < ranges.size(); base += wave) {
         const size_t n = std::min(wave, ranges.size() - base);
         // Per-chunk distinct-element lists, computed in parallel.
@@ -247,7 +264,7 @@ shardedPrecount(const trace::MemoryTrace &trace,
                 }
             };
             AccessVisitor sink(visit);
-            trace.replayRange(sink, ranges[base + i]);
+            cursors[i].replayRange(sink, ranges[base + i]);
         });
         for (size_t i = 0; i < n; ++i)
             for (uint64_t element : locals[i])
@@ -269,11 +286,12 @@ shardedReuseSweep(const trace::MemoryTrace &trace,
     BoundaryResolver resolver(cfg.reserveElements);
 
     const size_t wave = waveSize(pool);
+    auto cursors = cursorsFor(trace, wave);
     for (size_t base = 0; base < ranges.size(); base += wave) {
         const size_t n = std::min(wave, ranges.size() - base);
         std::vector<ChunkState> states(n);
         support::parallelFor(pool, n, [&](size_t i) {
-            localPass(trace, ranges[base + i], states[i]);
+            localPass(cursors[i], ranges[base + i], states[i]);
         });
         for (size_t i = 0; i < n; ++i) {
             resolveChunk(states[i], resolver);

@@ -33,7 +33,10 @@
  * The parallel part (chunk-local stacks) is the expensive part; the
  * sequential resolve touches only distinct-elements-per-chunk entries.
  * Chunks are processed in waves of about the pool's parallelism so
- * peak memory stays at wave × chunk size, not the whole trace.
+ * peak memory stays at wave × chunk size, not the whole trace. Each
+ * wave slot owns one trace::TraceCursor, so the chunk replays stream
+ * straight out of the compressed frame list — no stage of the sweep
+ * ever holds a decoded copy of the recording.
  */
 
 #ifndef LPP_REUSE_SHARDED_REUSE_HPP

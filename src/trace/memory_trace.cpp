@@ -2,38 +2,201 @@
 
 #include <algorithm>
 
+#include "support/logging.hpp"
+
 namespace lpp::trace {
 
-void
-MemoryTrace::replay(TraceSink &sink) const
+namespace {
+
+/** Decode one varint from [*p, end); false on truncation. */
+inline bool
+readVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
 {
-    if (events.empty())
-        return;
-    replayRange(sink, ChunkRange{0, events.size(), 0, addrs.size()});
+    uint64_t out = 0;
+    unsigned shift = 0;
+    while (p < end && shift < 64) {
+        uint8_t byte = *p++;
+        out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+            v = out;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
 }
 
-std::vector<MemoryTrace::ChunkRange>
-MemoryTrace::chunks(uint64_t target_accesses) const
+/**
+ * Walk one event of a frame's event section without decoding any
+ * address: advances `p` past the event's bytes and reports how many
+ * data accesses the event delivers. This is what makes chunks() an
+ * index pass — it never touches the bitmap or residue sections.
+ */
+bool
+scanEvent(const uint8_t *&p, const uint8_t *end, uint64_t &delivered)
+{
+    delivered = 0;
+    if (p >= end)
+        return false;
+    uint64_t skip = 0;
+    switch (static_cast<TraceOp>(*p++)) {
+      case TraceOp::Block:
+        return readVarint(p, end, skip) && readVarint(p, end, skip);
+      case TraceOp::Access:
+        delivered = 1;
+        return true;
+      case TraceOp::Batch:
+        if (!readVarint(p, end, delivered))
+            return false;
+        return true;
+      case TraceOp::Manual:
+      case TraceOp::Phase:
+        return readVarint(p, end, skip);
+      case TraceOp::End:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+StreamingTrace::StreamingTrace(const PredictorConfig &cfg_,
+                               uint64_t frame_target)
+    : cfg(cfg_), frameTarget(std::max<uint64_t>(frame_target, 1)),
+      enc(cfg_)
+{
+}
+
+void
+StreamingTrace::sealNow()
+{
+    Frame f;
+    const uint64_t firstEvent = totalEvents - enc.events();
+    const uint64_t firstAccess = totalAccesses - enc.accesses();
+    enc.seal(f.info, f.payload);
+    f.info.firstEvent = firstEvent;
+    f.info.firstAccess = firstAccess;
+    sealed.push_back(std::move(f));
+}
+
+void
+StreamingTrace::maybeSeal()
+{
+    LPP_DCHECK(!adopted,
+               "appending to a loaded (adopted) trace recording");
+    if (enc.accesses() < frameTarget)
+        return;
+    // Lazy sealing — close the open frame only when the *next* event
+    // arrives — keeps frame boundaries identical to the boundaries
+    // chunks() computes for the same access target, and never leaves
+    // an empty trailing frame.
+    sealNow();
+}
+
+void
+StreamingTrace::onBlock(BlockId block, uint32_t instructions)
+{
+    maybeSeal();
+    enc.onBlock(block, instructions);
+    ++totalEvents;
+}
+
+void
+StreamingTrace::onAccess(Addr addr)
+{
+    maybeSeal();
+    enc.onAccess(addr);
+    ++totalEvents;
+    ++totalAccesses;
+}
+
+void
+StreamingTrace::onAccessBatch(const Addr *batch, size_t n)
+{
+    maybeSeal();
+    enc.onAccessBatch(batch, n);
+    ++totalEvents;
+    totalAccesses += n;
+}
+
+void
+StreamingTrace::onManualMarker(uint32_t marker_id)
+{
+    maybeSeal();
+    enc.onManualMarker(marker_id);
+    ++totalEvents;
+}
+
+void
+StreamingTrace::onPhaseMarker(PhaseId phase)
+{
+    maybeSeal();
+    enc.onPhaseMarker(phase);
+    ++totalEvents;
+}
+
+void
+StreamingTrace::onEnd()
+{
+    maybeSeal();
+    enc.onEnd();
+    ++totalEvents;
+    // End closes the stream, so no later event will trigger the lazy
+    // seal: close (and LZ-pack) the trailing frame here. A mid-stream
+    // End just produces an extra frame boundary, which is always
+    // legal.
+    sealNow();
+}
+
+void
+StreamingTrace::replay(TraceSink &sink) const
+{
+    if (empty())
+        return;
+    TraceCursor cursor(*this);
+    cursor.replayAll(sink);
+}
+
+std::vector<StreamingTrace::ChunkRange>
+StreamingTrace::chunks(uint64_t target_accesses) const
 {
     std::vector<ChunkRange> out;
-    if (events.empty())
+    if (totalEvents == 0)
         return out;
     target_accesses = std::max<uint64_t>(target_accesses, 1);
     ChunkRange cur;
     uint64_t accessesBefore = 0;
-    for (size_t i = 0; i < events.size(); ++i) {
-        const Event &e = events[i];
-        uint64_t delivered = 0;
-        if (e.kind == Kind::Access)
-            delivered = 1;
-        else if (e.kind == Kind::Batch)
-            delivered = e.a;
-        ++cur.eventCount;
-        cur.accessCount += delivered;
-        accessesBefore += delivered;
-        if (cur.accessCount >= target_accesses && i + 1 < events.size()) {
-            out.push_back(cur);
-            cur = ChunkRange{i + 1, 0, accessesBefore, 0};
+    uint64_t idx = 0;
+    const size_t frames = frameCount();
+    std::vector<uint8_t> unpacked; // reused when a section is LZ-packed
+    for (size_t f = 0; f < frames; ++f) {
+        FrameView v = frameView(f);
+        const uint8_t *p = v.events;
+        if (v.info.storedEventBytes != v.info.eventBytes) {
+            unpacked.resize(static_cast<size_t>(v.info.eventBytes));
+            LPP_REQUIRE(
+                lzUnpack(v.events,
+                         static_cast<size_t>(v.info.storedEventBytes),
+                         unpacked.data(), unpacked.size()),
+                "corrupt packed event section in frame %zu", f);
+            p = unpacked.data();
+        }
+        const uint8_t *end = p + v.info.eventBytes;
+        while (p < end) {
+            uint64_t delivered = 0;
+            LPP_REQUIRE(scanEvent(p, end, delivered),
+                        "corrupt event section in frame %zu", f);
+            ++cur.eventCount;
+            cur.accessCount += delivered;
+            accessesBefore += delivered;
+            if (cur.accessCount >= target_accesses &&
+                idx + 1 < totalEvents) {
+                out.push_back(cur);
+                cur = ChunkRange{static_cast<size_t>(idx + 1), 0,
+                                 accessesBefore, 0};
+            }
+            ++idx;
         }
     }
     if (cur.eventCount > 0)
@@ -42,56 +205,208 @@ MemoryTrace::chunks(uint64_t target_accesses) const
 }
 
 void
-MemoryTrace::replayRange(TraceSink &sink, const ChunkRange &range) const
+StreamingTrace::replayRange(TraceSink &sink,
+                            const ChunkRange &range) const
 {
-    const Event *first = events.data() + range.firstEvent;
-    const Event *last = first + range.eventCount;
-    for (const Event *it = first; it != last; ++it) {
-        const Event &e = *it;
-        switch (e.kind) {
-          case Kind::Block:
-            sink.onBlock(static_cast<BlockId>(e.a),
-                         static_cast<uint32_t>(e.b));
-            break;
-          case Kind::Access:
-            sink.onAccess(addrs[e.b]);
-            break;
-          case Kind::Batch:
-            sink.onAccessBatch(addrs.data() + e.b,
-                               static_cast<size_t>(e.a));
-            break;
-          case Kind::Manual:
-            sink.onManualMarker(static_cast<uint32_t>(e.a));
-            break;
-          case Kind::Phase:
-            sink.onPhaseMarker(static_cast<PhaseId>(e.a));
-            break;
-          case Kind::End:
-            sink.onEnd();
-            break;
-        }
-    }
+    if (range.eventCount == 0)
+        return;
+    TraceCursor cursor(*this);
+    cursor.replayRange(sink, range);
 }
 
 size_t
-MemoryTrace::memoryBytes() const
+StreamingTrace::memoryBytes() const
 {
-    return events.capacity() * sizeof(Event) +
-           addrs.capacity() * sizeof(Addr);
+    size_t bytes = enc.capacityBytes();
+    for (const Frame &f : sealed)
+        bytes += f.payload.capacity() + sizeof(Frame);
+    return bytes;
+}
+
+uint64_t
+StreamingTrace::encodedBytes() const
+{
+    uint64_t bytes = enc.sectionBytes();
+    for (const Frame &f : sealed)
+        bytes += f.payload.size();
+    return bytes;
 }
 
 void
-MemoryTrace::reserve(size_t event_hint, size_t access_hint)
+StreamingTrace::reserve(size_t /*event_hint*/, size_t /*access_hint*/)
 {
-    events.reserve(event_hint);
-    addrs.reserve(access_hint);
+    // A soft hint only: the frame builder's sections grow
+    // geometrically and are bounded by one frame, so there is nothing
+    // trace-length-sized to pre-size any more.
 }
 
 void
-MemoryTrace::clear()
+StreamingTrace::clear()
 {
-    events = {};
-    addrs = {};
+    sealed = {};
+    enc.restart();
+    totalEvents = 0;
+    totalAccesses = 0;
+    adopted = false;
+}
+
+void
+StreamingTrace::setFrameTargetAccesses(uint64_t target_accesses)
+{
+    LPP_REQUIRE(empty(),
+                "frame target must be set before recording starts");
+    frameTarget = std::max<uint64_t>(target_accesses, 1);
+}
+
+size_t
+StreamingTrace::frameCount() const
+{
+    return sealed.size() + (enc.empty() ? 0 : 1);
+}
+
+StreamingTrace::FrameView
+StreamingTrace::frameView(size_t i) const
+{
+    if (i < sealed.size()) {
+        const Frame &f = sealed[i];
+        FrameView v;
+        v.info = f.info;
+        v.events = f.payload.data();
+        v.bitmap = v.events + f.info.storedEventBytes;
+        v.residue = v.bitmap + f.info.storedBitmapBytes;
+        return v;
+    }
+    LPP_REQUIRE(i == sealed.size() && !enc.empty(),
+                "frame index %zu out of range", i);
+    FrameView v;
+    v.info.firstEvent = totalEvents - enc.events();
+    v.info.firstAccess = totalAccesses - enc.accesses();
+    v.info.events = enc.events();
+    v.info.accesses = enc.accesses();
+    v.info.eventBytes = enc.eventSection().size();
+    v.info.bitmapBytes = enc.bitmapSection().size();
+    v.info.residueBytes = enc.residueSection().size();
+    // The open frame's sections are raw (only seal/materialize pack).
+    v.info.storedEventBytes = v.info.eventBytes;
+    v.info.storedBitmapBytes = v.info.bitmapBytes;
+    v.info.storedResidueBytes = v.info.residueBytes;
+    v.info.seeds = enc.startSeeds();
+    v.events = enc.eventSection().data();
+    v.bitmap = enc.bitmapSection().data();
+    v.residue = enc.residueSection().data();
+    return v;
+}
+
+bool
+StreamingTrace::materializeOpenFrame(FrameInfo &info,
+                                     std::vector<uint8_t> &payload) const
+{
+    if (enc.empty())
+        return false;
+    enc.materialize(info, payload);
+    info.firstEvent = totalEvents - enc.events();
+    info.firstAccess = totalAccesses - enc.accesses();
+    return true;
+}
+
+void
+StreamingTrace::adoptFrames(std::vector<Frame> frames, uint64_t events,
+                            uint64_t accesses)
+{
+    clear();
+    sealed = std::move(frames);
+    totalEvents = events;
+    totalAccesses = accesses;
+    adopted = true;
+}
+
+// TraceCursor --------------------------------------------------------
+
+TraceCursor::TraceCursor(const StreamingTrace &trace_)
+    : trace(&trace_), dec(trace_.predictorConfig())
+{
+}
+
+void
+TraceCursor::bindFrame(size_t frame_index)
+{
+    frameIdx = frame_index;
+    view = trace->frameView(frame_index);
+    // In-memory frames came from our own encoder (or were hash-
+    // verified by the store), so failing to unpack a section is an
+    // invariant violation, not bad input.
+    LPP_REQUIRE(unpackFrame(view.info, view.events, view.bitmap,
+                            view.residue, sections),
+                "corrupt packed section in frame %zu", frame_index);
+    dec.begin(view.info, sections.events, sections.bitmap,
+              sections.residue);
+    bound = true;
+}
+
+void
+TraceCursor::step(TraceSink *sink)
+{
+    for (;;) {
+        FrameDecoder::Status st = dec.next(sink, scratch);
+        if (st == FrameDecoder::Status::Event) {
+            ++pos;
+            return;
+        }
+        // In-memory frames were built by our own encoder (or hash-
+        // verified by the store before adoption), so a decode error
+        // here is a codec invariant violation, not bad input.
+        LPP_REQUIRE(st == FrameDecoder::Status::Done,
+                    "corrupt frame %zu in recorded trace", frameIdx);
+        LPP_REQUIRE(frameIdx + 1 < trace->frameCount(),
+                    "trace cursor stepped past the last frame");
+        bindFrame(frameIdx + 1);
+    }
+}
+
+void
+TraceCursor::seek(uint64_t global_event)
+{
+    const size_t frames = trace->frameCount();
+    LPP_REQUIRE(frames > 0, "seek in an empty trace");
+    size_t lo = 0, hi = frames - 1;
+    while (lo < hi) {
+        size_t mid = lo + (hi - lo + 1) / 2;
+        if (trace->frameView(mid).info.firstEvent <= global_event)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    bindFrame(lo);
+    pos = view.info.firstEvent;
+    while (pos < global_event)
+        step(nullptr);
+}
+
+void
+TraceCursor::replayAll(TraceSink &sink)
+{
+    StreamingTrace::ChunkRange all;
+    all.firstEvent = 0;
+    all.eventCount = static_cast<size_t>(trace->eventCount());
+    all.firstAccess = 0;
+    all.accessCount = trace->accessCount();
+    replayRange(sink, all);
+}
+
+void
+TraceCursor::replayRange(TraceSink &sink,
+                         const StreamingTrace::ChunkRange &range)
+{
+    if (range.eventCount == 0)
+        return;
+    LPP_REQUIRE(range.firstEvent + range.eventCount <=
+                    trace->eventCount(),
+                "chunk range [%zu, +%zu) exceeds the recording",
+                range.firstEvent, range.eventCount);
+    if (!bound || pos != range.firstEvent)
+        seek(range.firstEvent);
+    for (size_t i = 0; i < range.eventCount; ++i)
+        step(&sink);
 }
 
 } // namespace lpp::trace

@@ -17,10 +17,11 @@ namespace lpp::trace {
 
 namespace {
 
-constexpr uint32_t storeMagic = 0x3154504Cu; // "LPT1"
-constexpr uint32_t storeVersion = 1;
+constexpr uint32_t storeMagic = 0x3254504Cu; // "LPT2"
+constexpr uint32_t storeVersion = 2;
 
-/** Fixed-width little-endian header preceding key and payload. */
+/** Fixed-width little-endian header preceding key, directory, and
+ *  frame payloads. */
 struct EntryHeader
 {
     uint32_t magic = storeMagic;
@@ -30,12 +31,20 @@ struct EntryHeader
     uint64_t accessCount = 0;
     uint8_t hasStats = 0;
     uint64_t distinctElements = 0;
-    uint64_t payloadBytes = 0;
-    uint64_t payloadHash = 0;
+    uint8_t tableBits = 0; //!< predictor geometry the frames encode with
+    uint8_t laneBits = 0;
+    uint8_t historyDepth = 0;
+    uint64_t frameCount = 0;
+    uint64_t payloadBytes = 0; //!< concatenated frame payload bytes
+    uint64_t indexHash = 0;    //!< contentHash64 of the directory bytes
     uint32_t keyBytes = 0;
 };
 
-constexpr size_t headerBytes = 4 + 4 + 8 + 8 + 8 + 1 + 8 + 8 + 8 + 4;
+constexpr size_t headerBytes =
+    4 + 4 + 8 + 8 + 8 + 1 + 8 + 1 + 1 + 1 + 8 + 8 + 8 + 4;
+
+/** One frame-directory entry: trace::FrameInfo, serialized flat. */
+constexpr size_t indexEntryBytes = 15 * 8;
 
 template <typename T>
 void
@@ -72,8 +81,12 @@ serializeHeader(const EntryHeader &h)
     put(out, h.accessCount);
     put(out, h.hasStats);
     put(out, h.distinctElements);
+    put(out, h.tableBits);
+    put(out, h.laneBits);
+    put(out, h.historyDepth);
+    put(out, h.frameCount);
     put(out, h.payloadBytes);
-    put(out, h.payloadHash);
+    put(out, h.indexHash);
     put(out, h.keyBytes);
     return out;
 }
@@ -87,60 +100,145 @@ parseHeader(const uint8_t *data, size_t size, EntryHeader &h)
            get(p, end, h.paramsHash) && get(p, end, h.eventCount) &&
            get(p, end, h.accessCount) && get(p, end, h.hasStats) &&
            get(p, end, h.distinctElements) &&
-           get(p, end, h.payloadBytes) && get(p, end, h.payloadHash) &&
+           get(p, end, h.tableBits) && get(p, end, h.laneBits) &&
+           get(p, end, h.historyDepth) && get(p, end, h.frameCount) &&
+           get(p, end, h.payloadBytes) && get(p, end, h.indexHash) &&
            get(p, end, h.keyBytes);
 }
 
+void
+serializeIndexEntry(std::vector<uint8_t> &out, const FrameInfo &f)
+{
+    put(out, f.firstEvent);
+    put(out, f.firstAccess);
+    put(out, f.events);
+    put(out, f.accesses);
+    put(out, f.eventBytes);
+    put(out, f.bitmapBytes);
+    put(out, f.residueBytes);
+    put(out, f.storedEventBytes);
+    put(out, f.storedBitmapBytes);
+    put(out, f.storedResidueBytes);
+    put(out, f.payloadHash);
+    put(out, f.seeds.prevAddr);
+    put(out, f.seeds.prevBlock);
+    put(out, f.seeds.ctxBlock);
+    put(out, f.seeds.ctxLane);
+}
+
+bool
+parseIndexEntry(const uint8_t *&p, const uint8_t *end, FrameInfo &f)
+{
+    return get(p, end, f.firstEvent) && get(p, end, f.firstAccess) &&
+           get(p, end, f.events) && get(p, end, f.accesses) &&
+           get(p, end, f.eventBytes) && get(p, end, f.bitmapBytes) &&
+           get(p, end, f.residueBytes) &&
+           get(p, end, f.storedEventBytes) &&
+           get(p, end, f.storedBitmapBytes) &&
+           get(p, end, f.storedResidueBytes) &&
+           get(p, end, f.payloadHash) &&
+           get(p, end, f.seeds.prevAddr) &&
+           get(p, end, f.seeds.prevBlock) &&
+           get(p, end, f.seeds.ctxBlock) &&
+           get(p, end, f.seeds.ctxLane);
+}
+
+/** An open entry whose header, key, and size already verified. */
+struct OpenEntry
+{
+    std::ifstream in;
+    EntryHeader header;
+    uint64_t fileBytes = 0;
+};
+
 /**
- * Read and header-verify one entry. On success fills `header` and, when
- * `payload` is non-null, the raw payload bytes (hash NOT yet checked).
+ * Open and header-verify one entry: magic, version, params hash, key,
+ * geometry sanity, and exact on-disk size. The stream is left
+ * positioned at the frame directory.
  */
 bool
-readEntry(const std::string &path, const std::string &key,
-          uint64_t params_hash, EntryHeader &header,
-          std::vector<uint8_t> *payload, uint64_t *file_bytes)
+openEntry(const std::string &path, const std::string &key,
+          uint64_t params_hash, OpenEntry &entry)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
+    entry.in.open(path, std::ios::binary);
+    if (!entry.in)
         return false;
 
     std::vector<uint8_t> head(headerBytes);
-    in.read(reinterpret_cast<char *>(head.data()),
-            static_cast<std::streamsize>(head.size()));
-    if (in.gcount() != static_cast<std::streamsize>(head.size()))
+    entry.in.read(reinterpret_cast<char *>(head.data()),
+                  static_cast<std::streamsize>(head.size()));
+    if (entry.in.gcount() != static_cast<std::streamsize>(head.size()))
         return false;
-    if (!parseHeader(head.data(), head.size(), header))
+    EntryHeader &h = entry.header;
+    if (!parseHeader(head.data(), head.size(), h))
         return false;
-    if (header.magic != storeMagic || header.version != storeVersion ||
-        header.paramsHash != params_hash ||
-        header.keyBytes != key.size() ||
-        header.keyBytes > 4096)
+    if (h.magic != storeMagic || h.version != storeVersion ||
+        h.paramsHash != params_hash || h.keyBytes != key.size() ||
+        h.keyBytes > 4096)
+        return false;
+    PredictorConfig cfg{h.tableBits, h.laneBits, h.historyDepth};
+    if (!cfg.valid())
         return false;
 
-    std::string storedKey(header.keyBytes, '\0');
-    in.read(storedKey.data(),
-            static_cast<std::streamsize>(storedKey.size()));
-    if (in.gcount() != static_cast<std::streamsize>(storedKey.size()) ||
+    std::string storedKey(h.keyBytes, '\0');
+    entry.in.read(storedKey.data(),
+                  static_cast<std::streamsize>(storedKey.size()));
+    if (entry.in.gcount() !=
+            static_cast<std::streamsize>(storedKey.size()) ||
         storedKey != key)
         return false;
 
     std::error_code ec;
     auto onDisk = std::filesystem::file_size(path, ec);
-    if (ec || onDisk != headerBytes + header.keyBytes +
-                            header.payloadBytes)
+    if (ec || onDisk != headerBytes + h.keyBytes +
+                            h.frameCount * indexEntryBytes +
+                            h.payloadBytes)
         return false;
-    if (file_bytes)
-        *file_bytes = onDisk;
-
-    if (payload) {
-        payload->resize(static_cast<size_t>(header.payloadBytes));
-        in.read(reinterpret_cast<char *>(payload->data()),
-                static_cast<std::streamsize>(payload->size()));
-        if (in.gcount() !=
-            static_cast<std::streamsize>(payload->size()))
-            return false;
-    }
+    entry.fileBytes = onDisk;
     return true;
+}
+
+/**
+ * Read and verify the frame directory of an open entry: the directory
+ * hash must match the header and the entries must tile the stream —
+ * monotone offsets starting at zero, counts and payload sizes summing
+ * to the header totals.
+ */
+bool
+readIndex(OpenEntry &entry, std::vector<FrameInfo> &index)
+{
+    const EntryHeader &h = entry.header;
+    std::vector<uint8_t> raw(
+        static_cast<size_t>(h.frameCount * indexEntryBytes));
+    entry.in.read(reinterpret_cast<char *>(raw.data()),
+                  static_cast<std::streamsize>(raw.size()));
+    if (entry.in.gcount() != static_cast<std::streamsize>(raw.size()))
+        return false;
+    if (contentHash64(raw.data(), raw.size()) != h.indexHash)
+        return false;
+
+    index.resize(static_cast<size_t>(h.frameCount));
+    const uint8_t *p = raw.data();
+    const uint8_t *end = raw.data() + raw.size();
+    uint64_t events = 0, accesses = 0, payload = 0;
+    for (FrameInfo &f : index) {
+        if (!parseIndexEntry(p, end, f))
+            return false;
+        if (f.firstEvent != events || f.firstAccess != accesses ||
+            f.events == 0)
+            return false;
+        // A stored section never exceeds its logical size (packing
+        // that does not shrink is stored raw).
+        if (f.storedEventBytes > f.eventBytes ||
+            f.storedBitmapBytes > f.bitmapBytes ||
+            f.storedResidueBytes > f.residueBytes)
+            return false;
+        events += f.events;
+        accesses += f.accesses;
+        payload += f.payloadBytes();
+    }
+    return events == h.eventCount && accesses == h.accessCount &&
+           payload == h.payloadBytes;
 }
 
 /** Filesystem-safe rendering of an execution key. */
@@ -156,6 +254,21 @@ sanitizeKey(const std::string &key)
         out.push_back(ok ? c : '_');
     }
     return out;
+}
+
+/** Read one frame's payload into `payload` and verify its hash. */
+bool
+readFramePayload(OpenEntry &entry, const FrameInfo &f,
+                 std::vector<uint8_t> &payload)
+{
+    payload.resize(static_cast<size_t>(f.payloadBytes()));
+    entry.in.read(reinterpret_cast<char *>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+    if (entry.in.gcount() !=
+        static_cast<std::streamsize>(payload.size()))
+        return false;
+    return contentHash64(payload.data(), payload.size()) ==
+           f.payloadHash;
 }
 
 } // namespace
@@ -177,17 +290,18 @@ TraceStore::pathFor(const std::string &key, uint64_t params_hash) const
 std::optional<StoredTraceInfo>
 TraceStore::lookup(const std::string &key, uint64_t params_hash) const
 {
-    EntryHeader header;
+    OpenEntry entry;
     StoredTraceInfo info;
     info.path = pathFor(key, params_hash);
-    if (!readEntry(info.path, key, params_hash, header, nullptr,
-                   &info.fileBytes))
+    if (!openEntry(info.path, key, params_hash, entry))
         return std::nullopt;
-    info.events = header.eventCount;
-    info.accesses = header.accessCount;
-    info.stats.valid = header.hasStats != 0;
-    info.stats.distinctElements = header.distinctElements;
-    info.payloadBytes = header.payloadBytes;
+    info.events = entry.header.eventCount;
+    info.accesses = entry.header.accessCount;
+    info.stats.valid = entry.header.hasStats != 0;
+    info.stats.distinctElements = entry.header.distinctElements;
+    info.frames = entry.header.frameCount;
+    info.payloadBytes = entry.header.payloadBytes;
+    info.fileBytes = entry.fileBytes;
     return info;
 }
 
@@ -195,48 +309,89 @@ bool
 TraceStore::replay(const std::string &key, uint64_t params_hash,
                    TraceSink &sink) const
 {
-    EntryHeader header;
-    std::vector<uint8_t> payload;
+    OpenEntry entry;
     const std::string path = pathFor(key, params_hash);
-    if (!readEntry(path, key, params_hash, header, &payload, nullptr))
+    if (!openEntry(path, key, params_hash, entry))
         return false;
-    if (contentHash64(payload.data(), payload.size()) !=
-        header.payloadHash) {
-        warn("trace store: payload hash mismatch for '%s' (%s); "
+    std::vector<FrameInfo> index;
+    if (!readIndex(entry, index)) {
+        warn("trace store: corrupt frame directory for '%s' (%s); "
              "falling back to live execution",
              key.c_str(), path.c_str());
         return false;
     }
-    uint64_t events = 0, accesses = 0;
-    if (!decodeTrace(payload.data(), payload.size(), sink, &events,
-                     &accesses))
-        return false;
-    return events == header.eventCount &&
-           accesses == header.accessCount;
-}
 
-bool
-TraceStore::load(const std::string &key, uint64_t params_hash,
-                 MemoryTrace &out) const
-{
-    auto info = lookup(key, params_hash);
-    if (!info)
-        return false;
-    out.clear();
-    out.reserve(static_cast<size_t>(info->events),
-                static_cast<size_t>(info->accesses));
-    if (!replay(key, params_hash, out)) {
-        out.clear();
-        return false;
+    // Stream one frame at a time through reused buffers: peak memory
+    // is one frame payload plus one decoded batch, independent of how
+    // long the recorded execution ran.
+    PredictorConfig cfg{entry.header.tableBits, entry.header.laneBits,
+                        entry.header.historyDepth};
+    FrameDecoder dec(cfg);
+    std::vector<uint8_t> payload;
+    FrameSections sections;
+    std::vector<Addr> scratch;
+    for (const FrameInfo &f : index) {
+        if (!readFramePayload(entry, f, payload)) {
+            warn("trace store: frame hash mismatch for '%s' (%s); "
+                 "falling back to live execution",
+                 key.c_str(), path.c_str());
+            return false;
+        }
+        if (!unpackFrame(f, payload.data(), sections)) {
+            warn("trace store: corrupt packed section for '%s' (%s); "
+                 "falling back to live execution",
+                 key.c_str(), path.c_str());
+            return false;
+        }
+        dec.begin(f, sections.events, sections.bitmap,
+                  sections.residue);
+        for (;;) {
+            FrameDecoder::Status st = dec.next(&sink, scratch);
+            if (st == FrameDecoder::Status::Done)
+                break;
+            if (st == FrameDecoder::Status::Error)
+                return false;
+        }
     }
     return true;
 }
 
+bool
+TraceStore::load(const std::string &key, uint64_t params_hash,
+                 StreamingTrace &out) const
+{
+    OpenEntry entry;
+    const std::string path = pathFor(key, params_hash);
+    if (!openEntry(path, key, params_hash, entry))
+        return false;
+
+    // The entry's frames are adopted as-is; they must have been
+    // encoded with the same predictor geometry the recording will
+    // decode with. A geometry change simply invalidates the cache.
+    PredictorConfig cfg{entry.header.tableBits, entry.header.laneBits,
+                        entry.header.historyDepth};
+    if (!(cfg == out.predictorConfig()))
+        return false;
+
+    std::vector<FrameInfo> index;
+    if (!readIndex(entry, index))
+        return false;
+
+    std::vector<StreamingTrace::Frame> frames(index.size());
+    for (size_t i = 0; i < index.size(); ++i) {
+        frames[i].info = index[i];
+        if (!readFramePayload(entry, index[i], frames[i].payload))
+            return false;
+    }
+    out.adoptFrames(std::move(frames), entry.header.eventCount,
+                    entry.header.accessCount);
+    return true;
+}
+
 uint64_t
-TraceStore::storeEncoded(const std::string &key, uint64_t params_hash,
-                         const std::vector<uint8_t> &payload,
-                         uint64_t events, uint64_t accesses,
-                         const StoredTraceStats &stats) const
+TraceStore::store(const std::string &key, uint64_t params_hash,
+                  const StreamingTrace &trace,
+                  const StoredTraceStats &stats) const
 {
     std::error_code ec;
     std::filesystem::create_directories(root, ec);
@@ -246,14 +401,40 @@ TraceStore::storeEncoded(const std::string &key, uint64_t params_hash,
         return 0;
     }
 
+    // Assemble the frame directory: every sealed frame as-is, plus
+    // the open frame materialized as the final one.
+    std::vector<uint8_t> index;
+    uint64_t frameCount = 0;
+    uint64_t payloadBytes = 0;
+    for (size_t i = 0; i < trace.sealedFrameCount(); ++i) {
+        const StreamingTrace::Frame &f = trace.sealedFrame(i);
+        serializeIndexEntry(index, f.info);
+        ++frameCount;
+        payloadBytes += f.payload.size();
+    }
+    FrameInfo openInfo;
+    std::vector<uint8_t> openPayload;
+    const bool hasOpen =
+        trace.materializeOpenFrame(openInfo, openPayload);
+    if (hasOpen) {
+        serializeIndexEntry(index, openInfo);
+        ++frameCount;
+        payloadBytes += openPayload.size();
+    }
+
     EntryHeader header;
     header.paramsHash = params_hash;
-    header.eventCount = events;
-    header.accessCount = accesses;
+    header.eventCount = trace.eventCount();
+    header.accessCount = trace.accessCount();
     header.hasStats = stats.valid ? 1 : 0;
     header.distinctElements = stats.valid ? stats.distinctElements : 0;
-    header.payloadBytes = payload.size();
-    header.payloadHash = contentHash64(payload.data(), payload.size());
+    const PredictorConfig &cfg = trace.predictorConfig();
+    header.tableBits = static_cast<uint8_t>(cfg.tableBits);
+    header.laneBits = static_cast<uint8_t>(cfg.laneBits);
+    header.historyDepth = static_cast<uint8_t>(cfg.historyDepth);
+    header.frameCount = frameCount;
+    header.payloadBytes = payloadBytes;
+    header.indexHash = contentHash64(index.data(), index.size());
     header.keyBytes = static_cast<uint32_t>(key.size());
     auto head = serializeHeader(header);
 
@@ -277,8 +458,18 @@ TraceStore::storeEncoded(const std::string &key, uint64_t params_hash,
                       static_cast<std::streamsize>(head.size()));
         outFile.write(key.data(),
                       static_cast<std::streamsize>(key.size()));
-        outFile.write(reinterpret_cast<const char *>(payload.data()),
-                      static_cast<std::streamsize>(payload.size()));
+        outFile.write(reinterpret_cast<const char *>(index.data()),
+                      static_cast<std::streamsize>(index.size()));
+        for (size_t i = 0; i < trace.sealedFrameCount(); ++i) {
+            const auto &payload = trace.sealedFrame(i).payload;
+            outFile.write(
+                reinterpret_cast<const char *>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+        }
+        if (hasOpen)
+            outFile.write(
+                reinterpret_cast<const char *>(openPayload.data()),
+                static_cast<std::streamsize>(openPayload.size()));
         if (!outFile) {
             outFile.close();
             std::filesystem::remove(tmp, ec);
@@ -292,19 +483,7 @@ TraceStore::storeEncoded(const std::string &key, uint64_t params_hash,
         std::filesystem::remove(tmp, ec);
         return 0;
     }
-    return head.size() + key.size() + payload.size();
-}
-
-uint64_t
-TraceStore::store(const std::string &key, uint64_t params_hash,
-                  const MemoryTrace &trace,
-                  const StoredTraceStats &stats) const
-{
-    TraceEncoder enc;
-    trace.replay(enc);
-    auto payload = enc.take();
-    return storeEncoded(key, params_hash, payload, enc.eventCount(),
-                        enc.accessCount(), stats);
+    return head.size() + key.size() + index.size() + payloadBytes;
 }
 
 } // namespace lpp::trace

@@ -6,9 +6,19 @@
  * The paper's pipeline is profile-once, analyze-many — ATOM produced a
  * trace once and every analysis consumed the file. This store gives the
  * repo the same discipline across *processes*: the first execution of a
- * deterministic workload input records its event stream, the codec
- * (trace/codec.hpp) compresses it, and every later bench, sweep, or
- * test replays the file instead of re-simulating the program.
+ * deterministic workload input records its event stream through the
+ * predictive frame codec, and every later bench, sweep, or test
+ * replays the file instead of re-simulating the program.
+ *
+ * An entry (format "LPT2") is a fixed header, the execution key, a
+ * frame directory, and the concatenated frame payloads. The directory
+ * mirrors trace::FrameInfo — per frame: stream offsets, section sizes,
+ * codec seeds, and a payload hash — and is itself hash-guarded, so a
+ * load verifies the directory once and each frame before trusting it.
+ * Because frames are stored exactly as StreamingTrace holds them in
+ * memory, load() adopts the bytes without decoding a single event, and
+ * replay() streams the file one frame at a time through a reused
+ * buffer — warm-start memory is one frame, not one trace.
  *
  * One entry per execution key (core::workloadKey renders
  * `name@s<seed>:x<scale>`), qualified by a caller-supplied content hash
@@ -17,9 +27,10 @@
  * published with write-to-temporary + atomic rename, so concurrent
  * producers of the same key are safe (last writer wins with identical
  * bytes) and a crashed writer never leaves a half-written entry behind.
- * Loads verify the header (magic, version, key, params hash, sizes)
- * before use and the payload hash during decode; any mismatch reads as
- * a miss and the caller falls back to live execution.
+ * Loads verify the header (magic, version, key, params hash, predictor
+ * geometry, sizes) before use and the directory and frame hashes
+ * during adoption; any mismatch reads as a miss and the caller falls
+ * back to live execution.
  *
  * The header also carries the precount statistics (access count,
  * distinct-element working set) the phase detector needs to size its
@@ -39,7 +50,7 @@
 
 namespace lpp::trace {
 
-class MemoryTrace;
+class StreamingTrace;
 
 /** Derived per-stream statistics carried in a stored trace's header. */
 struct StoredTraceStats
@@ -55,7 +66,8 @@ struct StoredTraceInfo
     uint64_t events = 0;       //!< recorded events (batch = one)
     uint64_t accesses = 0;     //!< recorded data accesses
     StoredTraceStats stats;    //!< precount handoff, when recorded
-    uint64_t payloadBytes = 0; //!< compressed payload size
+    uint64_t frames = 0;       //!< frames in the entry
+    uint64_t payloadBytes = 0; //!< compressed payload size (all frames)
     uint64_t fileBytes = 0;    //!< total entry size on disk
 };
 
@@ -81,40 +93,40 @@ class TraceStore
                                           uint64_t params_hash) const;
 
     /**
-     * Decode the entry straight into `sink`, preserving event order
-     * and batch boundaries exactly. The payload hash is verified
-     * before any event is delivered; decoded event and access counts
-     * are verified against the header afterwards.
+     * Stream the entry straight into `sink`, one frame at a time,
+     * preserving event order and batch boundaries exactly. Each
+     * frame's hash is verified before any of its events is delivered,
+     * and decoded counts are verified against the directory.
      *
      * @return false on miss, hash mismatch, or malformed payload — in
      *         which case nothing may be trusted and the caller must
      *         fall back to live execution. `sink` may have seen a
-     *         partial stream only if the payload itself was malformed
-     *         past the hash check (never for a simple miss).
+     *         partial stream only if a later frame was malformed
+     *         (never for a simple miss).
      */
     bool replay(const std::string &key, uint64_t params_hash,
                 TraceSink &sink) const;
 
-    /** Decode the entry into a recording for repeated replay. */
+    /**
+     * Adopt the entry's frames into a recording for repeated replay.
+     * Zero-decode: the directory and every frame hash are verified,
+     * then the compressed bytes are moved in as-is. The entry's
+     * predictor geometry must match `out`'s; a mismatch is a miss.
+     */
     bool load(const std::string &key, uint64_t params_hash,
-              MemoryTrace &out) const;
+              StreamingTrace &out) const;
 
     /**
-     * Publish an already-encoded payload (trace::TraceEncoder output)
-     * atomically: write to a temporary in the same directory, then
-     * rename over the final path.
+     * Publish a recording atomically: write header + key + frame
+     * directory + payloads to a temporary in the same directory, then
+     * rename over the final path. The open frame, if any, is
+     * materialized as the entry's last frame.
      *
      * @return total bytes on disk, or 0 on any I/O failure (the cache
      *         is best-effort; failures never break the pipeline).
      */
-    uint64_t storeEncoded(const std::string &key, uint64_t params_hash,
-                          const std::vector<uint8_t> &payload,
-                          uint64_t events, uint64_t accesses,
-                          const StoredTraceStats &stats) const;
-
-    /** Encode and publish a recording (convenience over storeEncoded). */
     uint64_t store(const std::string &key, uint64_t params_hash,
-                   const MemoryTrace &trace,
+                   const StreamingTrace &trace,
                    const StoredTraceStats &stats) const;
 
   private:

@@ -158,6 +158,44 @@ TEST(ShardedReplay, SweepDistancesBitIdenticalToSerialStack)
     }
 }
 
+TEST(ShardedReplay, SweepBitIdenticalAcrossFrameGeometries)
+{
+    // The same stream recorded with tiny frames (many sealed, LZ-packed
+    // frames; chunk boundaries landing mid-frame) must sweep
+    // bit-identically to the default single-frame recording at every
+    // pool size.
+    MemoryTrace reference = makeTrace(41, 5000, 250, true);
+    SerialSweep serial;
+    reference.replay(serial);
+
+    for (uint64_t frameTarget : {64u, 1021u}) {
+        MemoryTrace t;
+        t.setFrameTargetAccesses(frameTarget);
+        reference.replay(t);
+        ASSERT_GT(t.sealedFrameCount(), 2u)
+            << "frame target " << frameTarget;
+
+        for (size_t threads : {1u, 2u, 4u}) {
+            ThreadPool pool(threads);
+            lpp::reuse::ShardedSweepConfig cfg;
+            cfg.chunkAccesses = 777; // straddles frame boundaries
+            std::vector<uint64_t> elements, distances;
+            lpp::reuse::shardedReuseSweep(
+                t, cfg, pool, [&](const lpp::reuse::ShardChunk &c) {
+                    elements.insert(elements.end(), c.elements.begin(),
+                                    c.elements.end());
+                    distances.insert(distances.end(),
+                                     c.distances.begin(),
+                                     c.distances.end());
+                });
+            ASSERT_EQ(elements, serial.elements)
+                << "frames " << frameTarget << " threads " << threads;
+            ASSERT_EQ(distances, serial.distances)
+                << "frames " << frameTarget << " threads " << threads;
+        }
+    }
+}
+
 TEST(ShardedReplay, PrecountMatchesSerialPrecount)
 {
     MemoryTrace t = makeTrace(37, 3000, 150, true);

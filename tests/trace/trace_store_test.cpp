@@ -152,6 +152,37 @@ TEST_F(TraceStoreTest, CorruptPayloadReadsAsMiss)
     EXPECT_TRUE(out.empty());
 }
 
+TEST_F(TraceStoreTest, CorruptFrameDirectoryReadsAsMiss)
+{
+    TraceStore store(dir.string());
+    store.store("w@s1:x1", 7, sampleTrace(), {});
+    auto info = store.lookup("w@s1:x1", 7);
+    ASSERT_TRUE(info.has_value());
+
+    // Flip a byte in the frame directory (the region just before the
+    // payloads): the header still parses, but the directory hash
+    // mismatch turns load and replay into clean misses.
+    {
+        std::fstream f(info->path,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        ASSERT_TRUE(f.good());
+        auto at = static_cast<std::streamoff>(info->fileBytes -
+                                              info->payloadBytes - 1);
+        char c = 0;
+        f.seekg(at);
+        f.read(&c, 1);
+        c = static_cast<char>(c ^ 0x04);
+        f.seekp(at);
+        f.write(&c, 1);
+    }
+    EXPECT_TRUE(store.lookup("w@s1:x1", 7).has_value());
+    MemoryTrace out;
+    EXPECT_FALSE(store.load("w@s1:x1", 7, out));
+    EXPECT_TRUE(out.empty());
+    MemoryTrace sink;
+    EXPECT_FALSE(store.replay("w@s1:x1", 7, sink));
+}
+
 TEST_F(TraceStoreTest, TruncatedEntryReadsAsMiss)
 {
     TraceStore store(dir.string());
