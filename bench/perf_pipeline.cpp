@@ -37,6 +37,13 @@
  * recordings' raw/encoded byte sizes and compression ratio in the
  * JSON; a ratio below MIN_COMPRESSION_RATIO fails the bench.
  *
+ * The stratified pass evaluates every workload with sampled strata
+ * against the exhaustive replay (`verifyAgainstExact`) and fails the
+ * bench unless the sampled pass is at least MIN_STRATIFIED_SPEEDUP
+ * faster while holding the configured relative miss-rate error bound
+ * — the `stratified_eval` section of BENCH_pipeline.json carries the
+ * per-workload numbers.
+ *
  * Environment knobs:
  *   LPP_PERF_WORKLOADS  comma-separated subset of registry names
  *                       (default: every workload),
@@ -75,6 +82,11 @@ constexpr double MIN_STAGE_MS = 0.0005;
 
 /** Every workload's recording must compress at least this much. */
 constexpr double MIN_COMPRESSION_RATIO = 4.0;
+
+/** Sampled stratified evaluation must beat the exhaustive pass by at
+ *  least this factor on every workload (while holding the configured
+ *  relative miss-rate error bound). */
+constexpr double MIN_STRATIFIED_SPEEDUP = 3.0;
 
 /**
  * A warm replay may grow the process high-water mark by at most this
@@ -616,6 +628,56 @@ main()
         }
     }
 
+    // Pass 7: stratified sampled evaluation — every workload evaluated
+    // twice through the same replay machinery (sampled strata vs the
+    // exhaustive pass) on the warm store, asserting the headline
+    // contract: >= MIN_STRATIFIED_SPEEDUP on evaluate time at a max
+    // relative miss-rate error under the configured bound.
+    struct StratRow
+    {
+        std::string name;
+        core::StratifiedEvalReport rep;
+    };
+    std::vector<StratRow> stratRows;
+    bool stratified_ok = true;
+    {
+        core::AnalysisConfig scfg = cached;
+        scfg.stratifiedSampling.enabled = true;
+        scfg.stratifiedSampling.verifyAgainstExact = true;
+        // A private store: the sampled path's replay cost depends on
+        // the recording's frame geometry, so the recordings must be
+        // made under the stratified config (fine frames), not adopted
+        // from the coarse-framed store the cached sweeps populated.
+        scfg.traceCache.dir = cache_dir + "_stratified";
+        std::filesystem::remove_all(scfg.traceCache.dir);
+        for (const auto &name : names) {
+            auto w = workloads::create(name);
+            auto run = core::evaluateWorkload(*w, scfg);
+            StratRow r{name, run.stratified};
+            if (!r.rep.ran || !r.rep.sampled || !r.rep.verified ||
+                !r.rep.comparison.ok) {
+                stratified_ok = false;
+                std::fprintf(stderr,
+                             "error: stratified evaluation failed on "
+                             "%s\n",
+                             name.c_str());
+                for (const auto &f : r.rep.comparison.failures)
+                    std::fprintf(stderr, "  %s\n", f.c_str());
+            }
+            if (r.rep.speedup() < MIN_STRATIFIED_SPEEDUP) {
+                stratified_ok = false;
+                std::fprintf(stderr,
+                             "error: %s stratified evaluate speedup "
+                             "%.2fx below %.1fx (%.1f ms sampled vs "
+                             "%.1f ms exact)\n",
+                             name.c_str(), r.rep.speedup(),
+                             MIN_STRATIFIED_SPEEDUP, r.rep.sampledMs,
+                             r.rep.exactMs);
+            }
+            stratRows.push_back(std::move(r));
+        }
+    }
+
     double speedup = parallelMs > 0.0 ? serialMs / parallelMs : 0.0;
     double warmSpeedup = warmMs > 0.0 ? coldMs / warmMs : 0.0;
 
@@ -695,6 +757,29 @@ main()
              std::to_string(orow.executions),
              orow.report.ok ? "yes" : "NO"},
             12, 10);
+
+    std::printf("\nStratified sampled evaluation (sampled vs exact "
+                "replay)\n");
+    row("Workload",
+        {"exact", "sampled", "speedup", "frac", "maxrel", "ci", "ok"},
+        10, 9);
+    rule();
+    for (const auto &sr : stratRows)
+        row(sr.name,
+            {num(sr.rep.exactMs, 1), num(sr.rep.sampledMs, 1),
+             num(sr.rep.speedup(), 2) + "x",
+             num(sr.rep.sampledFraction(), 3),
+             num(sr.rep.comparison.maxRelMissRateError, 5),
+             std::to_string(sr.rep.comparison.ciCoveredWays) + "/8",
+             sr.rep.comparison.ok &&
+                     sr.rep.speedup() >= MIN_STRATIFIED_SPEEDUP
+                 ? "yes"
+                 : "NO"},
+            10, 9);
+    std::printf("stratified     %10s  (every workload >= %.1fx at "
+                "<%.0f%% error)\n",
+                stratified_ok ? "pass" : "FAIL", MIN_STRATIFIED_SPEEDUP,
+                100.0 * cached.stratifiedSampling.errorBound);
 
     // Machine-readable series, one JSON object per run.
     std::ofstream json("BENCH_pipeline.json");
@@ -786,6 +871,52 @@ main()
              << (i + 1 < oracleRows.size() ? "," : "") << "\n";
     }
     json << "  ],\n"
+         << "  \"stratified_eval\": [\n";
+    for (size_t i = 0; i < stratRows.size(); ++i) {
+        const auto &r = stratRows[i].rep;
+        uint64_t measuredExecs = 0, totalExecs = 0;
+        size_t exactStrata = 0;
+        for (const auto &s : r.strata) {
+            measuredExecs += s.sampled;
+            totalExecs += s.executions;
+            exactStrata += s.exact ? 1 : 0;
+        }
+        double ciHalf = 0.0;
+        for (uint32_t wy = 1; wy <= cache::simWays; ++wy)
+            ciHalf = std::max(ciHalf, r.estimate.missRateHalfWidth(wy));
+        json << "    {\"name\": \"" << stratRows[i].name << "\", "
+             << "\"exact_ms\": " << num(r.exactMs, 3) << ", "
+             << "\"sampled_ms\": " << num(r.sampledMs, 3) << ", "
+             << "\"speedup\": " << num(r.speedup(), 4) << ", "
+             << "\"sampled_fraction\": " << num(r.sampledFraction(), 6)
+             << ", "
+             << "\"strata\": " << r.strata.size() << ", "
+             << "\"exact_strata\": " << exactStrata << ", "
+             << "\"measured_executions\": " << measuredExecs << ", "
+             << "\"total_executions\": " << totalExecs << ", "
+             << "\"max_rel_miss_rate_error\": "
+             << num(r.comparison.maxRelMissRateError, 6) << ", "
+             << "\"max_abs_miss_rate_error\": "
+             << num(r.comparison.maxAbsMissRateError, 6) << ", "
+             << "\"histogram_divergence\": "
+             << num(r.comparison.histogramDivergence, 6) << ", "
+             << "\"ci_half_width\": " << num(ciHalf, 6) << ", "
+             << "\"ci_covered_ways\": " << r.comparison.ciCoveredWays
+             << ", "
+             << "\"ok\": "
+             << (r.comparison.ok &&
+                         r.speedup() >= MIN_STRATIFIED_SPEEDUP
+                     ? "true"
+                     : "false")
+             << "}" << (i + 1 < stratRows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"stratified_min_speedup\": "
+         << num(MIN_STRATIFIED_SPEEDUP, 1) << ",\n"
+         << "  \"stratified_error_bound\": "
+         << num(cached.stratifiedSampling.errorBound, 4) << ",\n"
+         << "  \"stratified_ok\": "
+         << (stratified_ok ? "true" : "false") << ",\n"
          << "  \"scaling_checked\": "
          << (scaling_checked ? "true" : "false") << ",\n"
          << "  \"scaling_ok\": " << (scaling_ok ? "true" : "false")
@@ -815,6 +946,7 @@ main()
 
     bool ok = identical && warm_identical && warm_no_live &&
               stage_cost_ok && pool_exercised_ok && scaling_ok &&
-              oracle_ok && replay_rss_ok && compression_ok;
+              oracle_ok && replay_rss_ok && compression_ok &&
+              stratified_ok;
     return ok ? 0 : 1;
 }

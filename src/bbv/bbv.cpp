@@ -30,7 +30,7 @@ BbvCollector::addBlockWeight(trace::BlockId block, uint64_t instructions)
 }
 
 double
-BbvCollector::projection(trace::BlockId block, size_t d) const
+projectionCoefficient(trace::BlockId block, size_t d, uint64_t seed)
 {
     // One deterministic uniform [0,1) coefficient per (block, dim),
     // derived from a SplitMix64 stream — a fixed random projection
@@ -39,6 +39,12 @@ BbvCollector::projection(trace::BlockId block, size_t d) const
                   (static_cast<uint64_t>(block) * 0x9e3779b97f4a7c15ULL) ^
                   (static_cast<uint64_t>(d) << 32));
     return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+double
+BbvCollector::projection(trace::BlockId block, size_t d) const
+{
+    return projectionCoefficient(block, d, seed);
 }
 
 void

@@ -79,6 +79,16 @@ class BbvCollector : public trace::TraceSink
     std::vector<std::vector<double>> intervalVectors;
 };
 
+/**
+ * Deterministic uniform [0,1) projection coefficient for (block, dim):
+ * the random projection matrix, generated on demand. BbvCollector uses
+ * this internally; external aggregators (e.g. the stratified
+ * evaluator's extrapolated whole-run BBV) share the same matrix so
+ * their vectors are comparable with the collector's.
+ */
+double projectionCoefficient(trace::BlockId block, size_t d,
+                             uint64_t seed);
+
 /** Manhattan (L1) distance between two vectors of equal size. */
 double manhattan(const std::vector<double> &a,
                  const std::vector<double> &b);

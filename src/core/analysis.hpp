@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/static_oracle.hpp"
+#include "core/stratified.hpp"
 #include "grammar/hierarchy.hpp"
 #include "phase/detector.hpp"
 #include "workloads/workload.hpp"
@@ -78,6 +79,19 @@ struct AnalysisConfig
      * training stream and no live executions.
      */
     StaticOracleConfig staticOracle;
+
+    /**
+     * Phase-stratified sampled evaluation (core::StratifiedEvaluator):
+     * instead of replaying the whole recorded stream through the
+     * locality consumers, sample k executions per detected phase and
+     * extrapolate with per-stratum variance and confidence intervals.
+     * core::analyzeWorkload applies it to the training recording;
+     * core::evaluateWorkload(s) to the reference recording (which is
+     * then recorded even with the trace cache off). With
+     * verifyAgainstExact the exhaustive path also runs and the report
+     * carries the sampled-vs-exact comparison.
+     */
+    StratifiedSamplingConfig stratifiedSampling;
 
     AnalysisConfig()
     {

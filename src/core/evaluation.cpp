@@ -200,6 +200,13 @@ struct AnalysisJob
     const workloads::StaticallyDescribed *staticDesc = nullptr;
     StaticOracleReport *oracleOut = nullptr;
     std::optional<MeasuredLocalitySink> measured;
+
+    /** Train-side stratified evaluation (analyzeWorkload only; the
+     *  workload evaluation samples the reference stream instead). */
+    StratifiedSamplingConfig stratCfg;
+    StratifiedEvalReport *stratOut = nullptr;
+    ExecutionCollector stratCollector;
+    std::optional<trace::Instrumenter> stratInst;
 };
 
 /** Node handles of one registered training-side analysis. */
@@ -215,7 +222,8 @@ struct AnalysisNodes
 std::shared_ptr<AnalysisJob>
 makeAnalysisJob(const workloads::Workload &workload,
                 const AnalysisConfig &config, AnalysisResult *out,
-                StaticOracleReport *oracle_out)
+                StaticOracleReport *oracle_out,
+                StratifiedEvalReport *stratified_out)
 {
     auto job = std::make_shared<AnalysisJob>();
     job->workload = &workload;
@@ -224,6 +232,14 @@ makeAnalysisJob(const workloads::Workload &workload,
     job->sharding = config.sharding;
     job->oracleCfg = config.staticOracle;
     job->oracleOut = oracle_out;
+    job->stratCfg = config.stratifiedSampling;
+    job->stratOut = stratified_out;
+    if (config.stratifiedSampling.enabled)
+        // Finer frames keep the sampled path's seek/decode cost
+        // proportional to the sampled fraction (a seek decodes from
+        // the start of the containing frame).
+        job->trainLog.setFrameTargetAccesses(
+            config.stratifiedSampling.frameTargetAccesses);
     if (config.staticOracle.enabled && oracle_out)
         job->staticDesc =
             dynamic_cast<const workloads::StaticallyDescribed *>(
@@ -441,6 +457,30 @@ registerTrainAnalysis(ExecutionPlan &plan,
             {measured_pass, ready});
     }
 
+    // Train-side stratified sampled evaluation (analyzeWorkload only):
+    // one instrumented replay of the recording cuts it into phase
+    // executions, then the sampled evaluator seeks back into the same
+    // recording for the chosen ranges. Never a live execution.
+    if (j->stratCfg.enabled && j->stratOut) {
+        auto instrumented = plan.addPass(
+            train_key,
+            [j](trace::TraceSink &sink) { j->trainLog.replay(sink); },
+            [j]() -> trace::TraceSink * {
+                j->stratInst.emplace(
+                    j->analysisOut->detection.selection.table,
+                    j->stratCollector);
+                return &*j->stratInst;
+            },
+            {ready}, {.replay = true});
+        plan.addStep(
+            [j] {
+                StratifiedEvaluator ev(j->stratCfg, &j->shardPool());
+                *j->stratOut = ev.evaluate(j->trainLog,
+                                           j->stratCollector.replay());
+            },
+            {instrumented});
+    }
+
     return AnalysisNodes{acquired, ready, oracle};
 }
 
@@ -465,6 +505,9 @@ struct EvalJob
 
     uint64_t cacheHits = 0, cacheMisses = 0, traceBytes = 0;
     WorkloadEvaluation *out = nullptr;
+
+    /** Ref-side stratified sampled evaluation. */
+    StratifiedSamplingConfig stratCfg;
 };
 
 } // namespace
@@ -475,8 +518,13 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
                            const AnalysisConfig &config,
                            WorkloadEvaluation *out)
 {
-    auto ajob = makeAnalysisJob(workload, config, &out->analysis,
-                                &out->staticOracle);
+    AnalysisConfig train_config = config;
+    // The workload evaluation samples the *reference* stream (far more
+    // phase executions than the training run); keep the training side
+    // exact rather than paying for a second instrumented replay.
+    train_config.stratifiedSampling.enabled = false;
+    auto ajob = makeAnalysisJob(workload, train_config, &out->analysis,
+                                &out->staticOracle, nullptr);
     auto anodes = registerTrainAnalysis(plan, ajob);
     AnalysisJob *a = ajob.get();
 
@@ -487,6 +535,10 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
     j->workload = &workload;
     j->refIn = workload.refInput();
     j->out = out;
+    j->stratCfg = config.stratifiedSampling;
+    if (j->stratCfg.enabled)
+        j->refLog.setFrameTargetAccesses(
+            j->stratCfg.frameTargetAccesses);
     out->name = workload.name();
 
     const std::string train_key = workloadKey(workload, a->trainIn);
@@ -534,38 +586,58 @@ registerWorkloadEvaluation(ExecutionPlan &plan,
     // measured replay (if any) must have finished by then.
     std::vector<ExecutionPlan::NodeId> done_deps{train_replay,
                                                  anodes.oracle};
+    // Dependencies of the stratified step: the instrumented ref run
+    // (phase executions) and the recorded reference stream.
+    std::vector<ExecutionPlan::NodeId> strat_deps;
     if (j->refHit) {
         auto acquired = plan.addStep([j, ref_key] {
             if (!j->store->load(ref_key, j->refHash, j->refLog))
                 j->workload->run(j->refIn, j->refLog);
         });
-        done_deps.push_back(plan.addPass(
+        auto ref_replay = plan.addPass(
             ref_key,
             [j](trace::TraceSink &sink) { j->refLog.replay(sink); },
             ref_sink_factory, {analysis_ready, acquired},
-            {.replay = true}));
+            {.replay = true});
+        done_deps.push_back(ref_replay);
+        strat_deps = {ref_replay};
     } else {
         auto live_runner = [j](trace::TraceSink &sink) {
             j->workload->run(j->refIn, sink);
         };
-        done_deps.push_back(plan.addPass(ref_key, live_runner,
-                                         ref_sink_factory,
-                                         {analysis_ready}));
-        if (j->store) {
+        auto ref_run = plan.addPass(ref_key, live_runner,
+                                    ref_sink_factory, {analysis_ready});
+        done_deps.push_back(ref_run);
+        if (j->store || j->stratCfg.enabled) {
             // Record the raw reference stream in the same coalesced
-            // execution and publish it; no precount stats — the
-            // reference side never sizes a sampler.
+            // execution (for the store, the stratified evaluator, or
+            // both); no precount stats — the reference side never
+            // sizes a sampler.
             auto record = plan.addPass(ref_key, live_runner,
                                        [j] { return &j->refLog; },
                                        {analysis_ready});
-            done_deps.push_back(plan.addStep(
-                [j, ref_key] {
-                    j->traceBytes += j->store->store(
-                        ref_key, j->refHash, j->refLog,
-                        trace::StoredTraceStats{});
-                },
-                {record}));
+            strat_deps = {ref_run, record};
+            if (j->store)
+                done_deps.push_back(plan.addStep(
+                    [j, ref_key] {
+                        j->traceBytes += j->store->store(
+                            ref_key, j->refHash, j->refLog,
+                            trace::StoredTraceStats{});
+                    },
+                    {record}));
         }
+    }
+
+    if (j->stratCfg.enabled) {
+        // Sampled evaluation of the reference recording. Must complete
+        // before the assemble step releases refLog.
+        done_deps.push_back(plan.addStep(
+            [j, a] {
+                StratifiedEvaluator ev(j->stratCfg, &a->shardPool());
+                j->out->stratified =
+                    ev.evaluate(j->refLog, j->refCollector.replay());
+            },
+            std::move(strat_deps)));
     }
 
     // Assemble the evaluation; the recordings are no longer needed, so
@@ -624,7 +696,7 @@ analyzeWorkload(const workloads::Workload &workload,
     WorkloadAnalysisRun out;
     ExecutionPlan plan;
     auto job = makeAnalysisJob(workload, config, &out.analysis,
-                               &out.staticOracle);
+                               &out.staticOracle, &out.stratified);
     registerTrainAnalysis(plan, job);
     plan.run();
     out.programExecutions =

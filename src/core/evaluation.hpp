@@ -66,6 +66,10 @@ struct WorkloadEvaluation
      *  carries an affine IR. */
     StaticOracleReport staticOracle;
 
+    /** Sampled evaluation of the reference recording
+     *  (config.stratifiedSampling); default (ran = false) when off. */
+    StratifiedEvalReport stratified;
+
     /** Live program executions this evaluation cost (replays free). */
     uint64_t programExecutions = 0;
 
@@ -136,6 +140,10 @@ struct WorkloadAnalysisRun
 
     /** Static-vs-dynamic verification (config.staticOracle). */
     StaticOracleReport staticOracle;
+
+    /** Sampled evaluation of the training recording
+     *  (config.stratifiedSampling); default (ran = false) when off. */
+    StratifiedEvalReport stratified;
 };
 
 /**

@@ -204,6 +204,67 @@ StreamingTrace::chunks(uint64_t target_accesses) const
     return out;
 }
 
+std::vector<StreamingTrace::ChunkRange>
+StreamingTrace::sliceAt(const std::vector<uint64_t> &access_cuts) const
+{
+    std::vector<ChunkRange> out;
+    out.reserve(access_cuts.size() + 1);
+    for (size_t i = 0; i < access_cuts.size(); ++i) {
+        LPP_REQUIRE(i == 0 || access_cuts[i - 1] <= access_cuts[i],
+                    "slice cuts must be ascending");
+        LPP_REQUIRE(access_cuts[i] <= totalAccesses,
+                    "slice cut %llu past the recording's %llu accesses",
+                    static_cast<unsigned long long>(access_cuts[i]),
+                    static_cast<unsigned long long>(totalAccesses));
+    }
+
+    ChunkRange cur;
+    uint64_t accessesBefore = 0;
+    uint64_t idx = 0;
+    size_t cutIdx = 0;
+    const size_t frames = frameCount();
+    std::vector<uint8_t> unpacked; // reused when a section is LZ-packed
+    for (size_t f = 0; f < frames; ++f) {
+        FrameView v = frameView(f);
+        const uint8_t *p = v.events;
+        if (v.info.storedEventBytes != v.info.eventBytes) {
+            unpacked.resize(static_cast<size_t>(v.info.eventBytes));
+            LPP_REQUIRE(
+                lzUnpack(v.events,
+                         static_cast<size_t>(v.info.storedEventBytes),
+                         unpacked.data(), unpacked.size()),
+                "corrupt packed event section in frame %zu", f);
+            p = unpacked.data();
+        }
+        const uint8_t *end = p + v.info.eventBytes;
+        while (p < end) {
+            while (cutIdx < access_cuts.size() &&
+                   accessesBefore >= access_cuts[cutIdx]) {
+                out.push_back(cur);
+                cur = ChunkRange{static_cast<size_t>(idx), 0,
+                                 accessesBefore, 0};
+                ++cutIdx;
+            }
+            uint64_t delivered = 0;
+            LPP_REQUIRE(scanEvent(p, end, delivered),
+                        "corrupt event section in frame %zu", f);
+            ++cur.eventCount;
+            cur.accessCount += delivered;
+            accessesBefore += delivered;
+            ++idx;
+        }
+    }
+    // Cuts at (or past) the last event's clock close against the end
+    // of the stream, producing trailing empty ranges.
+    while (cutIdx < access_cuts.size()) {
+        out.push_back(cur);
+        cur = ChunkRange{static_cast<size_t>(idx), 0, accessesBefore, 0};
+        ++cutIdx;
+    }
+    out.push_back(cur);
+    return out;
+}
+
 void
 StreamingTrace::replayRange(TraceSink &sink,
                             const ChunkRange &range) const
@@ -366,6 +427,17 @@ TraceCursor::step(TraceSink *sink)
 void
 TraceCursor::seek(uint64_t global_event)
 {
+    // Forward seek landing inside the currently bound frame: skip-
+    // decode from the current position instead of rebinding, which
+    // would re-unpack the frame and re-decode its whole prefix. This
+    // is what makes a sorted walk of sampled ranges pay decode cost
+    // proportional to the distance covered, not ranges × frame size.
+    if (bound && global_event >= pos &&
+        global_event < view.info.firstEvent + view.info.events) {
+        while (pos < global_event)
+            step(nullptr);
+        return;
+    }
     const size_t frames = trace->frameCount();
     LPP_REQUIRE(frames > 0, "seek in an empty trace");
     size_t lo = 0, hi = frames - 1;

@@ -104,6 +104,21 @@ class StreamingTrace : public TraceSink
      *  one-shot cursor; sharded workers keep their own TraceCursor). */
     void replayRange(TraceSink &sink, const ChunkRange &range) const;
 
+    /**
+     * Partition the recording at the given access clocks (ascending,
+     * each <= accessCount()), returning cuts.size() + 1 consecutive
+     * ranges [0, c0), [c0, c1), ..., [c_last, end). A cut places every
+     * event whose *starting* access clock is at or past it into the
+     * later range, so an access batch straddling a cut stays whole in
+     * the earlier range and zero-access events (blocks, markers) at
+     * exactly the cut clock open the later one — the rule that makes
+     * phase-marker cuts land exactly, because emitters flush access
+     * batches before block events. Duplicate cuts yield empty ranges.
+     * Like chunks(), this walks only the event sections.
+     */
+    std::vector<ChunkRange>
+    sliceAt(const std::vector<uint64_t> &access_cuts) const;
+
     // Introspection --------------------------------------------------
 
     /** @return recorded events (a batch counts as one event). */

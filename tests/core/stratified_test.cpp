@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Statistical and property suite for the stratified sampled evaluator:
+ * quantile/selection/accumulator hand-checks, CI coverage at the
+ * nominal level over seeded Monte Carlo trials, bit-identity to the
+ * exhaustive pass at 100% sampling across pool sizes and frame
+ * geometries, and fault injection (empty runs, single-execution
+ * strata, phase drift, mismatched inputs) — a sampled evaluation may
+ * fall back to exact measurement or widen its interval, but it must
+ * never return a silently wrong answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "core/runtime.hpp"
+#include "core/stratified.hpp"
+#include "support/random.hpp"
+#include "support/thread_pool.hpp"
+#include "trace/memory_trace.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace lpp;
+using lpp::core::StratifiedAccumulator;
+using lpp::core::StratifiedSamplingConfig;
+using lpp::trace::MemoryTrace;
+
+// Quantiles -----------------------------------------------------------
+
+TEST(StudentT, MatchesTableValues)
+{
+    // Two-sided 95%: t(1) = 12.706, t(2) = 4.303, t(10) = 2.228,
+    // t(inf) = 1.960.
+    EXPECT_NEAR(core::studentTQuantile(0.95, 1.0), 12.706, 0.01);
+    EXPECT_NEAR(core::studentTQuantile(0.95, 2.0), 4.303, 0.01);
+    EXPECT_NEAR(core::studentTQuantile(0.95, 10.0), 2.228, 0.03);
+    EXPECT_NEAR(core::studentTQuantile(0.95, 1e9), 1.960, 0.001);
+    EXPECT_NEAR(core::studentTQuantile(0.99, 5.0), 4.032, 0.05);
+}
+
+TEST(StudentT, MonotoneInDofAndConfidence)
+{
+    double prev = core::studentTQuantile(0.95, 1.0);
+    for (double dof : {1.5, 2.0, 3.0, 5.0, 10.0, 30.0, 300.0}) {
+        double q = core::studentTQuantile(0.95, dof);
+        EXPECT_LT(q, prev) << "dof " << dof;
+        EXPECT_GT(q, 1.9) << "dof " << dof;
+        prev = q;
+    }
+    EXPECT_LT(core::studentTQuantile(0.90, 7.0),
+              core::studentTQuantile(0.95, 7.0));
+    EXPECT_LT(core::studentTQuantile(0.95, 7.0),
+              core::studentTQuantile(0.99, 7.0));
+}
+
+// Selection -----------------------------------------------------------
+
+TEST(StratifiedSelection, SeededDrawsAreDeterministicAndValid)
+{
+    auto a = core::sampleWithoutReplacement(7, 100, 10);
+    auto b = core::sampleWithoutReplacement(7, 100, 10);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 10u);
+    for (size_t i = 1; i < a.size(); ++i)
+        EXPECT_LT(a[i - 1], a[i]); // sorted, distinct
+    EXPECT_LT(a.back(), 100u);
+
+    auto c = core::sampleWithoutReplacement(8, 100, 10);
+    EXPECT_NE(a, c) << "different seeds must differ";
+
+    auto all = core::sampleWithoutReplacement(7, 5, 9);
+    EXPECT_EQ(all, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StratifiedSelection, BalancedPicksNearestTheMean)
+{
+    // mean = 83.8; distances: 10->73.8, 100->16.2, 55->28.8,
+    // 54->29.8, 200->116.2.
+    std::vector<double> sizes{10, 100, 55, 54, 200};
+    EXPECT_EQ(core::selectBalancedOnSize(sizes, 1),
+              (std::vector<uint64_t>{1}));
+    EXPECT_EQ(core::selectBalancedOnSize(sizes, 2),
+              (std::vector<uint64_t>{1, 2}));
+    EXPECT_EQ(core::selectBalancedOnSize(sizes, 3),
+              (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_EQ(core::selectBalancedOnSize(sizes, 9),
+              (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+    // Ties break to the smaller size, then the earlier position.
+    std::vector<double> tied{4, 6, 4, 6};
+    EXPECT_EQ(core::selectBalancedOnSize(tied, 1),
+              (std::vector<uint64_t>{0}));
+}
+
+// Accumulator ---------------------------------------------------------
+
+TEST(StratifiedAccumulatorTest, ExactStrataCarryNoVariance)
+{
+    StratifiedAccumulator acc;
+    acc.addExact(10.0);
+    acc.addExact(5.5);
+    EXPECT_DOUBLE_EQ(acc.total(), 15.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.halfWidth(0.95), 0.0);
+}
+
+TEST(StratifiedAccumulatorTest, MeanExpansionHandCase)
+{
+    // N = 4, samples {1, 3}: mean 2, total 8, s^2 = 2,
+    // var = N^2 (1 - k/N) s^2 / k = 16 * 0.5 * 2 / 2 = 8, dof 1.
+    StratifiedAccumulator acc;
+    acc.addSampled(4, {1.0, 3.0});
+    EXPECT_DOUBLE_EQ(acc.total(), 8.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 8.0);
+    EXPECT_NEAR(acc.dof(), 1.0, 1e-12);
+    EXPECT_NEAR(acc.halfWidth(0.95),
+                core::studentTQuantile(0.95, 1.0) * std::sqrt(8.0),
+                1e-9);
+}
+
+TEST(StratifiedAccumulatorTest, RatioEstimatorHandCase)
+{
+    // N = 3, access total 60, sampled (y, x) = {(2,10), (3,20)}:
+    // R = 5/30, total = 60R = 10. Residuals e = y - Rx = {1/3, -1/3},
+    // s_e^2 = 2/9, var = N^2 (1 - k/N) s_e^2 / k = 9 * (1/3) * (2/9)
+    // / 2 = 1/3.
+    StratifiedAccumulator acc;
+    acc.addRatio(3, 60.0, {{2.0, 10.0}, {3.0, 20.0}});
+    EXPECT_NEAR(acc.total(), 10.0, 1e-12);
+    EXPECT_NEAR(acc.variance(), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(acc.dof(), 1.0, 1e-12);
+}
+
+TEST(StratifiedAccumulatorTest, ExternalEstimatesPoolTheirDof)
+{
+    // Two external estimates of var 4 at 2 dof each: variance adds,
+    // Welch-Satterthwaite dof = 64 / (16/2 + 16/2) = 4.
+    StratifiedAccumulator acc;
+    acc.addEstimate(10.0, 4.0, 2.0);
+    acc.addEstimate(10.0, 4.0, 2.0);
+    EXPECT_DOUBLE_EQ(acc.total(), 20.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 8.0);
+    EXPECT_NEAR(acc.dof(), 4.0, 1e-12);
+}
+
+TEST(StratifiedAccumulatorTest, CoverageMeetsNominalOverSeededTrials)
+{
+    // Three strata of known totals; every trial draws a fresh seeded
+    // SRS per stratum, feeds the ratio estimator, and checks whether
+    // the 95% interval covers the true total. Coverage over the 200
+    // deterministic trials must reach the nominal level.
+    struct Pop
+    {
+        std::vector<double> x, y;
+        double xTotal = 0.0, yTotal = 0.0;
+    };
+    std::vector<Pop> pops;
+    SplitMix64 gen(0xc0ffee);
+    auto uniform = [&gen] {
+        return static_cast<double>(gen.next() >> 11) / 9007199254740992.0;
+    };
+    for (size_t n : {50, 30, 40}) {
+        Pop p;
+        double rate = 0.2 + 0.2 * uniform();
+        for (size_t i = 0; i < n; ++i) {
+            double x = 500.0 + 1500.0 * uniform();
+            // Heteroscedastic residuals proportional to sqrt(x), the
+            // quasi-Poisson shape the estimator models.
+            double e = (uniform() + uniform() + uniform() - 1.5) *
+                       std::sqrt(x);
+            double y = std::max(0.0, rate * x + e);
+            p.x.push_back(x);
+            p.y.push_back(y);
+            p.xTotal += x;
+            p.yTotal += y;
+        }
+        pops.push_back(std::move(p));
+    }
+
+    const int trials = 200;
+    int covered = 0;
+    for (int t = 0; t < trials; ++t) {
+        StratifiedAccumulator acc;
+        double truth = 0.0;
+        for (size_t s = 0; s < pops.size(); ++s) {
+            const Pop &p = pops[s];
+            uint64_t n = p.x.size();
+            uint64_t k = n / 4;
+            auto picks = core::sampleWithoutReplacement(
+                0x5eed0000 + 131 * t + s, n, k);
+            std::vector<std::pair<double, double>> pairs;
+            for (uint64_t idx : picks)
+                pairs.push_back({p.y[idx], p.x[idx]});
+            acc.addRatio(n, p.xTotal, pairs);
+            truth += p.yTotal;
+        }
+        double hw = acc.halfWidth(0.95);
+        covered += std::abs(acc.total() - truth) <= hw ? 1 : 0;
+    }
+    EXPECT_GE(covered, static_cast<int>(trials * 0.95))
+        << "coverage " << covered << "/" << trials;
+}
+
+// Synthetic phased runs ----------------------------------------------
+
+/**
+ * Emit one phase execution: `batches` batches of 32 accesses over a
+ * working set of `ws` elements starting at `base`, with a stride walk
+ * so reuse distances vary by phase. Markers are emitted between
+ * batches only — execution boundaries always land on event boundaries.
+ */
+void
+emitExecution(trace::TraceSink &sink, uint32_t phase, uint64_t base,
+              uint64_t ws, uint64_t batches, SplitMix64 &gen)
+{
+    sink.onPhaseMarker(phase);
+    std::vector<trace::Addr> batch;
+    for (uint64_t b = 0; b < batches; ++b) {
+        sink.onBlock(static_cast<trace::BlockId>(phase * 7 + b % 5),
+                     4 + phase);
+        batch.clear();
+        for (size_t i = 0; i < 32; ++i) {
+            uint64_t e = gen.next() % ws;
+            batch.push_back(8 * (base + e));
+        }
+        sink.onAccessBatch(batch.data(), batch.size());
+    }
+}
+
+struct PhaseSpec
+{
+    uint32_t phase;
+    uint64_t executions;
+    uint64_t ws;         //!< working-set elements
+    uint64_t minBatches; //!< per-execution length floor (32/batch)
+    uint64_t jitter;     //!< extra batches, seeded
+};
+
+/** Record a phased run and its instrumented replay. */
+std::pair<MemoryTrace, core::Replay>
+makePhasedRun(uint64_t seed, const std::vector<PhaseSpec> &specs,
+              uint64_t frame_target = 0)
+{
+    MemoryTrace t;
+    if (frame_target)
+        t.setFrameTargetAccesses(frame_target);
+    SplitMix64 gen(seed);
+    // A short un-phased prologue, like real instrumented runs.
+    std::vector<trace::Addr> pre;
+    for (size_t i = 0; i < 24; ++i)
+        pre.push_back(8 * i);
+    t.onBlock(0, 3);
+    t.onAccessBatch(pre.data(), pre.size());
+    // Round-robin executions across the phases.
+    uint64_t maxExec = 0;
+    for (const auto &s : specs)
+        maxExec = std::max(maxExec, s.executions);
+    for (uint64_t e = 0; e < maxExec; ++e)
+        for (const auto &s : specs)
+            if (e < s.executions)
+                emitExecution(t, s.phase, 1000 + 10000 * s.phase, s.ws,
+                              s.minBatches + gen.next() % (s.jitter + 1),
+                              gen);
+    t.onEnd();
+
+    core::ExecutionCollector collector;
+    t.replay(collector);
+    return {std::move(t), collector.replay()};
+}
+
+// Planning ------------------------------------------------------------
+
+TEST(StratifiedPlan, StrataGroupByPhaseWithCertaintyFirstExecution)
+{
+    auto [t, replay] = makePhasedRun(
+        3, {{0, 6, 64, 4, 2}, {1, 9, 256, 6, 2}, {2, 1, 32, 3, 0}});
+    StratifiedSamplingConfig cfg;
+    auto strata = core::planStrata(replay, cfg);
+    ASSERT_GE(strata.size(), 3u);
+    // The run's first execution is split into its own certainty unit.
+    EXPECT_TRUE(strata.front().certainty);
+    EXPECT_EQ(strata.front().executions.size(), 1u);
+    EXPECT_EQ(strata.front().executions[0], 0u);
+    size_t total = 0;
+    for (const auto &st : strata)
+        total += st.executions.size();
+    EXPECT_EQ(total, replay.executions.size());
+}
+
+TEST(StratifiedPlan, LargePhasesSubstratifyBySizeClass)
+{
+    // One phase with plenty of executions spanning two size octaves.
+    auto [t, replay] =
+        makePhasedRun(11, {{0, 48, 128, 2, 10}});
+    StratifiedSamplingConfig cfg;
+    cfg.sizeStratifyMin = 32;
+    auto strata = core::planStrata(replay, cfg);
+    size_t classes = 0;
+    for (const auto &st : strata)
+        classes += st.sizeClass != 0 && !st.certainty;
+    EXPECT_GE(classes, 2u) << "expected log2 size substratification";
+
+    cfg.sizeStratifyMin = 0; // disabled: one stratum per phase + unit
+    EXPECT_EQ(core::planStrata(replay, cfg).size(), 2u);
+}
+
+// Property: 100% sampling is the exhaustive pass -----------------------
+
+TEST(StratifiedProperty, FullSamplingBitIdenticalAcrossPoolsAndFrames)
+{
+    std::vector<PhaseSpec> specs{
+        {0, 7, 64, 3, 3}, {1, 12, 512, 5, 4}, {2, 5, 96, 2, 1}};
+    const core::StratifiedEstimate *first = nullptr;
+    core::StratifiedEstimate firstStore;
+    for (uint64_t frameTarget : {0ull, 256ull, 1021ull}) {
+        auto [t, replay] = makePhasedRun(17, specs, frameTarget);
+        for (size_t threads : {1u, 2u, 4u}) {
+            support::ThreadPool pool(threads);
+            StratifiedSamplingConfig cfg;
+            cfg.enabled = true;
+            cfg.sampleFraction = 1.0; // k = N everywhere
+            cfg.verifyAgainstExact = true;
+            core::StratifiedEvaluator ev(cfg, &pool);
+            auto rep = ev.evaluate(t, replay);
+            ASSERT_TRUE(rep.ran);
+            EXPECT_FALSE(rep.sampled);
+            ASSERT_TRUE(rep.verified);
+            EXPECT_TRUE(rep.comparison.ok);
+            EXPECT_EQ(rep.comparison.maxAbsMissRateError, 0.0);
+            EXPECT_EQ(rep.estimate.missTotal, rep.exact.missTotal);
+            EXPECT_EQ(rep.estimate.histogramBins,
+                      rep.exact.histogramBins);
+            EXPECT_EQ(rep.estimate.histogramInfinite,
+                      rep.exact.histogramInfinite);
+            EXPECT_EQ(rep.estimate.footprintSum, rep.exact.footprintSum);
+            EXPECT_EQ(rep.estimate.bbv, rep.exact.bbv);
+            for (const auto &st : rep.strata)
+                EXPECT_TRUE(st.exact);
+            // And bit-identical across every pool size and frame
+            // geometry: the recording's framing must not leak into
+            // the estimate.
+            if (!first) {
+                firstStore = rep.estimate;
+                first = &firstStore;
+            } else {
+                EXPECT_EQ(rep.estimate.missTotal, first->missTotal)
+                    << "frames " << frameTarget << " threads "
+                    << threads;
+                EXPECT_EQ(rep.estimate.histogramBins,
+                          first->histogramBins);
+                EXPECT_EQ(rep.estimate.bbv, first->bbv);
+                EXPECT_EQ(rep.estimate.footprintSum,
+                          first->footprintSum);
+            }
+        }
+    }
+}
+
+TEST(StratifiedProperty, SampledRunsAreDeterministicAcrossPools)
+{
+    std::vector<PhaseSpec> specs{{0, 40, 128, 2, 6}, {1, 25, 512, 3, 4}};
+    auto [t, replay] = makePhasedRun(29, specs);
+    StratifiedSamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.verifyAgainstExact = true;
+    // The synthetic phases draw addresses at random, so per-execution
+    // miss counts are far noisier than the real workloads' — this
+    // test pins determinism, not the production bound.
+    cfg.errorBound = 0.05;
+    core::StratifiedEvalReport base;
+    for (size_t threads : {1u, 2u, 4u}) {
+        support::ThreadPool pool(threads);
+        core::StratifiedEvaluator ev(cfg, &pool);
+        auto rep = ev.evaluate(t, replay);
+        ASSERT_TRUE(rep.sampled);
+        EXPECT_TRUE(rep.comparison.ok)
+            << rep.comparison.maxRelMissRateError;
+        if (threads == 1u) {
+            base = rep;
+        } else {
+            EXPECT_EQ(rep.estimate.missTotal, base.estimate.missTotal);
+            EXPECT_EQ(rep.estimate.missHalfWidth,
+                      base.estimate.missHalfWidth);
+            EXPECT_EQ(rep.estimate.measuredAccesses,
+                      base.estimate.measuredAccesses);
+        }
+    }
+}
+
+// Fault injection -----------------------------------------------------
+
+TEST(StratifiedFaults, EmptyRunEvaluatesGracefully)
+{
+    MemoryTrace t;
+    core::Replay replay;
+    StratifiedSamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.verifyAgainstExact = true;
+    core::StratifiedEvaluator ev(cfg);
+    auto rep = ev.evaluate(t, replay);
+    EXPECT_TRUE(rep.ran);
+    EXPECT_FALSE(rep.sampled);
+    EXPECT_TRUE(rep.verified);
+    EXPECT_TRUE(rep.comparison.ok);
+}
+
+TEST(StratifiedFaults, SingleExecutionStrataFallBackToExact)
+{
+    // Every phase runs once: sampling is impossible, and the answer
+    // must be the exhaustive one, not a fabricated extrapolation.
+    auto [t, replay] =
+        makePhasedRun(41, {{0, 1, 64, 4, 0}, {1, 1, 128, 5, 0}});
+    StratifiedSamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.verifyAgainstExact = true;
+    core::StratifiedEvaluator ev(cfg);
+    auto rep = ev.evaluate(t, replay);
+    EXPECT_FALSE(rep.sampled);
+    for (const auto &st : rep.strata)
+        EXPECT_TRUE(st.exact);
+    EXPECT_EQ(rep.comparison.maxAbsMissRateError, 0.0);
+    for (uint32_t w = 1; w <= cache::simWays; ++w)
+        EXPECT_EQ(rep.estimate.missRateHalfWidth(w), 0.0);
+}
+
+TEST(StratifiedFaults, PhaseDriftWidensTheInterval)
+{
+    // Stable phase: every execution touches the same working set.
+    // Drifting phase: the working set grows across executions, so
+    // per-execution miss ratios drift. Same sampling effort — the
+    // drifting run must confess with a wider interval, never a
+    // silently wrong point estimate.
+    auto [stableT, stableR] = makePhasedRun(53, {{0, 24, 128, 4, 0}});
+
+    MemoryTrace driftT;
+    SplitMix64 gen(53);
+    std::vector<trace::Addr> pre{8, 16, 24};
+    driftT.onBlock(0, 3);
+    driftT.onAccessBatch(pre.data(), pre.size());
+    for (uint64_t e = 0; e < 24; ++e)
+        emitExecution(driftT, 0, 1000, 16 + 40 * e, 4, gen);
+    driftT.onEnd();
+    core::ExecutionCollector c;
+    driftT.replay(c);
+
+    StratifiedSamplingConfig cfg;
+    cfg.enabled = true;
+    cfg.verifyAgainstExact = true;
+    cfg.sizeStratifyMin = 0; // keep each run one stratum
+    cfg.selection = core::StratifiedSelection::SeededRandom;
+    core::StratifiedEvaluator ev(cfg);
+    auto stable = ev.evaluate(stableT, stableR);
+    auto drift = ev.evaluate(driftT, c.replay());
+    ASSERT_TRUE(stable.sampled);
+    ASSERT_TRUE(drift.sampled);
+
+    double stableHw = 0.0, driftHw = 0.0;
+    for (uint32_t w = 1; w <= cache::simWays; ++w) {
+        stableHw = std::max(stableHw, stable.estimate.missRateHalfWidth(w));
+        driftHw = std::max(driftHw, drift.estimate.missRateHalfWidth(w));
+    }
+    EXPECT_GT(driftHw, 2.0 * stableHw)
+        << "drift " << driftHw << " vs stable " << stableHw;
+}
+
+TEST(StratifiedDeathTest, MismatchedTraceAndReplayPanic)
+{
+    auto [t, replay] = makePhasedRun(61, {{0, 4, 64, 3, 1}});
+    auto [t2, replay2] = makePhasedRun(62, {{0, 6, 64, 4, 1}});
+    StratifiedSamplingConfig cfg;
+    cfg.enabled = true;
+    core::StratifiedEvaluator ev(cfg);
+    EXPECT_DEATH((void)ev.evaluate(t, replay2),
+                 "instrumented replay");
+    (void)t2;
+}
+
+// Real workloads: the verified bound ----------------------------------
+
+/**
+ * The compareToExact bound must hold on every registry workload. One
+ * stratified+verified evaluation per workload, shared across
+ * assertions (the pipeline run is the expensive part).
+ */
+class StratifiedWorkload : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static const core::WorkloadEvaluation &
+    eval(const std::string &name)
+    {
+        static std::map<std::string, core::WorkloadEvaluation> cache;
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            auto w = workloads::create(name);
+            core::AnalysisConfig cfg;
+            cfg.stratifiedSampling.enabled = true;
+            cfg.stratifiedSampling.verifyAgainstExact = true;
+            it = cache.emplace(name, core::evaluateWorkload(*w, cfg))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(StratifiedWorkload, ErrorBoundHolds)
+{
+    const auto &rep = eval(GetParam()).stratified;
+    ASSERT_TRUE(rep.ran);
+    ASSERT_TRUE(rep.verified);
+    EXPECT_TRUE(rep.sampled);
+    EXPECT_TRUE(rep.comparison.ok)
+        << "max relative miss-rate error "
+        << rep.comparison.maxRelMissRateError;
+    EXPECT_LT(rep.comparison.maxRelMissRateError, 0.01);
+    EXPECT_GT(rep.estimate.totalAccesses, 0u);
+    EXPECT_LT(rep.estimate.measuredAccesses, rep.estimate.totalAccesses);
+}
+
+TEST_P(StratifiedWorkload, ReportIsInternallyConsistent)
+{
+    const auto &rep = eval(GetParam()).stratified;
+    uint64_t execs = 0, sampledExecs = 0, accesses = 0;
+    for (const auto &st : rep.strata) {
+        EXPECT_LE(st.sampled, st.executions);
+        EXPECT_EQ(st.exact, st.sampled == st.executions);
+        execs += st.executions;
+        sampledExecs += st.sampled;
+        accesses += st.accesses;
+    }
+    EXPECT_EQ(execs, rep.estimate.totalExecutions);
+    EXPECT_GE(sampledExecs, rep.strata.size()); // >= 1 per stratum
+    EXPECT_EQ(accesses + rep.prologueAccesses,
+              rep.estimate.totalAccesses);
+    EXPECT_GT(rep.sampledFraction(), 0.0);
+    EXPECT_LT(rep.sampledFraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, StratifiedWorkload,
+    ::testing::ValuesIn(workloads::allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

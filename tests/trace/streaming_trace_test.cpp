@@ -193,6 +193,104 @@ TEST(StreamingTrace, CursorReplaysRangesOutOfOrderAndRepeatedly)
     EXPECT_EQ(again.log, expected[0]);
 }
 
+TEST(StreamingTrace, SliceAtPartitionsAtEveryEventBoundary)
+{
+    // Cuts at every event-start access clock — the finest slicing
+    // sliceAt supports, crossing every frame boundary by construction.
+    // Replaying all ranges in order must reproduce the live stream.
+    constexpr uint64_t frameTarget = 512;
+    DeliveryLog direct;
+    MemoryTrace trace = recordMultiFrame(300, frameTarget, 7, &direct);
+    ASSERT_GT(trace.sealedFrameCount(), 2u);
+
+    auto fine = trace.chunks(1); // one event-ish per chunk
+    std::vector<uint64_t> cuts;
+    for (const auto &r : fine)
+        if (r.firstAccess != 0 || !cuts.empty())
+            cuts.push_back(r.firstAccess);
+    auto ranges = trace.sliceAt(cuts);
+    ASSERT_EQ(ranges.size(), cuts.size() + 1);
+
+    DeliveryLog sliced;
+    TraceCursor cursor(trace);
+    size_t events = 0;
+    uint64_t accesses = 0;
+    for (const auto &r : ranges) {
+        EXPECT_EQ(r.firstEvent, events);
+        EXPECT_EQ(r.firstAccess, accesses);
+        cursor.replayRange(sliced, r);
+        events += r.eventCount;
+        accesses += r.accessCount;
+    }
+    EXPECT_EQ(events, trace.eventCount());
+    EXPECT_EQ(accesses, trace.accessCount());
+    EXPECT_EQ(sliced.log, direct.log);
+}
+
+TEST(StreamingTrace, SliceAtDuplicateAndBoundaryCutsYieldEmptyRanges)
+{
+    DeliveryLog direct;
+    MemoryTrace trace = recordMultiFrame(150, 256, 8, &direct);
+    const uint64_t total = trace.accessCount();
+    const uint64_t mid = total / 2;
+
+    // Cut at zero, a duplicated interior cut, and the end of the
+    // recording: the duplicate yields a zero-length range and the
+    // trailing range carries only zero-access events (if any).
+    auto ranges = trace.sliceAt({0, mid, mid, total});
+    ASSERT_EQ(ranges.size(), 5u);
+    EXPECT_EQ(ranges[0].eventCount, 0u);
+    EXPECT_EQ(ranges[0].accessCount, 0u);
+    EXPECT_EQ(ranges[2].accessCount, 0u);
+    EXPECT_EQ(ranges[4].accessCount, 0u);
+
+    // A zero-length range replays nothing, and a cursor survives
+    // being handed one between real ranges (a seek to a position it
+    // is already at, or a no-op jump).
+    TraceCursor cursor(trace);
+    DeliveryLog sliced;
+    for (const auto &r : ranges)
+        cursor.replayRange(sliced, r);
+    EXPECT_EQ(sliced.log, direct.log);
+
+    DeliveryLog empty;
+    TraceCursor fresh(trace);
+    fresh.replayRange(empty, ranges[2]);
+    EXPECT_TRUE(empty.log.empty());
+}
+
+TEST(StreamingTrace, CursorSeeksForwardAndBackwardAcrossFrames)
+{
+    // Ranges visited out of order with long jumps in both directions:
+    // backward seeks must rewind to the owning frame, forward seeks
+    // within the current frame must not rewind (same delivered
+    // events either way — this pins the seek paths the sampled
+    // evaluator leans on).
+    DeliveryLog direct;
+    MemoryTrace trace = recordMultiFrame(400, 256, 9, &direct);
+    ASSERT_GT(trace.sealedFrameCount(), 4u);
+    auto ranges = trace.sliceAt(
+        {trace.accessCount() / 5, 2 * trace.accessCount() / 5,
+         3 * trace.accessCount() / 5, 4 * trace.accessCount() / 5});
+    ASSERT_EQ(ranges.size(), 5u);
+
+    std::vector<std::vector<std::string>> expected;
+    size_t at = 0;
+    for (const auto &r : ranges) {
+        expected.emplace_back(
+            direct.log.begin() + static_cast<long>(at),
+            direct.log.begin() + static_cast<long>(at + r.eventCount));
+        at += r.eventCount;
+    }
+
+    TraceCursor cursor(trace);
+    for (size_t i : {2u, 4u, 0u, 3u, 1u, 3u}) {
+        DeliveryLog got;
+        cursor.replayRange(got, ranges[i]);
+        EXPECT_EQ(got.log, expected[i]) << "range " << i;
+    }
+}
+
 TEST(StreamingTrace, MultiFrameStoreRoundTrip)
 {
     fs::path dir = fs::temp_directory_path() /

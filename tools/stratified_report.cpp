@@ -1,0 +1,148 @@
+/**
+ * @file
+ * stratified_report — the stratified sampled evaluator from the
+ * command line.
+ *
+ * For every workload (or an explicit subset) the tool runs the
+ * evaluation pipeline with phase-stratified sampling enabled, prints
+ * the stratum plan (which executions were measured, which strata ran
+ * exhaustively) and the estimated miss-rate curve with its confidence
+ * half-widths, and — unless --no-verify is given — replays the
+ * exhaustive pass too and reports the sampled-vs-exact divergence.
+ * Exit status 0 means every verified workload held the error bound.
+ *
+ * Usage:
+ *   stratified_report [--fraction=F] [--per-stratum=K] [--seed=S]
+ *                     [--selection=balanced|seeded] [--no-verify]
+ *                     [workload...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "support/logging.hpp"
+#include "workloads/registry.hpp"
+
+using namespace lpp;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--fraction=F] [--per-stratum=K] "
+                 "[--seed=S] [--selection=balanced|seeded] "
+                 "[--no-verify] [workload...]\n",
+                 argv0);
+    return 2;
+}
+
+void
+printReport(const core::StratifiedEvalReport &r)
+{
+    std::printf("  strata (%zu), %llu of %llu accesses measured "
+                "(%.1f%%):\n",
+                r.strata.size(),
+                static_cast<unsigned long long>(
+                    r.estimate.measuredAccesses),
+                static_cast<unsigned long long>(r.estimate.totalAccesses),
+                100.0 * r.sampledFraction());
+    for (const auto &s : r.strata)
+        std::printf("    phase %3u%s%s  %4llu exec, %4llu measured "
+                    "(%llu of %llu accesses)%s\n",
+                    s.phase, s.sizeClass ? "/" : "",
+                    s.sizeClass
+                        ? ("2^" + std::to_string(s.sizeClass)).c_str()
+                        : "",
+                    static_cast<unsigned long long>(s.executions),
+                    static_cast<unsigned long long>(s.sampled),
+                    static_cast<unsigned long long>(s.sampledAccesses),
+                    static_cast<unsigned long long>(s.accesses),
+                    s.certainty ? "  [certainty]"
+                                : (s.exact ? "  [exact]" : ""));
+    std::printf("  estimated miss rates (95%% half-width):\n");
+    for (uint32_t w = 1; w <= cache::simWays; ++w)
+        std::printf("    %2u-way  %.6f +- %.6f\n", w,
+                    r.estimate.missRate(w),
+                    r.estimate.missRateHalfWidth(w));
+    if (r.verified) {
+        std::printf("  vs exact: max rel miss-rate error %.6f, abs "
+                    "%.6f, histogram divergence %.6f, CI covered "
+                    "%u/%u ways\n",
+                    r.comparison.maxRelMissRateError,
+                    r.comparison.maxAbsMissRateError,
+                    r.comparison.histogramDivergence,
+                    r.comparison.ciCoveredWays,
+                    static_cast<unsigned>(cache::simWays));
+        std::printf("  evaluate: sampled %.1f ms, exact %.1f ms "
+                    "(%.2fx)\n",
+                    r.sampledMs, r.exactMs, r.speedup());
+        for (const auto &f : r.comparison.failures)
+            std::printf("  FAIL: %s\n", f.c_str());
+        std::printf("  => %s\n", r.comparison.ok ? "ok" : "FAILED");
+    } else {
+        std::printf("  evaluate: sampled %.1f ms (not verified)\n",
+                    r.sampledMs);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::AnalysisConfig cfg;
+    cfg.stratifiedSampling.enabled = true;
+    cfg.stratifiedSampling.verifyAgainstExact = true;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--fraction=", 0) == 0) {
+            cfg.stratifiedSampling.sampleFraction =
+                std::atof(arg.c_str() + 11);
+        } else if (arg.rfind("--per-stratum=", 0) == 0) {
+            cfg.stratifiedSampling.samplesPerStratum =
+                std::strtoull(arg.c_str() + 14, nullptr, 10);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            cfg.stratifiedSampling.seed =
+                std::strtoull(arg.c_str() + 7, nullptr, 0);
+        } else if (arg == "--selection=balanced") {
+            cfg.stratifiedSampling.selection =
+                core::StratifiedSelection::BalancedOnSize;
+        } else if (arg == "--selection=seeded") {
+            cfg.stratifiedSampling.selection =
+                core::StratifiedSelection::SeededRandom;
+        } else if (arg == "--no-verify") {
+            cfg.stratifiedSampling.verifyAgainstExact = false;
+        } else if (arg == "--verbose") {
+            setVerbose(true);
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+    if (names.empty())
+        names = workloads::allNames();
+
+    int failures = 0;
+    for (const auto &name : names) {
+        auto w = workloads::create(name);
+        if (!w) {
+            std::fprintf(stderr, "error: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        std::printf("%s\n", name.c_str());
+        auto run = core::evaluateWorkload(*w, cfg);
+        printReport(run.stratified);
+        failures += run.stratified.verified &&
+                    !run.stratified.comparison.ok;
+    }
+    return failures == 0 ? 0 : 1;
+}
